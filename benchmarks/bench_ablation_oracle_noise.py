@@ -1,0 +1,43 @@
+"""Ablation — robustness to reviewer errors.
+
+The paper claims the method "is robust to small numbers of errors as
+verified in our experiment" (Section 1): the human is not required to
+exhaustively check all pairs.  This bench injects decision-flipping
+noise into the oracle and tracks how gracefully precision/recall
+degrade.
+"""
+
+import pytest
+
+from repro.datagen import address_dataset
+from repro.evaluation import format_table, run_method_series
+
+from conftest import print_banner, report
+
+BUDGET = 60
+ERROR_RATES = (0.0, 0.05, 0.1, 0.2)
+
+
+def _measure():
+    dataset = address_dataset(scale=0.15)
+    rows = []
+    for rate in ERROR_RATES:
+        final = run_method_series(
+            dataset,
+            "group",
+            BUDGET,
+            sample_size=500,
+            oracle_error_rate=rate,
+        ).final()
+        rows.append((f"{rate:.0%}", final.precision, final.recall, final.mcc))
+    return rows
+
+
+def test_ablation_oracle_noise(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print_banner("Ablation: reviewer error injection (robustness claim, §1)")
+    report(format_table(("error rate", "precision", "recall", "mcc"), rows))
+    clean = rows[0]
+    small_noise = rows[1]  # 5%
+    # Small reviewer error must not collapse the result.
+    assert small_noise[3] > 0.5 * clean[3]

@@ -1,0 +1,45 @@
+"""Figure 10 (Appendix F) — recall with and without the affix string
+functions.
+
+Paper shape: Affix always produces recall >= NoAffix (some replacements
+cannot be grouped without Prefix/Suffix, e.g. Street -> St); precision
+stays ~100% either way and the MCC mirrors the recall.
+"""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.evaluation import format_series, render_series_chart, run_method_series
+
+from conftest import BUDGETS, CHECKPOINTS, print_banner, report
+
+
+def _series_for(dataset):
+    budget = BUDGETS[dataset.name]
+    affix = run_method_series(dataset, "group", budget, config=DEFAULT_CONFIG)
+    affix.method = "affix"
+    noaffix = run_method_series(
+        dataset, "group", budget, config=DEFAULT_CONFIG.without_affix()
+    )
+    noaffix.method = "noaffix"
+    return [noaffix, affix]
+
+
+@pytest.mark.parametrize("name", ["authorlist", "address", "journaltitle"])
+def test_fig10_affix_recall(benchmark, name, request):
+    dataset = request.getfixturevalue(name)
+    series = benchmark.pedantic(
+        _series_for, args=(dataset,), rounds=1, iterations=1
+    )
+    print_banner(
+        f"Figure 10 ({dataset.name}): recall with/without affix functions"
+    )
+    report(format_series(series, "recall", CHECKPOINTS[dataset.name]))
+    report(render_series_chart(series, "recall"))
+    noaffix, affix = (s.final() for s in series)
+    report(
+        f"final recall: affix={affix.recall:.3f} noaffix={noaffix.recall:.3f} "
+        "(paper: Affix always >= NoAffix)"
+    )
+    # Small-sample noise tolerance: affix must not lose.
+    assert affix.recall >= noaffix.recall - 0.02

@@ -1,0 +1,51 @@
+"""Figure 8 — Matthews correlation coefficient vs the number of groups
+confirmed, for Trifacta / Single / Group.
+
+Paper shape: Group achieves the best MCC, beating Trifacta by up to 0.2
+and Single by up to 0.4 (JournalTitle: 0.57 vs 0.34 vs 0.18).
+"""
+
+import pytest
+
+from repro.evaluation import (
+    format_series,
+    render_series_chart,
+    run_method_series,
+    run_trifacta_series,
+)
+
+from conftest import BUDGETS, CHECKPOINTS, print_banner, report
+
+PAPER_FINAL_MCC = {
+    "AuthorList": {"group": 0.8, "single": 0.45, "trifacta": 0.6},
+    "Address": {"group": 0.8, "single": 0.45, "trifacta": 0.65},
+    "JournalTitle": {"group": 0.57, "single": 0.18, "trifacta": 0.34},
+}
+
+
+def _series_for(dataset):
+    budget = BUDGETS[dataset.name]
+    return [
+        run_trifacta_series(dataset, budget),
+        run_method_series(dataset, "single", budget),
+        run_method_series(dataset, "group", budget),
+    ]
+
+
+@pytest.mark.parametrize("name", ["authorlist", "address", "journaltitle"])
+def test_fig8_mcc(benchmark, name, request):
+    dataset = request.getfixturevalue(name)
+    series = benchmark.pedantic(
+        _series_for, args=(dataset,), rounds=1, iterations=1
+    )
+    print_banner(f"Figure 8 ({dataset.name}): MCC vs #groups confirmed")
+    report(format_series(series, "mcc", CHECKPOINTS[dataset.name]))
+    report(render_series_chart(series, "mcc"))
+    paper = PAPER_FINAL_MCC[dataset.name]
+    report(
+        f"paper final MCC: group~{paper['group']}, "
+        f"single~{paper['single']}, trifacta~{paper['trifacta']}"
+    )
+    trifacta, single, group = (s.final() for s in series)
+    assert group.mcc > single.mcc
+    assert group.mcc >= trifacta.mcc

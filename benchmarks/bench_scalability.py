@@ -1,0 +1,63 @@
+"""Extension bench — scalability of the incremental grouper.
+
+Not a paper figure: a systems sanity check that the incremental
+grouper's cost grows gracefully with dataset size (the paper's
+largest dataset is ~56k records; our slices scale with
+``REPRO_BENCH_SCALE``).  Reports candidates generated and time to the
+first 10 groups across growing Address slices.
+"""
+
+import time
+
+import pytest
+
+from repro.core.incremental import IncrementalGrouper
+from repro.datagen import address_dataset
+from repro.evaluation import format_table
+from repro.pipeline.standardize import Standardizer
+
+from conftest import print_banner, report
+
+SCALES = (0.05, 0.1, 0.2, 0.3)
+K_GROUPS = 10
+
+
+def _measure():
+    rows = []
+    for scale in SCALES:
+        dataset = address_dataset(scale=scale)
+        t0 = time.perf_counter()
+        standardizer = Standardizer(dataset.fresh_table(), dataset.column)
+        replacements = standardizer.store.replacements()
+        gen_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        grouper = IncrementalGrouper(replacements)
+        groups = list(grouper.groups(limit=K_GROUPS))
+        group_time = time.perf_counter() - t0
+        rows.append(
+            (
+                dataset.table.num_records,
+                len(replacements),
+                round(gen_time, 3),
+                round(group_time, 3),
+                groups[0].size if groups else 0,
+            )
+        )
+    return rows
+
+
+def test_scalability(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print_banner(
+        f"Extension: incremental grouping scalability (first {K_GROUPS} groups)"
+    )
+    report(
+        format_table(
+            ("records", "candidates", "gen s", "group s", "largest"),
+            rows,
+        )
+    )
+    # Graceful growth: 6x records must not cost 100x grouping time.
+    smallest, largest = rows[0], rows[-1]
+    if smallest[3] > 0.01:
+        assert largest[3] / smallest[3] < 100 * (largest[0] / smallest[0])

@@ -1,0 +1,67 @@
+"""Table 6 — dataset details.
+
+Paper values (full-size datasets):
+
+    dataset        avg/min/max cluster   distinct pairs  variant%  conflict%
+    AuthorList     26.9 / 1 / 159        51,538          26.5      73.5
+    Address         5.8 / 1 / 1196       80,451          18.0      82.0
+    JournalTitle    1.8 / 1 / 203        81,350          74.0      26.0
+
+Our datasets are laptop-scale synthetic stand-ins (DESIGN.md §3); this
+bench regenerates the same row format so the *mix* (variant- vs
+conflict-heavy) can be compared directly.
+"""
+
+from repro.data import dataset_stats
+from repro.evaluation import format_table
+
+from conftest import print_banner, report
+
+PAPER_ROWS = {
+    "AuthorList": (26.9, 1, 159, 51538, 26.5, 73.5),
+    "Address": (5.8, 1, 1196, 80451, 18.0, 82.0),
+    "JournalTitle": (1.8, 1, 203, 81350, 74.0, 26.0),
+}
+
+
+def _measure(all_datasets):
+    rows = []
+    for dataset in all_datasets:
+        stats = dataset_stats(dataset.table, dataset.column, dataset.labeler())
+        paper = PAPER_ROWS[dataset.name]
+        rows.append(
+            (
+                dataset.name,
+                f"{stats.avg_cluster_size:.1f}/{stats.min_cluster_size}"
+                f"/{stats.max_cluster_size}",
+                f"{paper[0]}/{paper[1]}/{paper[2]}",
+                stats.distinct_value_pairs,
+                paper[3],
+                round(stats.variant_pair_pct * 100, 1),
+                paper[4],
+                round(stats.conflict_pair_pct * 100, 1),
+                paper[5],
+            )
+        )
+    return rows
+
+
+def test_table6_dataset_stats(benchmark, all_datasets):
+    rows = benchmark.pedantic(_measure, args=(all_datasets,), rounds=1, iterations=1)
+    print_banner("Table 6: dataset details (measured vs paper)")
+    report(
+        format_table(
+            (
+                "dataset",
+                "cluster avg/min/max",
+                "paper",
+                "distinct pairs",
+                "paper",
+                "variant %",
+                "paper",
+                "conflict %",
+                "paper",
+            ),
+            rows,
+        )
+    )

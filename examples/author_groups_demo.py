@@ -1,0 +1,38 @@
+"""Table 4 demo: the kinds of groups the method finds in book author
+lists — transposed names, initials, annotations, nicknames.
+
+Generates the synthetic AuthorList dataset and prints the first ten
+groups produced by the incremental grouper together with sample member
+replacements, mirroring the paper's Table 4.
+
+Run:  python examples/author_groups_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import Standardizer
+from repro.datagen import authorlist_dataset
+
+
+def main() -> None:
+    dataset = authorlist_dataset(scale=0.3)
+    print(f"dataset: {dataset.table}")
+    standardizer = Standardizer(dataset.fresh_table(), dataset.column)
+    feed = standardizer.default_feed()
+
+    print("\nlargest groups (paper's Table 4 analogue):\n")
+    for rank in range(1, 11):
+        group = feed.next_group()
+        if group is None:
+            break
+        print(f"Group {rank} — {group.size} replacements")
+        print(f"  program: {group.program.describe()}")
+        for member in group.replacements[:5]:
+            print(f"    {member}")
+        if group.size > 5:
+            print(f"    ... and {group.size - 5} more")
+        print()
+
+
+if __name__ == "__main__":
+    main()

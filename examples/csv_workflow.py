@@ -1,0 +1,86 @@
+"""CSV-in, CSV-out: the workflow a downstream adopter actually runs.
+
+1. Load flat records from a CSV (here generated on the fly), cluster
+   them by a key column (the ISSN / ISBN / EIN pattern);
+2. standardize the variant values — with `--interactive` *you* are the
+   expert confirming groups (the paper's Step 3), otherwise a scripted
+   reviewer approves everything;
+3. fuse golden records and export both the standardized clusters and
+   the golden values as CSV.
+
+Run:  python examples/csv_workflow.py [--interactive] [workdir]
+"""
+
+from __future__ import annotations
+
+import csv
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import Standardizer
+from repro.data.io import (
+    read_csv_clusters,
+    write_csv_clusters,
+    write_golden_csv,
+)
+from repro.fusion import majority
+from repro.pipeline import golden_records
+from repro.pipeline.oracle import ApproveAllOracle, ConsoleOracle
+
+RAW_ROWS = [
+    ("0001-1111", "Journal of Applied Biology", "libA"),
+    ("0001-1111", "J. of Applied Biology", "libB"),
+    ("0001-1111", "J of Applied Biology", "libC"),
+    ("0002-2222", "Annals of Chemistry", "libA"),
+    ("0002-2222", "Ann. of Chemistry", "libB"),
+    ("0003-3333", "International Journal of Physics", "libA"),
+    ("0003-3333", "Int. Journal of Physics", "libC"),
+    ("0004-4444", "Physics Letters", "libB"),
+]
+
+
+def write_input_csv(path: Path) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["issn", "title", "library"])
+        writer.writerows(RAW_ROWS)
+
+
+def main(workdir: Path, interactive: bool) -> None:
+    raw_csv = workdir / "journals.csv"
+    write_input_csv(raw_csv)
+    print(f"wrote input: {raw_csv}")
+
+    # 1. Load and cluster by key.
+    table = read_csv_clusters(raw_csv, "issn", source_column="library")
+    print(f"clustered: {table}")
+
+    # 2. Standardize the title column.
+    oracle = ConsoleOracle() if interactive else ApproveAllOracle()
+    standardizer = Standardizer(table, "title")
+    log = standardizer.run(oracle, budget=20)
+    print(
+        f"standardized: {log.groups_confirmed} groups reviewed, "
+        f"{log.groups_approved} approved, {log.cells_changed} cells changed"
+    )
+
+    # 3. Fuse and export.
+    golden = golden_records(table, "title", majority.fuse)
+    out_clusters = workdir / "journals_standardized.csv"
+    out_golden = workdir / "journals_golden.csv"
+    write_csv_clusters(table, out_clusters)
+    write_golden_csv(golden, table, "title", out_golden)
+    print(f"wrote standardized clusters: {out_clusters}")
+    print(f"wrote golden records:        {out_golden}")
+    for ci, cluster in enumerate(table.clusters):
+        print(f"  {cluster.key}: {golden.get(ci)!r}")
+
+
+if __name__ == "__main__":
+    argv = [a for a in sys.argv[1:]]
+    interactive = "--interactive" in argv
+    argv = [a for a in argv if a != "--interactive"]
+    workdir = Path(argv[0]) if argv else Path(tempfile.mkdtemp(prefix="repro_"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    main(workdir, interactive)

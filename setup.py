@@ -1,0 +1,9 @@
+"""Legacy setuptools shim for environments without PEP 660 support
+(e.g. offline boxes missing the `wheel` package):
+
+    python setup.py develop --no-deps
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""Tokenization and sequence alignment (Appendix A substrate)."""
+
+from .damerau import alignment_segments, damerau_levenshtein
+from .lcs import aligned_segments, lcs_length, lcs_pairs
+from .tokenize import contains_token_run, join, token_spans, tokens

@@ -1,0 +1,134 @@
+"""Damerau-Levenshtein distance and alignment (Appendix A cites [11] as
+an alternative source of candidate replacements).
+
+The distance counts insertions, deletions, substitutions and adjacent
+transpositions.  ``alignment_segments`` extracts maximal runs of
+non-match operations over token sequences, the analogue of the LCS
+gap segments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def damerau_levenshtein(a: Sequence, b: Sequence) -> int:
+    """Restricted Damerau-Levenshtein (optimal string alignment) distance."""
+    n, m = len(a), len(b)
+    if n == 0:
+        return m
+    if m == 0:
+        return n
+    dist = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n + 1):
+        dist[i][0] = i
+    for j in range(m + 1):
+        dist[0][j] = j
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            best = min(
+                dist[i - 1][j] + 1,
+                dist[i][j - 1] + 1,
+                dist[i - 1][j - 1] + cost,
+            )
+            if (
+                i > 1
+                and j > 1
+                and a[i - 1] == b[j - 2]
+                and a[i - 2] == b[j - 1]
+            ):
+                best = min(best, dist[i - 2][j - 2] + 1)
+            dist[i][j] = best
+    return dist[n][m]
+
+
+def _operations(a: Sequence, b: Sequence) -> List[Tuple[str, int, int]]:
+    """Edit script as ``(op, i, j)`` triples, ``op`` in
+    {match, sub, ins, del, swap}; positions are end-exclusive prefixes."""
+    n, m = len(a), len(b)
+    dist = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n + 1):
+        dist[i][0] = i
+    for j in range(m + 1):
+        dist[0][j] = j
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            best = min(
+                dist[i - 1][j] + 1,
+                dist[i][j - 1] + 1,
+                dist[i - 1][j - 1] + cost,
+            )
+            if (
+                i > 1
+                and j > 1
+                and a[i - 1] == b[j - 2]
+                and a[i - 2] == b[j - 1]
+            ):
+                best = min(best, dist[i - 2][j - 2] + 1)
+            dist[i][j] = best
+    ops: List[Tuple[str, int, int]] = []
+    i, j = n, m
+    while i > 0 or j > 0:
+        if (
+            i > 1
+            and j > 1
+            and a[i - 1] == b[j - 2]
+            and a[i - 2] == b[j - 1]
+            and dist[i][j] == dist[i - 2][j - 2] + 1
+        ):
+            ops.append(("swap", i, j))
+            i -= 2
+            j -= 2
+        elif i > 0 and j > 0 and a[i - 1] == b[j - 1] and dist[i][j] == dist[i - 1][j - 1]:
+            ops.append(("match", i, j))
+            i -= 1
+            j -= 1
+        elif i > 0 and j > 0 and dist[i][j] == dist[i - 1][j - 1] + 1:
+            ops.append(("sub", i, j))
+            i -= 1
+            j -= 1
+        elif i > 0 and dist[i][j] == dist[i - 1][j] + 1:
+            ops.append(("del", i, j))
+            i -= 1
+        else:
+            ops.append(("ins", i, j))
+            j -= 1
+    ops.reverse()
+    return ops
+
+
+def alignment_segments(
+    a: Sequence[str], b: Sequence[str]
+) -> List[Tuple[List[str], List[str]]]:
+    """Maximal non-match runs of the DL alignment as segment pairs.
+
+    Mirrors :func:`repro.align.lcs.aligned_segments`; runs where either
+    side contributes no tokens are skipped.
+    """
+    segments: List[Tuple[List[str], List[str]]] = []
+    run_a: List[str] = []
+    run_b: List[str] = []
+
+    def flush() -> None:
+        if run_a and run_b:
+            segments.append((list(run_a), list(run_b)))
+        run_a.clear()
+        run_b.clear()
+
+    for op, i, j in _operations(a, b):
+        if op == "match":
+            flush()
+        elif op == "sub":
+            run_a.append(a[i - 1])
+            run_b.append(b[j - 1])
+        elif op == "del":
+            run_a.append(a[i - 1])
+        elif op == "ins":
+            run_b.append(b[j - 1])
+        else:  # swap: two tokens in transposed order
+            run_a.extend([a[i - 2], a[i - 1]])
+            run_b.extend([b[j - 2], b[j - 1]])
+    flush()
+    return segments

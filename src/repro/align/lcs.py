@@ -1,0 +1,66 @@
+"""Longest-common-subsequence alignment of token sequences (Appendix A).
+
+The LCS of the two token sequences anchors the alignment; each maximal
+run of unmatched tokens on both sides between consecutive anchors forms
+an *aligned segment pair*, which becomes a fine-grained candidate
+replacement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def lcs_pairs(a: Sequence[str], b: Sequence[str]) -> List[Tuple[int, int]]:
+    """Index pairs ``(i, j)`` of one longest common subsequence of
+    ``a`` and ``b`` (standard O(len(a)*len(b)) DP, leftmost-greedy
+    backtrace for determinism)."""
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        return []
+    # dp[i][j] = LCS length of a[i:], b[j:]
+    dp = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n - 1, -1, -1):
+        row = dp[i]
+        nxt = dp[i + 1]
+        for j in range(m - 1, -1, -1):
+            if a[i] == b[j]:
+                row[j] = nxt[j + 1] + 1
+            else:
+                row[j] = nxt[j] if nxt[j] >= row[j + 1] else row[j + 1]
+    pairs: List[Tuple[int, int]] = []
+    i = j = 0
+    while i < n and j < m:
+        if a[i] == b[j]:
+            pairs.append((i, j))
+            i += 1
+            j += 1
+        elif dp[i + 1][j] >= dp[i][j + 1]:
+            i += 1
+        else:
+            j += 1
+    return pairs
+
+
+def lcs_length(a: Sequence[str], b: Sequence[str]) -> int:
+    return len(lcs_pairs(a, b))
+
+
+def aligned_segments(
+    a: Sequence[str], b: Sequence[str]
+) -> List[Tuple[List[str], List[str]]]:
+    """Aligned non-identical segment pairs between LCS anchors.
+
+    Segments where either side is empty (pure insertions/deletions) are
+    skipped: a replacement needs two non-empty strings.
+    """
+    anchors = lcs_pairs(a, b)
+    segments: List[Tuple[List[str], List[str]]] = []
+    prev_i = prev_j = 0
+    for i, j in anchors + [(len(a), len(b))]:
+        gap_a = list(a[prev_i:i])
+        gap_b = list(b[prev_j:j])
+        if gap_a and gap_b:
+            segments.append((gap_a, gap_b))
+        prev_i, prev_j = i + 1, j + 1
+    return segments

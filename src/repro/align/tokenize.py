@@ -1,0 +1,49 @@
+"""Whitespace tokenization used by token-level candidate generation
+(Appendix A splits values by whitespace)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def tokens(value: str) -> List[str]:
+    """Whitespace-delimited tokens of a value."""
+    return value.split()
+
+
+def token_spans(value: str) -> List[Tuple[int, int, str]]:
+    """Tokens with their 0-based character spans ``(start, end, text)``."""
+    spans: List[Tuple[int, int, str]] = []
+    i = 0
+    n = len(value)
+    while i < n:
+        while i < n and value[i].isspace():
+            i += 1
+        if i >= n:
+            break
+        start = i
+        while i < n and not value[i].isspace():
+            i += 1
+        spans.append((start, i, value[start:i]))
+    return spans
+
+
+def join(tokens_: List[str]) -> str:
+    """Inverse of :func:`tokens` up to whitespace normalization."""
+    return " ".join(tokens_)
+
+
+def contains_token_run(value: str, segment: str) -> bool:
+    """Does ``value`` contain ``segment`` as a run of whole tokens?
+
+    Token-boundary aware: ``contains_token_run("9th St", "St")`` is
+    true but ``contains_token_run("9th Stone", "St")`` is false.
+    """
+    value_tokens = tokens(value)
+    seg_tokens = tokens(segment)
+    if not seg_tokens or len(seg_tokens) > len(value_tokens):
+        return False
+    return any(
+        value_tokens[i : i + len(seg_tokens)] == seg_tokens
+        for i in range(len(value_tokens) - len(seg_tokens) + 1)
+    )

@@ -1,0 +1,5 @@
+"""The paper's baselines: Single and the Trifacta-style wrangler."""
+
+from .rules import address_rules, authorlist_rules, journaltitle_rules, rules_for
+from .single import SingleFeed
+from .wrangler import ReplaceRule, RuleSet

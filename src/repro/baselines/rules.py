@@ -1,0 +1,139 @@
+"""Hand-written wrangler rule sets — "what a skilled user writes in an
+hour" (Section 8.1: 30-40 lines of wrangler code per dataset).
+
+The rules target each dataset's canonical form and deliberately carry
+the imperfections the paper observed in the Trifacta baseline: they
+cover only the transformation families the user noticed (recall gap —
+nicknames, missing-separator author lists and rare states go unfixed)
+and global regex application occasionally overreaches (precision dip).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from .wrangler import ReplaceRule, RuleSet
+
+
+@dataclass(frozen=True)
+class CaseRule(ReplaceRule):
+    """Trifacta-style case conversion, applied when ``pattern`` matches
+    the whole value.  ``replacement`` selects the mode: ``title``,
+    ``lower`` or ``upper``."""
+
+    def apply(self, value: str) -> str:
+        if not re.fullmatch(self.pattern, value):
+            return value
+        if self.replacement == "title":
+            return value.title()
+        if self.replacement == "lower":
+            return value.lower()
+        if self.replacement == "upper":
+            return value.upper()
+        return value
+
+
+def address_rules() -> RuleSet:
+    """Standardize addresses toward ``"3rd E Avenue, 33990 CA"``."""
+    rules: List[ReplaceRule] = []
+    # Street-type abbreviations -> full words (12 rules).  Note the
+    # authentic gap: the user keyed the rules on the undotted forms, so
+    # "St." rewrites to "Street." and never quite matches the canonical
+    # value — the global-regex overreach the paper observed.
+    for full, abbrev in (
+        ("Street", "St"), ("Avenue", "Ave"), ("Boulevard", "Blvd"),
+        ("Road", "Rd"), ("Drive", "Dr"), ("Lane", "Ln"), ("Court", "Ct"),
+        ("Place", "Pl"), ("Parkway", "Pkwy"), ("Terrace", "Ter"),
+        ("Square", "Sq"), ("Highway", "Hwy"),
+    ):
+        rules.append(ReplaceRule(rf"\b{abbrev}\b", full))
+    # The user never noticed the spelled-out compass directions
+    # ("East Avenue" vs "E Avenue") — a recall gap for the baseline.
+    # Ordinal suffixes on leading street numbers (4 rules; order matters).
+    rules.append(ReplaceRule(r"^(\d*1)(?<!11) ", r"\1st "))
+    rules.append(ReplaceRule(r"^(\d*2)(?<!12) ", r"\1nd "))
+    rules.append(ReplaceRule(r"^(\d*3)(?<!13) ", r"\1rd "))
+    rules.append(ReplaceRule(r"^(\d+) ", r"\1th "))
+    # State names -> postal codes: the user covers the states they
+    # noticed in the data — most, but not all (recall gap).
+    for full, abbrev in (
+        ("California", "CA"), ("New York", "NY"), ("Texas", "TX"),
+        ("Florida", "FL"), ("Illinois", "IL"), ("Pennsylvania", "PA"),
+        ("Ohio", "OH"), ("Georgia", "GA"), ("Michigan", "MI"),
+        ("New Jersey", "NJ"), ("Virginia", "VA"), ("Washington", "WA"),
+        ("Massachusetts", "MA"), ("Arizona", "AZ"), ("Wisconsin", "WI"),
+        ("Colorado", "CO"), ("Minnesota", "MN"), ("Missouri", "MO"),
+        ("Indiana", "IN"), ("Tennessee", "TN"), ("Maryland", "MD"),
+        ("Oregon", "OR"), ("Connecticut", "CT"), ("Iowa", "IA"),
+        ("Kansas", "KS"), ("Utah", "UT"), ("Nevada", "NV"),
+        ("Oklahoma", "OK"),
+    ):
+        rules.append(ReplaceRule(rf"\b{full}$", abbrev))
+    return RuleSet("address-wrangler", rules)
+
+
+def authorlist_rules() -> RuleSet:
+    """Standardize author lists toward ``"dan fox, jon box"``."""
+    rules: List[ReplaceRule] = [
+        # The paper's own example rule: strip parenthesized annotations.
+        ReplaceRule(r" ?\([a-z]+\)", ""),
+        # Transposed forms, most-specific first (3 / 2 / 1 authors).
+        ReplaceRule(
+            r"^([a-z]+), ([a-z]+) ([a-z]+), ([a-z]+) ([a-z]+), ([a-z]+)$",
+            r"\2 \1, \4 \3, \6 \5",
+        ),
+        ReplaceRule(
+            r"^([a-z]+), ([a-z]+) ([a-z]+), ([a-z]+)$", r"\2 \1, \4 \3"
+        ),
+        ReplaceRule(r"^([a-z]+), ([a-z]+)$", r"\2 \1"),
+        # Whitespace cleanup after annotation removal.
+        ReplaceRule(r"\s+,", ","),
+        ReplaceRule(r"\s{2,}", " "),
+        ReplaceRule(r"^\s+|\s+$", ""),
+    ]
+    # The user cannot invert initials ("d. fox"), nicknames ("bob") or
+    # the missing-separator form ("levy, margipowell, philip") with
+    # regex replaces — the baseline's recall gap (Section 8.1).
+    return RuleSet("authorlist-wrangler", rules)
+
+
+def journaltitle_rules() -> RuleSet:
+    """Standardize journal titles toward ``"Journal of Applied Biology"``."""
+    rules: List[ReplaceRule] = [
+        # All-caps titles -> Title Case.  Note the authentic wrangler
+        # imperfection: title() yields "Journal Of ..." with a capital
+        # connective, fixed by the follow-up rules only for the
+        # connectives the user remembered.
+        CaseRule(r"[A-Z0-9 &.\-]+", "title"),
+        ReplaceRule(r"\bOf\b", "of"),
+        ReplaceRule(r"\bAnd\b", "and"),
+        ReplaceRule(r"\bIn\b", "in"),
+        ReplaceRule(r"\bOn\b", "on"),
+        ReplaceRule(r"(.)\bThe\b", r"\1the"),
+        ReplaceRule(r" & ", " and "),
+        ReplaceRule(r"\.$", ""),
+    ]
+    # Head-word abbreviations -> full words (dotted or not).  The user
+    # covers the frequent ones; "Q", "Rep" and "Adv" slip through.
+    for abbrev, full in (
+        ("J", "Journal"), ("Int", "International"), ("Proc", "Proceedings"),
+        ("Trans", "Transactions"), ("Ann", "Annals"), ("Rev", "Review"),
+        ("Bull", "Bulletin"), ("Arch", "Archives"), ("Lett", "Letters"),
+    ):
+        rules.append(ReplaceRule(rf"\b{abbrev}\.?(?= |$)", full))
+    return RuleSet("journaltitle-wrangler", rules)
+
+
+def rules_for(dataset_name: str) -> RuleSet:
+    """The rule set for one of the three benchmark datasets."""
+    by_name = {
+        "Address": address_rules,
+        "AuthorList": authorlist_rules,
+        "JournalTitle": journaltitle_rules,
+    }
+    try:
+        return by_name[dataset_name]()
+    except KeyError:
+        raise KeyError(f"no wrangler rules for dataset {dataset_name!r}") from None

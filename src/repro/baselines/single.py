@@ -1,0 +1,47 @@
+"""The ``Single`` baseline (Section 8.1): no grouping at all.
+
+Every candidate replacement is its own group, presented one at a time.
+The paper doesn't state the presentation order; we rank by current
+replacement-set support (the number of places a replacement applies),
+the one-by-one analogue of "larger groups are more profitable"
+(DESIGN.md §5.8).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from ..candidates.store import ReplacementStore
+from ..core.grouping import Group, singleton_group
+from ..core.replacement import Replacement
+
+
+class SingleFeed:
+    """A :class:`~repro.pipeline.standardize.GroupFeed` of singletons."""
+
+    def __init__(self, store: ReplacementStore) -> None:
+        self.store = store
+        self._presented: Set[Replacement] = set()
+
+    def next_group(self) -> Optional[Group]:
+        best: Optional[Replacement] = None
+        best_support = 0
+        for replacement in self.store.replacements():
+            if replacement in self._presented:
+                continue
+            support = self.store.support(replacement)
+            if support > best_support or (
+                support == best_support
+                and best is not None
+                and replacement < best
+            ):
+                best = replacement
+                best_support = support
+        if best is None:
+            return None
+        self._presented.add(best)
+        return singleton_group(best)
+
+    def remove_replacements(self, dead: Iterable[Replacement]) -> None:
+        """Dead candidates never resurface (their support is 0 anyway)."""
+        self._presented.update(dead)

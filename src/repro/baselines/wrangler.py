@@ -1,0 +1,67 @@
+"""A DataWrangler/Trifacta-style rule engine (the paper's baseline).
+
+The paper's baseline user spent an hour writing 30-40 lines of wrangler
+code — regex ``REPLACE`` rules like::
+
+    REPLACE with: '' on: '\\(({any}+)\\)'
+    REPLACE with: '$2 $3. $1' on: '({alpha}+), ({alpha}+) ({alpha}.)'
+
+This engine executes exactly such rules (Python regex syntax with
+``\\1`` backreferences), applied globally to every value of a column —
+which is both the strength (no per-group confirmation needed) and the
+weakness (the code "only covers a fraction of the data" and "may
+introduce some errors", Section 8.1) of the baseline.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from ..data.table import ClusterTable
+
+
+@dataclass(frozen=True)
+class ReplaceRule:
+    """One ``REPLACE on: <pattern> with: <replacement>`` rule."""
+
+    pattern: str
+    replacement: str
+    flags: int = 0
+
+    def apply(self, value: str) -> str:
+        return re.compile(self.pattern, self.flags).sub(self.replacement, value)
+
+
+class RuleSet:
+    """An ordered list of rules — one user's hour of wrangling.
+
+    Rules are applied via their own ``apply`` so subclasses (e.g. case
+    conversions) keep their semantics; ``re``'s internal pattern cache
+    keeps repeated application cheap.
+    """
+
+    def __init__(self, name: str, rules: Iterable[ReplaceRule]) -> None:
+        self.name = name
+        self.rules: List[ReplaceRule] = list(rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def apply(self, value: str) -> str:
+        for rule in self.rules:
+            value = rule.apply(value)
+        return value
+
+    def apply_to_table(self, table: ClusterTable, column: str) -> int:
+        """Rewrite every cell of ``column`` in place; returns the number
+        of cells changed."""
+        changed = 0
+        for cell in table.cells(column):
+            old = table.value(cell)
+            new = self.apply(old)
+            if new != old:
+                table.set_value(cell, new)
+                changed += 1
+        return changed

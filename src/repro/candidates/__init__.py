@@ -1,0 +1,4 @@
+"""Candidate replacement generation and Section 7.1 maintenance."""
+
+from .generate import generate_candidates
+from .store import ReplacementStore

@@ -1,0 +1,17 @@
+"""Candidate replacement generation API (Section 3, Step 1 + Appendix A)."""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_CONFIG, Config
+from ..data.table import ClusterTable
+from .store import ReplacementStore
+
+
+def generate_candidates(
+    table: ClusterTable,
+    column: str,
+    config: Config = DEFAULT_CONFIG,
+) -> ReplacementStore:
+    """Enumerate whole-value and token-level candidate replacements for
+    one column, with provenance for later application."""
+    return ReplacementStore(table, column, config).generate()

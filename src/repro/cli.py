@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``stats`` — print the Table 6 row for a synthetic dataset;
+* ``groups`` — print the top replacement groups the unsupervised
+  method finds on a dataset column (the Table 4 experience);
+* ``standardize`` — run the full human-in-the-loop standardization
+  with the ground-truth oracle and report precision / recall / MCC;
+* ``consolidate`` — Algorithm 1 end to end: standardize, fuse, report
+  golden-record precision before/after.
+
+All commands operate on the built-in synthetic datasets (``--dataset``
+one of ``Address``, ``AuthorList``, ``JournalTitle``); ``--scale``
+controls their size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import Config
+from .data.stats import dataset_stats
+from .datagen import DATASETS
+from .evaluation.experiment import run_consolidation, run_method_series
+from .pipeline.oracle import GroundTruthOracle
+from .pipeline.standardize import Standardizer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Unsupervised string transformation learning "
+        "(Deng et al., ICDE 2019) - reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--dataset",
+            choices=sorted(DATASETS),
+            default="Address",
+            help="synthetic dataset to operate on",
+        )
+        p.add_argument("--scale", type=float, default=0.15)
+        p.add_argument("--seed", type=int, default=None)
+
+    stats = sub.add_parser("stats", help="Table 6 row for a dataset")
+    add_common(stats)
+
+    groups = sub.add_parser("groups", help="show the top groups found")
+    add_common(groups)
+    groups.add_argument("--top", type=int, default=10)
+    groups.add_argument("--members", type=int, default=4)
+
+    standardize = sub.add_parser(
+        "standardize", help="run standardization and report metrics"
+    )
+    add_common(standardize)
+    standardize.add_argument("--budget", type=int, default=100)
+    standardize.add_argument("--sample-size", type=int, default=500)
+    standardize.add_argument("--error-rate", type=float, default=0.0)
+
+    consolidate = sub.add_parser(
+        "consolidate", help="golden-record precision before/after"
+    )
+    add_common(consolidate)
+    consolidate.add_argument("--budget", type=int, default=100)
+    consolidate.add_argument(
+        "--fusion",
+        choices=("majority", "truthfinder", "accu"),
+        default="majority",
+    )
+    return parser
+
+
+def _make_dataset(args):
+    maker = DATASETS[args.dataset]
+    if args.seed is not None:
+        return maker(scale=args.scale, seed=args.seed)
+    return maker(scale=args.scale)
+
+
+def cmd_stats(args) -> int:
+    dataset = _make_dataset(args)
+    stats = dataset_stats(dataset.table, dataset.column, dataset.labeler())
+    print(f"dataset: {dataset.name} ({dataset.table})")
+    print(
+        f"cluster size avg/min/max: {stats.avg_cluster_size:.1f}"
+        f"/{stats.min_cluster_size}/{stats.max_cluster_size}"
+    )
+    print(f"distinct value pairs: {stats.distinct_value_pairs}")
+    print(
+        f"variant pairs: {stats.variant_pair_pct:.1%}   "
+        f"conflict pairs: {stats.conflict_pair_pct:.1%}"
+    )
+    return 0
+
+
+def cmd_groups(args) -> int:
+    dataset = _make_dataset(args)
+    standardizer = Standardizer(dataset.fresh_table(), dataset.column)
+    feed = standardizer.default_feed()
+    for rank in range(1, args.top + 1):
+        group = feed.next_group()
+        if group is None:
+            break
+        print(f"Group {rank} - {group.size} replacements")
+        print(f"  program: {group.program.describe()}")
+        for member in group.replacements[: args.members]:
+            print(f"    {member}")
+        if group.size > args.members:
+            print(f"    ... and {group.size - args.members} more")
+        print()
+    return 0
+
+
+def cmd_standardize(args) -> int:
+    dataset = _make_dataset(args)
+    series = run_method_series(
+        dataset,
+        "group",
+        budget=args.budget,
+        sample_size=args.sample_size,
+        oracle_error_rate=args.error_rate,
+    )
+    for point in series.points:
+        if point.confirmed % max(1, args.budget // 5) == 0:
+            print(
+                f"{point.confirmed:4d} groups  precision={point.precision:.3f}  "
+                f"recall={point.recall:.3f}  mcc={point.mcc:.3f}"
+            )
+    final = series.final()
+    print(
+        f"final ({final.confirmed} groups): precision={final.precision:.3f} "
+        f"recall={final.recall:.3f} mcc={final.mcc:.3f}"
+    )
+    return 0
+
+
+def cmd_consolidate(args) -> int:
+    dataset = _make_dataset(args)
+    before, after = run_consolidation(
+        dataset, budget=args.budget, fusion=args.fusion
+    )
+    print(f"{args.fusion} golden-record precision (entity-level):")
+    print(f"  before standardization: {before.precision:.3f}")
+    print(f"  after  standardization: {after.precision:.3f}")
+    return 0
+
+
+COMMANDS = {
+    "stats": cmd_stats,
+    "groups": cmd_groups,
+    "standardize": cmd_standardize,
+    "consolidate": cmd_consolidate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

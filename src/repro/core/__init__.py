@@ -1,0 +1,30 @@
+"""The paper's core contribution: DSL, graphs, pivot search, grouping."""
+
+from .functions import ConstantStr, Prefix, SubStr, Suffix
+from .graph import TransformationGraph, build_graph
+from .grouping import Group, GroupingOutcome, unsupervised_grouping
+from .incremental import IncrementalGrouper
+from .index import InvertedIndex
+from .pivot import GlobalBounds, PivotCandidate, SearchStats, search_pivot
+from .explain import describe_function, describe_position, explain_program
+from .positions import BEGIN, END, ConstPos, MatchPos
+from .program import Program, make_program
+from .replacement import Replacement
+from .structure import (
+    partition_by_structure,
+    structure_key,
+    structure_signature,
+    structurally_equivalent,
+)
+from .terms import (
+    CAPITALS,
+    DEFAULT_VOCABULARY,
+    DIGITS,
+    LOWERCASE,
+    MatchContext,
+    PUNCTUATION,
+    RegexTerm,
+    ConstTerm,
+    TermVocabulary,
+    WHITESPACE,
+)

@@ -1,0 +1,100 @@
+"""Plain-language explanations of transformation programs.
+
+The paper's expert reads a group's value pairs; a production tool also
+tells them *what the shared transformation does*.  ``explain_program``
+renders a DSL program as an English sentence, e.g.::
+
+    take the text from the start of the last capital-letter run to the
+    end of the last capital-letter run, then append ". ", then take the
+    text from the start of the string to the end of the 1st
+    lowercase-letter run
+
+which is what ``Group.describe`` shows next to the member pairs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .functions import ConstantStr, Prefix, SubStr, Suffix
+from .positions import BEGIN, ConstPos, MatchPos
+from .program import Program
+from .terms import ConstTerm, RegexTerm
+
+_TERM_NAMES = {
+    "C": "capital-letter run",
+    "l": "lowercase-letter run",
+    "d": "digit run",
+    "b": "whitespace run",
+    "p": "punctuation run",
+}
+
+
+def _ordinal(k: int) -> str:
+    if k == -1:
+        return "last"
+    if k < 0:
+        return f"{_ordinal_word(-k)}-from-last"
+    return _ordinal_word(k)
+
+
+def _ordinal_word(n: int) -> str:
+    if 10 <= n % 100 <= 20:
+        suffix = "th"
+    else:
+        suffix = {1: "st", 2: "nd", 3: "rd"}.get(n % 10, "th")
+    return f"{n}{suffix}"
+
+
+def describe_term(term) -> str:
+    if isinstance(term, RegexTerm):
+        return _TERM_NAMES.get(term.name, f"'{term.pattern}' run")
+    if isinstance(term, ConstTerm):
+        return f"literal {term.literal!r}"
+    return repr(term)
+
+
+def describe_position(fn) -> str:
+    """One position function as an English phrase."""
+    if isinstance(fn, ConstPos):
+        if fn.k == 1:
+            return "the start of the string"
+        if fn.k == -1:
+            return "the end of the string"
+        if fn.k > 0:
+            return f"position {fn.k}"
+        return f"position {-fn.k - 1} from the end"
+    if isinstance(fn, MatchPos):
+        side = "start" if fn.direction == BEGIN else "end"
+        return f"the {side} of the {_ordinal(fn.k)} {describe_term(fn.term)}"
+    return repr(fn)
+
+
+def describe_function(fn) -> str:
+    """One string function as an English clause."""
+    if isinstance(fn, ConstantStr):
+        return f"append {fn.text!r}"
+    if isinstance(fn, SubStr):
+        return (
+            f"take the text from {describe_position(fn.left)} "
+            f"to {describe_position(fn.right)}"
+        )
+    if isinstance(fn, Prefix):
+        return (
+            f"take a leading part of the {_ordinal(fn.k)} "
+            f"{describe_term(fn.term)}"
+        )
+    if isinstance(fn, Suffix):
+        return (
+            f"take a trailing part of the {_ordinal(fn.k)} "
+            f"{describe_term(fn.term)}"
+        )
+    return repr(fn)
+
+
+def explain_program(program: Program) -> str:
+    """The whole program as one English sentence."""
+    clauses: List[str] = [describe_function(fn) for fn in program]
+    if not clauses:
+        return "produce the empty string"
+    return ", then ".join(clauses)

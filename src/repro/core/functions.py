@@ -1,0 +1,160 @@
+"""String functions of the DSL (Appendix B) plus the affix extension
+(Appendix D).
+
+A string function maps an input string to one or more output strings:
+
+* ``ConstantStr(text)`` — always outputs ``text``.
+* ``SubStr(left, right)`` — outputs ``s[l, r)`` where ``l``/``r`` come
+  from two position functions.
+* ``Prefix(term, k)`` — outputs any *proper* prefix of the ``k``-th
+  match of ``term`` in ``s`` (paper extension, Appendix D).
+* ``Suffix(term, k)`` — likewise for proper suffixes.
+
+``ConstantStr`` and ``SubStr`` are single-valued; the affix functions
+are multi-valued, which is exactly why the original FlashFill DSL could
+not express them (Appendix D).  Program evaluation therefore works with
+*output sets*; see :mod:`repro.core.program`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .terms import MatchContext
+
+
+@dataclass(frozen=True)
+class ConstantStr:
+    """Outputs a constant string regardless of the input."""
+
+    text: str
+
+    def outputs(self, ctx: MatchContext) -> List[str]:
+        return [self.text]
+
+    def produces(self, ctx: MatchContext, out: str) -> bool:
+        return out == self.text
+
+    def canonical(self) -> Tuple:
+        return ("const", self.text)
+
+    def __repr__(self) -> str:
+        return f"ConstantStr({self.text!r})"
+
+
+@dataclass(frozen=True)
+class SubStr:
+    """Outputs ``s[l, r)`` located by two position functions."""
+
+    left: object  # PositionFunction
+    right: object  # PositionFunction
+
+    def outputs(self, ctx: MatchContext) -> List[str]:
+        l = self.left.evaluate(ctx)
+        r = self.right.evaluate(ctx)
+        if l is None or r is None or not 1 <= l < r <= len(ctx) + 1:
+            return []
+        return [ctx.s[l - 1 : r - 1]]
+
+    def produces(self, ctx: MatchContext, out: str) -> bool:
+        produced = self.outputs(ctx)
+        return bool(produced) and produced[0] == out
+
+    def canonical(self) -> Tuple:
+        return ("substr", self.left.canonical(), self.right.canonical())
+
+    def __repr__(self) -> str:
+        return f"SubStr({self.left!r}, {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """Outputs any proper prefix of the k-th match of ``term`` in ``s``."""
+
+    term: object
+    k: int
+
+    def _match_text(self, ctx: MatchContext) -> Optional[str]:
+        matches = ctx.matches(self.term)
+        m = len(matches)
+        idx = self.k - 1 if self.k > 0 else m + self.k
+        if self.k == 0 or not 0 <= idx < m:
+            return None
+        beg, end = matches[idx]
+        return ctx.s[beg - 1 : end - 1]
+
+    def outputs(self, ctx: MatchContext) -> List[str]:
+        text = self._match_text(ctx)
+        if text is None:
+            return []
+        return [text[:i] for i in range(1, len(text))]
+
+    def produces(self, ctx: MatchContext, out: str) -> bool:
+        text = self._match_text(ctx)
+        return (
+            text is not None
+            and 0 < len(out) < len(text)
+            and text.startswith(out)
+        )
+
+    def canonical(self) -> Tuple:
+        return ("prefix", self.term.sort_key(), self.k)
+
+    def __repr__(self) -> str:
+        return f"Prefix({self.term!r}, {self.k})"
+
+
+@dataclass(frozen=True)
+class Suffix:
+    """Outputs any proper suffix of the k-th match of ``term`` in ``s``."""
+
+    term: object
+    k: int
+
+    def _match_text(self, ctx: MatchContext) -> Optional[str]:
+        matches = ctx.matches(self.term)
+        m = len(matches)
+        idx = self.k - 1 if self.k > 0 else m + self.k
+        if self.k == 0 or not 0 <= idx < m:
+            return None
+        beg, end = matches[idx]
+        return ctx.s[beg - 1 : end - 1]
+
+    def outputs(self, ctx: MatchContext) -> List[str]:
+        text = self._match_text(ctx)
+        if text is None:
+            return []
+        return [text[i:] for i in range(1, len(text))]
+
+    def produces(self, ctx: MatchContext, out: str) -> bool:
+        text = self._match_text(ctx)
+        return (
+            text is not None
+            and 0 < len(out) < len(text)
+            and text.endswith(out)
+        )
+
+    def canonical(self) -> Tuple:
+        return ("suffix", self.term.sort_key(), self.k)
+
+    def __repr__(self) -> str:
+        return f"Suffix({self.term!r}, {self.k})"
+
+
+StringFunction = object  # ConstantStr | SubStr | Prefix | Suffix
+
+
+def label_sort_key(fn: StringFunction) -> Tuple:
+    """Deterministic total order over string-function labels.
+
+    Used to sort edge label lists so pivot-path DFS explores labels in a
+    canonical order, making tie-breaking reproducible across graphs.
+    SubStr labels come first (they generalize best across replacements),
+    then affix labels, then constants.
+    """
+    if isinstance(fn, SubStr):
+        return (0,) + fn.canonical()
+    if isinstance(fn, (Prefix, Suffix)):
+        return (1,) + fn.canonical()
+    return (2,) + fn.canonical()

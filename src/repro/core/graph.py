@@ -1,0 +1,256 @@
+"""Transformation graphs (Definition 2, Appendix C).
+
+For a replacement ``s -> t`` the graph has nodes ``n1 .. n_{|t|+1}`` —
+one per boundary position of ``t`` — and an edge ``(i, j)`` for every
+``1 <= i < j <= |t|+1``.  The labels of edge ``(i, j)`` are the string
+functions that output ``t[i, j)`` when applied to ``s``:
+
+* ``ConstantStr(t[i, j))`` — always present, so every replacement has
+  at least one consistent program (the one-edge constant path);
+* ``SubStr(f, g)`` for every occurrence ``s[x, y) == t[i, j)`` and
+  position functions ``f`` locating ``x`` and ``g`` locating ``y``;
+* ``Prefix``/``Suffix`` labels where ``t[i, j)`` is a proper affix of a
+  term match in ``s`` (Appendix D), restricted to the *longest* affix
+  per anchor position (static order, Appendix E).
+
+Label lists are sorted by :func:`repro.core.functions.label_sort_key`
+so downstream DFS is deterministic.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..config import DEFAULT_CONFIG, Config
+from .functions import ConstantStr, Prefix, StringFunction, SubStr, Suffix, label_sort_key
+from .positions import position_candidates
+from .terms import DEFAULT_VOCABULARY, MatchContext, TermVocabulary
+
+Edge = Tuple[int, int]
+
+
+class TransformationGraph:
+    """The DAG of all consistent programs for one replacement."""
+
+    __slots__ = ("source", "target", "edges", "out_edges", "gid")
+
+    def __init__(
+        self,
+        source: str,
+        target: str,
+        edges: Dict[Edge, Tuple[StringFunction, ...]],
+    ) -> None:
+        self.source = source
+        self.target = target
+        self.edges = edges
+        self.gid: int = -1  # assigned when registered in an index
+        out: Dict[int, List[Tuple[int, Tuple[StringFunction, ...]]]] = {}
+        for (i, j), labels in sorted(edges.items()):
+            out.setdefault(i, []).append((j, labels))
+        self.out_edges = out
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.target) + 1
+
+    @property
+    def last_node(self) -> int:
+        return len(self.target) + 1
+
+    def labels(self, i: int, j: int) -> Tuple[StringFunction, ...]:
+        return self.edges.get((i, j), ())
+
+    def all_labels(self) -> Iterable[Tuple[Edge, StringFunction]]:
+        for edge, labels in self.edges.items():
+            for label in labels:
+                yield edge, label
+
+    def __repr__(self) -> str:
+        return (
+            f"TransformationGraph({self.source!r} -> {self.target!r}, "
+            f"{len(self.edges)} edges)"
+        )
+
+
+def build_graph(
+    source: str,
+    target: str,
+    vocabulary: TermVocabulary = DEFAULT_VOCABULARY,
+    config: Config = DEFAULT_CONFIG,
+    constant_whitelist: Optional[frozenset] = None,
+) -> Optional[TransformationGraph]:
+    """Construct the transformation graph for ``source -> target``.
+
+    Returns ``None`` when either string exceeds
+    ``config.max_string_length`` (such replacements fall back to
+    singleton groups) or the target is empty.
+
+    ``constant_whitelist`` (built per structure group by the grouping
+    layer when ``config.scored_constants`` is on) lists the recurring
+    alphanumeric tokens; ``ConstantStr`` labels whose text contains
+    other tokens are dropped except on the whole-target edge, which is
+    always labeled so every replacement keeps a consistent program.
+    """
+    if not target or not source:
+        return None
+    if (
+        len(source) > config.max_string_length
+        or len(target) > config.max_string_length
+    ):
+        return None
+
+    ctx = MatchContext(source, vocabulary)
+    positions = position_candidates(
+        ctx, config.max_position_functions, config.boundary_positions_only
+    )
+    occurrences = _occurrence_index(source, len(target))
+    boundaries = (
+        _unit_boundaries(target) if config.aligned_constants else None
+    )
+
+    edges: Dict[Edge, List[StringFunction]] = {}
+    n = len(target)
+    for i in range(1, n + 1):
+        for j in range(i + 1, n + 2):
+            sub = target[i - 1 : j - 1]
+            labels: List[StringFunction] = []
+            if (
+                (boundaries is None or (i in boundaries and j in boundaries))
+                and _constant_admitted(sub, constant_whitelist)
+            ) or (i == 1 and j == n + 1):
+                labels.append(ConstantStr(sub))
+            starts = occurrences.get(sub, ())
+            for x in starts[: config.max_occurrences_per_edge]:
+                y = x + len(sub)
+                budget = config.max_substr_labels_per_edge
+                emitted = 0
+                for f in positions.get(x, ()):
+                    for g in positions.get(y, ()):
+                        labels.append(SubStr(f, g))
+                        emitted += 1
+                        if emitted >= budget:
+                            break
+                    if emitted >= budget:
+                        break
+            edges[(i, j)] = labels
+
+    if config.use_affix:
+        _add_affix_labels(ctx, target, edges)
+
+    # Unlabeled edges (possible under aligned_constants) are dropped:
+    # Definition 2 gives every span an edge, but an edge without labels
+    # can never appear on a transformation path.
+    frozen: Dict[Edge, Tuple[StringFunction, ...]] = {
+        edge: tuple(sorted(set(labels), key=label_sort_key))
+        for edge, labels in edges.items()
+        if labels
+    }
+    return TransformationGraph(source, target, frozen)
+
+
+_ALNUM_TOKEN = re.compile(r"[A-Za-z]+|[0-9]+")
+
+
+def _constant_admitted(sub: str, whitelist: Optional[frozenset]) -> bool:
+    """Scored-constant check: every alphanumeric token of ``sub`` must
+    recur within the structure group (Appendix E's freqStruc order).
+    Pure separators (whitespace/punctuation) always pass."""
+    if whitelist is None:
+        return True
+    return all(token in whitelist for token in _ALNUM_TOKEN.findall(sub))
+
+
+def _unit_boundaries(target: str) -> frozenset:
+    """1-based boundary positions of the target's term units: maximal
+    runs of the four character classes plus one unit per other char
+    (the structure decomposition of Section 7.2)."""
+    boundaries = {1, len(target) + 1}
+    prev_class = None
+    for idx, ch in enumerate(target):
+        if ch.isdigit() and ch.isascii():
+            cls = "d"
+        elif "a" <= ch <= "z":
+            cls = "l"
+        elif "A" <= ch <= "Z":
+            cls = "C"
+        elif ch.isspace():
+            cls = "b"
+        else:
+            cls = None  # single-character unit: both sides are boundaries
+        if cls is None or cls != prev_class:
+            boundaries.add(idx + 1)
+            if cls is None:
+                boundaries.add(idx + 2)
+        prev_class = cls
+    return frozenset(boundaries)
+
+
+def _occurrence_index(source: str, max_len: int) -> Dict[str, Tuple[int, ...]]:
+    """Map every substring of ``source`` (up to ``max_len`` chars) to its
+    1-based start positions."""
+    index: Dict[str, List[int]] = {}
+    n = len(source)
+    for length in range(1, min(n, max_len) + 1):
+        for start in range(n - length + 1):
+            index.setdefault(source[start : start + length], []).append(start + 1)
+    return {sub: tuple(starts) for sub, starts in index.items()}
+
+
+def _add_affix_labels(
+    ctx: MatchContext,
+    target: str,
+    edges: Dict[Edge, List[StringFunction]],
+) -> None:
+    """Add ``Prefix``/``Suffix`` labels (Appendix D) with the
+    longest-affix-only static order (Appendix E).
+
+    For each term match and each anchor position in ``t`` we emit only
+    the label for the longest proper affix: if both ``t[i, j)`` and
+    ``t[i, j+1)`` are prefixes of a match, only the longer edge is
+    labeled.  Both forward and backward match indices are emitted so the
+    label can be shared across strings with different match counts.
+    """
+    n = len(target)
+    for term in ctx.vocabulary.regex_terms:
+        matches = ctx.matches(term)
+        m = len(matches)
+        for idx, (x, y) in enumerate(matches, start=1):
+            text = ctx.s[x - 1 : y - 1]
+            if len(text) < 2:
+                continue
+            back = idx - m - 1
+            # Longest proper prefix of `text` starting at each i in t.
+            for i in range(1, n + 1):
+                length = _common_prefix_len(target, i - 1, text)
+                length = min(length, len(text) - 1, n + 1 - i)
+                if length >= 1:
+                    edge = (i, i + length)
+                    edges[edge].append(Prefix(term, idx))
+                    edges[edge].append(Prefix(term, back))
+            # Longest proper suffix of `text` ending at each j in t.
+            for j in range(2, n + 2):
+                length = _common_suffix_len(target, j - 1, text)
+                length = min(length, len(text) - 1, j - 1)
+                if length >= 1:
+                    edge = (j - length, j)
+                    edges[edge].append(Suffix(term, idx))
+                    edges[edge].append(Suffix(term, back))
+
+
+def _common_prefix_len(target: str, start: int, text: str) -> int:
+    """Length of the longest common prefix of ``target[start:]`` and ``text``."""
+    length = 0
+    limit = min(len(target) - start, len(text))
+    while length < limit and target[start + length] == text[length]:
+        length += 1
+    return length
+
+
+def _common_suffix_len(target: str, end: int, text: str) -> int:
+    """Length of the longest common suffix of ``target[:end]`` and ``text``."""
+    length = 0
+    limit = min(end, len(text))
+    while length < limit and target[end - 1 - length] == text[len(text) - 1 - length]:
+        length += 1
+    return length

@@ -1,0 +1,283 @@
+"""Incremental (top-k) grouping (Section 6, Algorithms 5-7).
+
+Instead of partitioning all candidates upfront, the incremental grouper
+returns the *next largest* group per invocation (Theorem 6.4).  Each
+graph carries a lower bound (the global thresholds of Section 5.2,
+cached together with their witness paths) and an upper bound
+(Lemma 6.2, seeded from posting-list lengths); graphs are visited in
+descending upper-bound order and the scan stops as soon as the largest
+lower bound ``tau`` dominates the remaining upper bounds.
+
+With structure refinement (Section 7.2) each structure bucket becomes a
+lazy source whose initial upper bound is simply its candidate count;
+buckets are preprocessed (graphs + index built) only when their bound
+reaches the front, which is where the paper's up-to-3-orders-of-
+magnitude upfront-cost reduction comes from.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..config import DEFAULT_CONFIG, Config
+from .grouping import (
+    Group,
+    build_graphs,
+    build_group_vocabulary,
+    singleton_group,
+)
+from .index import InvertedIndex
+from .pivot import (
+    GlobalBounds,
+    PivotCandidate,
+    SearchStats,
+    initial_upper_bound,
+    search_pivot,
+)
+from .program import Program
+from .replacement import Replacement
+from .structure import StructureKey, partition_by_structure, structure_key
+from .terms import DEFAULT_VOCABULARY, TermVocabulary
+
+
+class _Source:
+    """One structure bucket behaving as a lazy top-k source."""
+
+    def __init__(
+        self,
+        order: int,
+        skey: Optional[StructureKey],
+        replacements: Sequence[Replacement],
+        vocabulary: TermVocabulary,
+        config: Config,
+        stats: SearchStats,
+    ) -> None:
+        self.order = order
+        self.skey = skey
+        self.replacements = list(replacements)
+        self.vocabulary = vocabulary
+        self.config = config
+        self.stats = stats
+        self.index: Optional[InvertedIndex] = None
+        self.by_gid: Dict[int, Replacement] = {}
+        self.graphless: List[Replacement] = []
+        self.live: Set[int] = set()
+        self.up: Dict[int, int] = {}
+        self.bounds = GlobalBounds()
+        self.cached: Optional[Group] = None
+        self._cached_members: Tuple[int, ...] = ()
+
+    # -- bounds ----------------------------------------------------------
+
+    def bound(self) -> int:
+        """Upper bound on the size of this source's next group."""
+        if self.cached is not None:
+            return self.cached.size
+        if self.index is None:
+            # Unpreprocessed: the structure-group size itself (Section
+            # 7.2's upper-bound seeding).
+            return len(self.replacements)
+        best = max((self.up[g] for g in self.live), default=0)
+        if self.graphless:
+            best = max(best, 1)
+        return best
+
+    def exhausted(self) -> bool:
+        if self.cached is not None:
+            return False
+        if self.index is None:
+            return not self.replacements
+        return not self.live and not self.graphless
+
+    # -- preprocessing (Algorithm 6) --------------------------------------
+
+    def preprocess(self) -> None:
+        if self.index is not None:
+            return
+        self.index, self.by_gid, self.graphless = build_graphs(
+            self.replacements, self.vocabulary, self.config
+        )
+        self.live = set(self.by_gid)
+        for gid in self.live:
+            self.up[gid] = initial_upper_bound(self.index.graphs[gid], self.index)
+
+    # -- Algorithm 7 -------------------------------------------------------
+
+    def peek(self) -> Optional[Group]:
+        """Compute (and cache) this source's next largest group."""
+        if self.cached is not None:
+            return self.cached
+        self.preprocess()
+        assert self.index is not None
+        if not self.live:
+            return self._pop_graphless()
+
+        self.bounds.refresh(self.live)
+        witness = self.bounds.best(self.live)
+        tau = witness.count if witness is not None else 0
+
+        for gid in sorted(self.live, key=lambda g: (-self.up[g], g)):
+            if self.up[gid] <= tau:
+                break
+            found = search_pivot(
+                self.index.graphs[gid],
+                self.index,
+                self.config,
+                live=self.live,
+                threshold=tau,
+                bounds=self.bounds,
+                stats=self.stats,
+            )
+            if found is not None:
+                tau = found.count
+                witness = found
+                self.up[gid] = found.count
+            else:
+                self.up[gid] = max(tau, 1)
+
+        if witness is None:
+            # Every bound collapsed to <= 0 is impossible while graphs
+            # remain; a threshold-0 search on any graph yields a
+            # singleton witness.
+            gid = min(self.live)
+            witness = search_pivot(
+                self.index.graphs[gid],
+                self.index,
+                self.config,
+                live=self.live,
+                threshold=0,
+                bounds=self.bounds,
+                stats=self.stats,
+            )
+            assert witness is not None
+
+        if witness.count <= 1 and self.graphless:
+            # Tie between a singleton graph group and a graphless
+            # singleton; emit graphless ones first for determinism.
+            return self._pop_graphless()
+
+        members = tuple(sorted(witness.members))
+        group = Group(
+            Program(witness.path),
+            tuple(self.by_gid[g] for g in members),
+            self.skey,
+        )
+        self.cached = group
+        self._cached_members = members
+        return group
+
+    def _pop_graphless(self) -> Optional[Group]:
+        if not self.graphless:
+            return None
+        group = singleton_group(self.graphless[0])
+        self.cached = group
+        self._cached_members = ()
+        return group
+
+    def pop(self) -> Group:
+        """Emit the cached group and retire its members (Algorithm 5)."""
+        assert self.cached is not None, "peek() before pop()"
+        group = self.cached
+        if self._cached_members:
+            self.live.difference_update(self._cached_members)
+            self.bounds.refresh(self.live)
+        else:
+            self.graphless = self.graphless[1:]
+        self.cached = None
+        self._cached_members = ()
+        return group
+
+    def remove_replacements(self, dead: Set[Replacement]) -> None:
+        """Drop candidates invalidated by applied replacements (§7.1)."""
+        if self.index is None:
+            self.replacements = [r for r in self.replacements if r not in dead]
+            return
+        self.graphless = [r for r in self.graphless if r not in dead]
+        doomed = {g for g in self.live if self.by_gid[g] in dead}
+        if doomed:
+            self.live.difference_update(doomed)
+            self.bounds.refresh(self.live)
+        if self.cached is not None and any(
+            r in dead for r in self.cached.replacements
+        ):
+            self.cached = None
+            self._cached_members = ()
+
+
+class IncrementalGrouper:
+    """Produces replacement groups largest-first, lazily (Section 6)."""
+
+    def __init__(
+        self,
+        replacements: Iterable[Replacement],
+        vocabulary: TermVocabulary = DEFAULT_VOCABULARY,
+        config: Config = DEFAULT_CONFIG,
+        global_counts: Optional[Counter] = None,
+    ) -> None:
+        self.config = config
+        self.stats = SearchStats()
+        unique = list(dict.fromkeys(replacements))
+        self._sources: List[_Source] = []
+        if config.use_structure:
+            buckets = partition_by_structure(unique)
+            for order, skey in enumerate(sorted(buckets)):
+                bucket = buckets[skey]
+                vocab = build_group_vocabulary(
+                    bucket, vocabulary, config, global_counts
+                )
+                self._sources.append(
+                    _Source(order, skey, bucket, vocab, config, self.stats)
+                )
+        elif unique:
+            vocab = build_group_vocabulary(
+                unique, vocabulary, config, global_counts
+            )
+            self._sources.append(
+                _Source(0, None, unique, vocab, config, self.stats)
+            )
+
+    def next_group(self) -> Optional[Group]:
+        """The next largest group across all sources, or ``None``.
+
+        Classic lazy top-k: repeatedly tighten the max-bound source's
+        candidate until no rival source's upper bound exceeds it.
+        """
+        while True:
+            candidates = [s for s in self._sources if not s.exhausted()]
+            if not candidates:
+                return None
+            best = max(candidates, key=lambda s: (s.bound(), -s.order))
+            if best.bound() <= 0:
+                return None
+            if best.cached is None:
+                if best.peek() is None:
+                    # Source turned out to be exhausted.
+                    continue
+                continue
+            size = best.cached.size
+            rivals = [
+                s for s in candidates if s is not best and s.bound() > size
+            ]
+            if not rivals:
+                return best.pop()
+            rivals.sort(key=lambda s: (-s.bound(), s.order))
+            rivals[0].peek()
+
+    def groups(self, limit: Optional[int] = None) -> Iterable[Group]:
+        """Iterate groups largest-first until exhaustion or ``limit``."""
+        produced = 0
+        while limit is None or produced < limit:
+            group = self.next_group()
+            if group is None:
+                return
+            produced += 1
+            yield group
+
+    def remove_replacements(self, dead: Iterable[Replacement]) -> None:
+        """Propagate Section 7.1 candidate invalidation to all sources."""
+        dead_set = set(dead)
+        if not dead_set:
+            return
+        for source in self._sources:
+            source.remove_replacements(dead_set)

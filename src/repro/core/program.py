@@ -1,0 +1,114 @@
+"""Transformation programs (Definition 5).
+
+A program is a sequence of string functions; its output is the
+concatenation of their outputs.  With the affix extension a function may
+be multi-valued, so a program denotes a *set* of outputs; a program is
+consistent with a replacement ``s -> t`` iff ``t`` is in that set
+(Appendix D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from .functions import StringFunction, label_sort_key
+from .terms import DEFAULT_VOCABULARY, MatchContext, TermVocabulary
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable sequence of string functions (``f1 ⊕ f2 ⊕ ... ⊕ fn``)."""
+
+    functions: Tuple[StringFunction, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.functions, tuple):
+            object.__setattr__(self, "functions", tuple(self.functions))
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    def __iter__(self):
+        return iter(self.functions)
+
+    def canonical(self) -> Tuple:
+        return tuple(f.canonical() for f in self.functions)
+
+    def sort_key(self) -> Tuple:
+        return tuple(label_sort_key(f) for f in self.functions)
+
+    def evaluate(
+        self,
+        s: str,
+        vocabulary: TermVocabulary = DEFAULT_VOCABULARY,
+        max_outputs: int = 64,
+    ) -> Set[str]:
+        """All outputs of the program on ``s`` (capped at ``max_outputs``).
+
+        Single-valued programs (no affix functions) return a set of at
+        most one string.
+        """
+        ctx = MatchContext(s, vocabulary)
+        partials: Set[str] = {""}
+        for fn in self.functions:
+            outs = fn.outputs(ctx)
+            if not outs:
+                return set()
+            nxt: Set[str] = set()
+            for head in partials:
+                for out in outs:
+                    nxt.add(head + out)
+                    if len(nxt) > max_outputs:
+                        break
+            partials = nxt
+        return partials
+
+    def evaluate_unique(
+        self, s: str, vocabulary: TermVocabulary = DEFAULT_VOCABULARY
+    ) -> Optional[str]:
+        """The single output if the program is deterministic on ``s``."""
+        outs = self.evaluate(s, vocabulary)
+        return next(iter(outs)) if len(outs) == 1 else None
+
+    def produces(
+        self,
+        s: str,
+        t: str,
+        vocabulary: TermVocabulary = DEFAULT_VOCABULARY,
+    ) -> bool:
+        """Is the program consistent with the replacement ``s -> t``?
+
+        Implemented as a forward reachability DP over positions of ``t``
+        so multi-valued affix functions do not blow up: state ``p``
+        means the first ``p`` characters of ``t`` have been produced.
+        """
+        ctx = MatchContext(s, vocabulary)
+        reachable: Set[int] = {0}
+        for fn in self.functions:
+            nxt: Set[int] = set()
+            for p in reachable:
+                for q in _extensions(fn, ctx, t, p):
+                    nxt.add(q)
+            if not nxt:
+                return False
+            reachable = nxt
+        return len(t) in reachable
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. for group review UIs."""
+        return " ⊕ ".join(repr(f) for f in self.functions)
+
+
+def _extensions(fn: StringFunction, ctx: MatchContext, t: str, p: int) -> List[int]:
+    """Positions reachable from ``p`` in ``t`` by one application of ``fn``."""
+    ends: List[int] = []
+    for out in fn.outputs(ctx):
+        if out and t.startswith(out, p):
+            ends.append(p + len(out))
+    return ends
+
+
+def make_program(functions: Sequence[StringFunction]) -> Program:
+    """Convenience constructor accepting any sequence of functions."""
+    return Program(tuple(functions))

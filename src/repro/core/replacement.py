@@ -1,0 +1,30 @@
+"""The candidate-replacement value object (Section 3, Step 1).
+
+A replacement ``lhs -> rhs`` states that the two strings are matched
+and one could be substituted for the other at the places it was
+generated from.  Replacements are directed; both directions are always
+generated as separate candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Replacement:
+    """A directed candidate replacement ``lhs -> rhs``."""
+
+    lhs: str
+    rhs: str
+
+    def __post_init__(self) -> None:
+        if self.lhs == self.rhs:
+            raise ValueError("a replacement requires two different strings")
+
+    def reversed(self) -> "Replacement":
+        """The opposite-direction candidate ``rhs -> lhs``."""
+        return Replacement(self.rhs, self.lhs)
+
+    def __repr__(self) -> str:
+        return f"{self.lhs!r} -> {self.rhs!r}"

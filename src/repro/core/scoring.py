@@ -1,0 +1,84 @@
+"""Static orders and constant-string scoring (Appendix E).
+
+The position-function static order lives in
+:mod:`repro.core.positions`; the longest-affix rule lives in
+:mod:`repro.core.graph`.  This module implements the third static
+order: scoring constant-string terms by
+
+    ``score(tau) = freqStruc(tau) / sqrt(freqGlobal(tau))``
+
+which prefers strings frequent inside a structure group but rare
+elsewhere, so e.g. ``"Mr."`` beats single characters that are frequent
+everywhere.  The top-scoring strings become ``ConstTerm`` vocabulary
+entries for that structure group's graphs.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .replacement import Replacement
+
+_TOKEN_RE = re.compile(r"[A-Za-z]+|[0-9]+|[^\sA-Za-z0-9]+")
+
+
+def tokenize_for_scoring(value: str) -> List[str]:
+    """Candidate constant strings of a value: letter runs, digit runs,
+    and punctuation runs."""
+    return _TOKEN_RE.findall(value)
+
+
+def global_frequencies(values: Iterable[str]) -> Counter:
+    """Token frequencies over an entire column (``freqGlobal``)."""
+    counts: Counter = Counter()
+    for value in values:
+        counts.update(tokenize_for_scoring(value))
+    return counts
+
+
+def group_frequencies(replacements: Sequence[Replacement]) -> Counter:
+    """Token frequencies inside one structure group (``freqStruc``).
+
+    Both sides contribute: a constant term is useful whenever it anchors
+    positions in the *input* string, and either side may play that role
+    across the two replacement directions.
+    """
+    counts: Counter = Counter()
+    for replacement in replacements:
+        counts.update(tokenize_for_scoring(replacement.lhs))
+        counts.update(tokenize_for_scoring(replacement.rhs))
+    return counts
+
+
+def score_constant(token: str, freq_struc: int, freq_global: int) -> float:
+    """``freqStruc / sqrt(freqGlobal)`` (Appendix E)."""
+    if freq_global <= 0:
+        return 0.0
+    return freq_struc / math.sqrt(freq_global)
+
+
+def top_constant_terms(
+    replacements: Sequence[Replacement],
+    global_counts: Counter,
+    top_n: int,
+) -> List[str]:
+    """The ``top_n`` best-scoring constant-string terms for a structure
+    group, deterministic under score ties (higher score first, then
+    lexicographic)."""
+    if top_n <= 0:
+        return []
+    struc = group_frequencies(replacements)
+    scored: List[Tuple[float, str]] = []
+    for token, freq in struc.items():
+        if len(token) < 2:
+            # Single characters score poorly by design (frequent both
+            # inside and outside the group); skip them outright.
+            continue
+        scored.append(
+            (score_constant(token, freq, global_counts.get(token, freq)), token)
+        )
+    scored.sort(key=lambda pair: (-pair[0], pair[1]))
+    return [token for _, token in scored[:top_n]]

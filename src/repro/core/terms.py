@@ -1,0 +1,157 @@
+"""Terms: the token classes the DSL's regexes are built from.
+
+The paper (Section 7.2 and Appendix B) uses four *regex-based terms*
+
+    ``TC = [A-Z]+``   capital letters
+    ``Tl = [a-z]+``   lowercase letters
+    ``Td = [0-9]+``   digits
+    ``Tb = \\s+``      whitespace
+
+plus *constant-string terms* (a literal that matches only itself) and,
+for structure signatures, *single-character terms* for characters no
+regex-based term covers.
+
+All positions in this package are **1-based**, matching the paper's
+formulas: a match of term ``tau`` occupying characters ``i..j-1`` of
+``s`` is reported as the half-open span ``[i, j)`` with
+``beg = i`` and ``end = j``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+Span = Tuple[int, int]  # 1-based, half-open [beg, end)
+
+
+@dataclass(frozen=True)
+class RegexTerm:
+    """A maximal-run character-class term such as ``TC = [A-Z]+``."""
+
+    name: str
+    pattern: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_compiled", re.compile(self.pattern))
+
+    def matches(self, s: str) -> List[Span]:
+        """All maximal matches of the term in ``s`` as 1-based spans."""
+        return [(m.start() + 1, m.end() + 1) for m in self._compiled.finditer(s)]
+
+    def sort_key(self) -> Tuple:
+        return ("re", self.name)
+
+    def __repr__(self) -> str:
+        return f"T{self.name}"
+
+
+@dataclass(frozen=True)
+class ConstTerm:
+    """A constant-string term: matches exactly its literal text.
+
+    Occurrences are found left-to-right and non-overlapping, mirroring
+    ``re.finditer`` on the escaped literal.
+    """
+
+    literal: str
+
+    def matches(self, s: str) -> List[Span]:
+        spans: List[Span] = []
+        if not self.literal:
+            return spans
+        start = 0
+        while True:
+            pos = s.find(self.literal, start)
+            if pos < 0:
+                break
+            spans.append((pos + 1, pos + 1 + len(self.literal)))
+            start = pos + len(self.literal)
+        return spans
+
+    def sort_key(self) -> Tuple:
+        return ("str", self.literal)
+
+    def __repr__(self) -> str:
+        return f"T{self.literal!r}"
+
+
+#: The paper's four pre-defined regex-based terms.
+CAPITALS = RegexTerm("C", r"[A-Z]+")
+LOWERCASE = RegexTerm("l", r"[a-z]+")
+DIGITS = RegexTerm("d", r"[0-9]+")
+WHITESPACE = RegexTerm("b", r"\s+")
+
+#: Convenience punctuation term used in the paper's Figure 5 example
+#: (``Tp``); not part of the default vocabulary.
+PUNCTUATION = RegexTerm("p", r"[^\sA-Za-z0-9]+")
+
+DEFAULT_REGEX_TERMS: Tuple[RegexTerm, ...] = (
+    CAPITALS,
+    LOWERCASE,
+    DIGITS,
+    WHITESPACE,
+)
+
+
+class TermVocabulary:
+    """The set of terms available to ``MatchPos`` and the affix functions.
+
+    A vocabulary always contains the regex-based terms; constant-string
+    terms can be added per structure group (Appendix E scores them by
+    ``freqStruc / sqrt(freqGlobal)``).
+    """
+
+    def __init__(
+        self,
+        regex_terms: Sequence[RegexTerm] = DEFAULT_REGEX_TERMS,
+        constant_terms: Sequence[ConstTerm] = (),
+    ) -> None:
+        self.regex_terms: Tuple[RegexTerm, ...] = tuple(regex_terms)
+        self.constant_terms: Tuple[ConstTerm, ...] = tuple(constant_terms)
+
+    @property
+    def all_terms(self) -> Tuple:
+        return self.regex_terms + self.constant_terms
+
+    def with_constant_terms(self, literals: Sequence[str]) -> "TermVocabulary":
+        """A copy of this vocabulary extended with constant terms."""
+        existing = {t.literal for t in self.constant_terms}
+        extra = tuple(
+            ConstTerm(lit) for lit in literals if lit and lit not in existing
+        )
+        return TermVocabulary(self.regex_terms, self.constant_terms + extra)
+
+    def __repr__(self) -> str:
+        return (
+            f"TermVocabulary(regex={list(self.regex_terms)}, "
+            f"const={list(self.constant_terms)})"
+        )
+
+
+DEFAULT_VOCABULARY = TermVocabulary()
+
+
+class MatchContext:
+    """Caches term matches for one input string.
+
+    Evaluating many position functions against the same string is the
+    hot path of program evaluation; this memoizes ``term.matches(s)``.
+    """
+
+    def __init__(self, s: str, vocabulary: TermVocabulary = DEFAULT_VOCABULARY):
+        self.s = s
+        self.vocabulary = vocabulary
+        self._matches: Dict[object, List[Span]] = {}
+
+    def matches(self, term) -> List[Span]:
+        found = self._matches.get(term)
+        if found is None:
+            found = term.matches(self.s)
+            self._matches[term] = found
+        return found
+
+    def __len__(self) -> int:
+        return len(self.s)

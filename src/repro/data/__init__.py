@@ -1,0 +1,15 @@
+"""Clustered-records data model, statistics, and CSV/JSON I/O."""
+
+from .io import (
+    cluster_records,
+    read_csv_clustered,
+    read_csv_clusters,
+    read_csv_records,
+    read_json_clusters,
+    read_json_records,
+    write_csv_clusters,
+    write_golden_csv,
+    write_json_clusters,
+)
+from .stats import DatasetStats, dataset_stats
+from .table import CellRef, Cluster, ClusterTable, Record

@@ -1,0 +1,193 @@
+"""Reading and writing clustered tables (CSV / JSON).
+
+Downstream users rarely start from in-memory objects; these helpers
+bridge flat record files and :class:`~repro.data.table.ClusterTable`:
+
+* ``read_csv_records`` / ``read_json_records`` — load flat records;
+* ``cluster_records`` — group them by a key column (the ISBN / ISSN /
+  EIN pattern of the paper's datasets);
+* ``write_csv_clusters`` / ``write_json_clusters`` — persist a table
+  with its cluster assignment;
+* ``write_golden_csv`` — export golden records.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ..resolution.matcher import cluster_by_key
+from .table import ClusterTable, Record
+
+PathLike = Union[str, Path]
+
+#: Reserved column used to persist cluster membership.
+CLUSTER_COLUMN = "__cluster__"
+#: Reserved column used to persist record ids.
+RID_COLUMN = "__rid__"
+#: Reserved column used to persist record provenance.
+SOURCE_COLUMN = "__source__"
+
+_RESERVED = (CLUSTER_COLUMN, RID_COLUMN, SOURCE_COLUMN)
+
+
+def read_csv_records(
+    path: PathLike,
+    source_column: Optional[str] = None,
+    id_column: Optional[str] = None,
+) -> List[Record]:
+    """Load flat records from a CSV file with a header row."""
+    records: List[Record] = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        for idx, row in enumerate(reader):
+            rid = row.get(id_column, "") if id_column else ""
+            source = row.get(source_column, "") if source_column else ""
+            values = {
+                k: (v or "")
+                for k, v in row.items()
+                if k not in (id_column, source_column) and k is not None
+            }
+            records.append(Record(rid or f"r{idx}", values, source))
+    return records
+
+
+def read_json_records(path: PathLike) -> List[Record]:
+    """Load records from a JSON array of objects.
+
+    Reserved keys ``__rid__`` / ``__source__`` populate the record id
+    and provenance; everything else becomes attribute values.
+    """
+    with open(path, encoding="utf-8") as handle:
+        rows = json.load(handle)
+    records: List[Record] = []
+    for idx, row in enumerate(rows):
+        rid = str(row.get(RID_COLUMN, f"r{idx}"))
+        source = str(row.get(SOURCE_COLUMN, ""))
+        values = {
+            k: str(v)
+            for k, v in row.items()
+            if k not in (RID_COLUMN, SOURCE_COLUMN)
+        }
+        records.append(Record(rid, values, source))
+    return records
+
+
+def cluster_records(
+    records: Sequence[Record], key_column: str
+) -> ClusterTable:
+    """Cluster flat records by exact key equality (the paper's input
+    shape: records keyed by ISBN / ISSN / EIN)."""
+    return cluster_by_key(records, key_column)
+
+
+def read_csv_clusters(
+    path: PathLike,
+    key_column: str,
+    source_column: Optional[str] = None,
+    id_column: Optional[str] = None,
+) -> ClusterTable:
+    """One-shot: read a CSV and cluster it by ``key_column``."""
+    records = read_csv_records(path, source_column, id_column)
+    return cluster_records(records, key_column)
+
+
+def write_csv_clusters(table: ClusterTable, path: PathLike) -> None:
+    """Persist a clustered table; cluster membership, record ids and
+    sources ride along in reserved columns."""
+    fieldnames = [CLUSTER_COLUMN, RID_COLUMN, SOURCE_COLUMN, *table.columns]
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for cluster in table.clusters:
+            for record in cluster.records:
+                row = {
+                    CLUSTER_COLUMN: cluster.key,
+                    RID_COLUMN: record.rid,
+                    SOURCE_COLUMN: record.source,
+                }
+                for column in table.columns:
+                    row[column] = record.values.get(column, "")
+                writer.writerow(row)
+
+
+def read_csv_clustered(path: PathLike) -> ClusterTable:
+    """Inverse of :func:`write_csv_clusters`."""
+    by_key: Dict[str, List[Record]] = {}
+    columns: List[str] = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        columns = [c for c in (reader.fieldnames or []) if c not in _RESERVED]
+        for row in reader:
+            record = Record(
+                row.get(RID_COLUMN, ""),
+                {c: row.get(c, "") or "" for c in columns},
+                row.get(SOURCE_COLUMN, "") or "",
+            )
+            by_key.setdefault(row.get(CLUSTER_COLUMN, ""), []).append(record)
+    table = ClusterTable(columns)
+    for key, records in by_key.items():
+        table.add_cluster(key, records)
+    return table
+
+
+def write_json_clusters(table: ClusterTable, path: PathLike) -> None:
+    """Persist a clustered table as nested JSON."""
+    payload = [
+        {
+            "key": cluster.key,
+            "records": [
+                {
+                    "rid": record.rid,
+                    "source": record.source,
+                    "values": dict(record.values),
+                }
+                for record in cluster.records
+            ],
+        }
+        for cluster in table.clusters
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, ensure_ascii=False)
+
+
+def read_json_clusters(path: PathLike) -> ClusterTable:
+    """Inverse of :func:`write_json_clusters`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    columns: List[str] = []
+    for cluster in payload:
+        for record in cluster.get("records", ()):
+            for column in record.get("values", {}):
+                if column not in columns:
+                    columns.append(column)
+    table = ClusterTable(columns)
+    for cluster in payload:
+        table.add_cluster(
+            str(cluster.get("key", "")),
+            [
+                Record(
+                    str(r.get("rid", "")),
+                    {k: str(v) for k, v in r.get("values", {}).items()},
+                    str(r.get("source", "")),
+                )
+                for r in cluster.get("records", ())
+            ],
+        )
+    return table
+
+
+def write_golden_csv(
+    golden: Dict[int, Optional[str]],
+    table: ClusterTable,
+    column: str,
+    path: PathLike,
+) -> None:
+    """Export one column's golden values, one row per cluster."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["cluster_key", column])
+        for ci, cluster in enumerate(table.clusters):
+            writer.writerow([cluster.key, golden.get(ci) or ""])

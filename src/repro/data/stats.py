@@ -1,0 +1,88 @@
+"""Dataset statistics in the shape of the paper's Table 6."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Optional, Set, Tuple
+
+from .table import CellRef, ClusterTable
+
+#: Labeler: given two cells of the same cluster, is the pair a variant
+#: pair (same logical value) rather than a conflict pair?
+PairLabeler = Callable[[CellRef, CellRef], bool]
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """One row of Table 6."""
+
+    records: int
+    clusters: int
+    avg_cluster_size: float
+    min_cluster_size: int
+    max_cluster_size: int
+    distinct_value_pairs: int
+    variant_pair_pct: Optional[float] = None
+    conflict_pair_pct: Optional[float] = None
+
+    def as_row(self) -> Tuple:
+        return (
+            self.records,
+            self.clusters,
+            round(self.avg_cluster_size, 1),
+            self.min_cluster_size,
+            self.max_cluster_size,
+            self.distinct_value_pairs,
+            None
+            if self.variant_pair_pct is None
+            else round(self.variant_pair_pct * 100, 1),
+            None
+            if self.conflict_pair_pct is None
+            else round(self.conflict_pair_pct * 100, 1),
+        )
+
+
+def dataset_stats(
+    table: ClusterTable,
+    column: str,
+    labeler: Optional[PairLabeler] = None,
+) -> DatasetStats:
+    """Compute the Table 6 row for one column of a clustered table.
+
+    ``distinct_value_pairs`` counts distinct unordered pairs of
+    non-identical values co-occurring in a cluster, matching the paper's
+    "# of distinct value pairs".  With a ``labeler``, the variant /
+    conflict split is computed over those distinct pairs (first
+    occurrence of each value pair decides its label, mirroring the
+    paper's manual labeling of sampled pairs).
+    """
+    sizes = [len(c) for c in table.clusters]
+    distinct: Set[Tuple[str, str]] = set()
+    variant: Set[Tuple[str, str]] = set()
+    for ci in range(table.num_clusters):
+        cells = table.cluster_cells(ci, column)
+        for a, b in combinations(cells, 2):
+            va, vb = table.value(a), table.value(b)
+            if va == vb:
+                continue
+            pair = (va, vb) if va < vb else (vb, va)
+            if pair in distinct:
+                continue
+            distinct.add(pair)
+            if labeler is not None and labeler(a, b):
+                variant.add(pair)
+    variant_pct = conflict_pct = None
+    if labeler is not None and distinct:
+        variant_pct = len(variant) / len(distinct)
+        conflict_pct = 1.0 - variant_pct
+    return DatasetStats(
+        records=table.num_records,
+        clusters=table.num_clusters,
+        avg_cluster_size=(sum(sizes) / len(sizes)) if sizes else 0.0,
+        min_cluster_size=min(sizes) if sizes else 0,
+        max_cluster_size=max(sizes) if sizes else 0,
+        distinct_value_pairs=len(distinct),
+        variant_pair_pct=variant_pct,
+        conflict_pair_pct=conflict_pct,
+    )

@@ -1,0 +1,12 @@
+"""Synthetic dataset generators standing in for the paper's datasets."""
+
+from .address import address_dataset
+from .authorlist import authorlist_dataset
+from .base import GeneratedDataset, GeneratorSpec
+from .journaltitle import journaltitle_dataset
+
+DATASETS = {
+    "Address": address_dataset,
+    "AuthorList": authorlist_dataset,
+    "JournalTitle": journaltitle_dataset,
+}

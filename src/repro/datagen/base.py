@@ -1,0 +1,142 @@
+"""Shared machinery for the synthetic dataset generators.
+
+A generator produces a :class:`GeneratedDataset`: the clustered table,
+the target column, and cell-level ground truth (the canonical string of
+the entity each cell's value denotes).  Two same-cluster cells form a
+*variant pair* iff their canonical strings agree and their surface
+strings differ — the labels behind the paper's precision / recall / MCC
+metrics — and the cluster's *golden value* is the canonical string of
+the cluster's own entity (Table 8).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..data.table import CellRef, ClusterTable, Record
+
+
+@dataclass
+class GeneratedDataset:
+    """A synthetic clustered dataset with full ground truth."""
+
+    name: str
+    table: ClusterTable
+    column: str
+    canonical: Dict[CellRef, str]
+    golden: Dict[int, str]
+
+    def labeler(self) -> Callable[[CellRef, CellRef], bool]:
+        """Pair labeler: variant iff canonical strings agree."""
+
+        def is_variant(a: CellRef, b: CellRef) -> bool:
+            ca = self.canonical.get(a)
+            cb = self.canonical.get(b)
+            return ca is not None and ca == cb
+
+        return is_variant
+
+    def fresh_table(self) -> ClusterTable:
+        """A mutable copy for one experiment run."""
+        return self.table.copy()
+
+
+def lowercased(dataset: "GeneratedDataset") -> "GeneratedDataset":
+    """The dataset with every value and its ground truth lowercased.
+
+    The paper's consolidation experiments use "the dataset without any
+    normalization except converting all characters to lowercase"
+    (Section 8.3); this helper reproduces that preprocessing while
+    keeping the ground truth consistent.
+    """
+    table = dataset.table.copy()
+    for cell in table.cells(dataset.column):
+        table.set_value(cell, table.value(cell).lower())
+    canonical = {cell: canon.lower() for cell, canon in dataset.canonical.items()}
+    golden = {ci: value.lower() for ci, value in dataset.golden.items()}
+    return GeneratedDataset(dataset.name, table, dataset.column, canonical, golden)
+
+
+@dataclass
+class GeneratorSpec:
+    """Size and dirtiness knobs shared by all three generators."""
+
+    n_clusters: int = 200
+    mean_cluster_size: float = 5.0
+    conflict_rate: float = 0.3  # probability a record denotes another entity
+    variant_rate: float = 0.75  # probability a non-conflict record is rendered variant
+    #: Distinct wrong entities per cluster: real dirty clusters confuse
+    #: an entity with one or two others, not with a fresh one per row.
+    max_alternates_per_cluster: int = 2
+    n_sources: int = 12
+    seed: int = 7
+
+
+def cluster_sizes(spec: GeneratorSpec, rng: random.Random) -> List[int]:
+    """Cluster sizes: geometric-ish with a heavy-ish tail, min 1.
+
+    Mirrors the paper's Table 6 shape (min 1, a small number of very
+    large clusters).
+    """
+    sizes: List[int] = []
+    mean = max(spec.mean_cluster_size, 1.0)
+    for _ in range(spec.n_clusters):
+        size = 1 + int(rng.expovariate(1.0 / max(mean - 1.0, 0.2)))
+        if rng.random() < 0.02:  # occasional jumbo cluster
+            size = int(size * rng.uniform(3, 8)) + 3
+        sizes.append(max(1, size))
+    return sizes
+
+
+def assemble(
+    name: str,
+    column: str,
+    spec: GeneratorSpec,
+    rng: random.Random,
+    make_entity: Callable[[random.Random], object],
+    canonical_of: Callable[[object], str],
+    render_variant: Callable[[object, random.Random], str],
+) -> GeneratedDataset:
+    """Generic generator loop.
+
+    Each cluster draws a primary entity; every record either re-uses the
+    primary entity (rendered canonically or as a variant) or — with
+    ``conflict_rate`` — draws a different entity, which creates the
+    conflict pairs the oracle must reject.
+    """
+    table = ClusterTable([column])
+    canonical: Dict[CellRef, str] = {}
+    golden: Dict[int, str] = {}
+    rid = 0
+    for ci, size in enumerate(cluster_sizes(spec, rng)):
+        primary = make_entity(rng)
+        golden_value = canonical_of(primary)
+        alternates: List[object] = []
+        records: List[Record] = []
+        cell_canon: List[str] = []
+        for _ in range(size):
+            if size > 1 and rng.random() < spec.conflict_rate:
+                if (
+                    len(alternates) < spec.max_alternates_per_cluster
+                    and (not alternates or rng.random() < 0.5)
+                ):
+                    alternates.append(make_entity(rng))
+                entity = rng.choice(alternates)
+            else:
+                entity = primary
+            canon = canonical_of(entity)
+            if rng.random() < spec.variant_rate:
+                value = render_variant(entity, rng)
+            else:
+                value = canon
+            source = f"src{rng.randrange(spec.n_sources)}"
+            records.append(Record(f"r{rid}", {column: value}, source))
+            cell_canon.append(canon)
+            rid += 1
+        idx = table.add_cluster(f"c{ci}", records)
+        golden[idx] = golden_value
+        for ri, canon in enumerate(cell_canon):
+            canonical[CellRef(idx, ri, column)] = canon
+    return GeneratedDataset(name, table, column, canonical, golden)

@@ -1,0 +1,119 @@
+"""Synthetic JournalTitle dataset (stand-in for the rayyan.qcri.org
+journal records clustered by ISSN; Table 6 row 3).
+
+Titles are composed from head words ("Journal", "International",
+"Annals", ...) plus qualifier/field words; canonical form is the full
+title-case spelling.  Variants abbreviate head words (``Journal -> J``)
+with or without trailing periods, upper-case the title, swap
+``and``/``&``, or append a trailing period — the families behind the
+paper's variant-heavy (74%) mix and its dramatic Table 8 improvement.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from . import corpus
+from .base import GeneratedDataset, GeneratorSpec, assemble
+
+COLUMN = "title"
+
+
+@dataclass(frozen=True)
+class JournalEntity:
+    """A journal, identified by its full canonical title."""
+
+    title: Tuple[str, ...]  # word sequence, canonical spelling
+
+
+_PATTERNS = (
+    ("Journal", "of", "{Q}", "{F}"),
+    ("Journal", "of", "{F}"),
+    ("International", "Journal", "of", "{F}"),
+    ("Annals", "of", "{F}"),
+    ("Archives", "of", "{F}", "and", "{F2}"),
+    ("{F}", "Letters"),
+    ("{Q}", "{F}", "Review"),
+    ("Transactions", "on", "{F}"),
+    ("Proceedings", "of", "the", "{F}", "Society"),
+    ("Bulletin", "of", "{Q}", "{F}"),
+    ("Advances", "in", "{F}"),
+    ("Quarterly", "Review", "of", "{F}"),
+)
+
+
+def make_journal(rng: random.Random) -> JournalEntity:
+    pattern = rng.choice(_PATTERNS)
+    field = rng.choice(corpus.JOURNAL_FIELDS)
+    field2 = rng.choice(corpus.JOURNAL_FIELDS)
+    qualifier = rng.choice(corpus.JOURNAL_QUALIFIERS)
+    words = tuple(
+        w.replace("{Q}", qualifier).replace("{F2}", field2).replace("{F}", field)
+        for w in pattern
+    )
+    return JournalEntity(words)
+
+
+def canonical_journal(entity: JournalEntity) -> str:
+    return " ".join(entity.title)
+
+
+def render_variant(entity: JournalEntity, rng: random.Random) -> str:
+    words = list(entity.title)
+    if rng.random() < 0.7:
+        dotted = rng.random() < 0.5
+        words = [
+            (corpus.JOURNAL_HEADS[w] + ("." if dotted else ""))
+            if w in corpus.JOURNAL_HEADS
+            else w
+            for w in words
+        ]
+    if rng.random() < 0.45:
+        # ISO-4-style field abbreviation ("Biology" -> "Biol"), the
+        # long-tail family no wrangler rule set covers.
+        dotted = rng.random() < 0.5
+        words = [
+            (corpus.FIELD_ABBREVIATIONS[w] + ("." if dotted else ""))
+            if w in corpus.FIELD_ABBREVIATIONS
+            else w
+            for w in words
+        ]
+    if rng.random() < 0.2:
+        words = ["&" if w == "and" else w for w in words]
+    title = " ".join(words)
+    if rng.random() < 0.2:
+        title = title.upper()
+    if rng.random() < 0.15:
+        title += "."
+    return title
+
+
+def journaltitle_dataset(
+    scale: float = 1.0, seed: int = 13, spec: Optional[GeneratorSpec] = None
+) -> GeneratedDataset:
+    """Generate the synthetic JournalTitle dataset.
+
+    The paper's dataset is many tiny clusters (avg 1.8) with a
+    variant-heavy pair mix (74% variant / 26% conflict): the same
+    journal spelled differently across records sharing an ISSN.
+    """
+    if spec is None:
+        spec = GeneratorSpec(
+            n_clusters=max(20, int(700 * scale)),
+            mean_cluster_size=1.9,
+            conflict_rate=0.12,
+            variant_rate=0.55,
+            seed=seed,
+        )
+    rng = random.Random(spec.seed)
+    return assemble(
+        "JournalTitle",
+        COLUMN,
+        spec,
+        rng,
+        make_journal,
+        canonical_journal,
+        render_variant,
+    )

@@ -1,0 +1,16 @@
+"""Metrics, pair sampling, experiment harness, and report rendering."""
+
+from .charts import render_series_chart
+from .experiment import (
+    ConsolidationResult,
+    RuntimePoint,
+    SeriesPoint,
+    StandardizationSeries,
+    run_consolidation,
+    run_grouping_runtime,
+    run_method_series,
+    run_trifacta_series,
+)
+from .metrics import Confusion, confusion_from_pairs
+from .report import format_runtime, format_series, format_table
+from .sampling import LabeledPair, all_nonidentical_pairs, sample_labeled_pairs

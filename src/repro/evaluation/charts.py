@@ -1,0 +1,77 @@
+"""ASCII line charts so benchmark output *looks* like the paper's
+figures, not just its numbers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .experiment import SeriesPoint, StandardizationSeries
+
+#: Plot symbols assigned to series in order.
+SYMBOLS = "ox+*#@"
+
+
+def render_series_chart(
+    series: Sequence[StandardizationSeries],
+    metric: str,
+    width: int = 60,
+    height: int = 16,
+    y_max: float = 1.0,
+) -> str:
+    """Render metric-vs-#groups curves as an ASCII chart.
+
+    Mirrors the paper's figure layout: x = number of groups confirmed,
+    y = the metric in [0, y_max].  Later series draw over earlier ones;
+    a legend follows the axes.
+    """
+    if not series:
+        return "(no series)"
+    x_max = max(
+        (p.confirmed for s in series for p in s.points), default=0
+    )
+    if x_max == 0:
+        x_max = 1
+    grid: List[List[str]] = [[" "] * (width + 1) for _ in range(height + 1)]
+
+    for idx, s in enumerate(series):
+        symbol = SYMBOLS[idx % len(SYMBOLS)]
+        values = _stepwise(s.points, metric, x_max, width)
+        for col, value in enumerate(values):
+            if value is None:
+                continue
+            row = height - round(min(max(value, 0.0), y_max) / y_max * height)
+            grid[row][col] = symbol
+
+    lines: List[str] = []
+    for row_idx, row in enumerate(grid):
+        y_value = y_max * (height - row_idx) / height
+        label = f"{y_value:4.2f} |" if row_idx % 4 == 0 else "     |"
+        lines.append(label + "".join(row))
+    lines.append("     +" + "-" * (width + 1))
+    lines.append(f"      0{' ' * (width - 10)}#groups={x_max}")
+    legend = "   ".join(
+        f"{SYMBOLS[i % len(SYMBOLS)]} = {s.method}" for i, s in enumerate(series)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def _stepwise(
+    points: Sequence[SeriesPoint],
+    metric: str,
+    x_max: int,
+    width: int,
+) -> List[Optional[float]]:
+    """Resample a step function (metric value at <= x) onto the grid."""
+    ordered = sorted(points, key=lambda p: p.confirmed)
+    values: List[Optional[float]] = []
+    for col in range(width + 1):
+        x = x_max * col / width
+        current: Optional[float] = None
+        for point in ordered:
+            if point.confirmed <= x:
+                current = getattr(point, metric)
+            else:
+                break
+        values.append(current)
+    return values

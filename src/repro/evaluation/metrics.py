@@ -1,0 +1,89 @@
+"""Evaluation metrics (Section 8, Table 7).
+
+Over a sample of labeled non-identical value pairs, after running a
+standardization method:
+
+* true positive  — variant pair that became identical;
+* false negative — variant pair still non-identical;
+* false positive — conflict pair that became identical;
+* true negative  — conflict pair still non-identical.
+
+Precision, recall and Matthews correlation coefficient follow; the
+paper prefers MCC over F1 because the class sizes are very unbalanced
+(Section 8, citing Baldi et al.).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Confusion:
+    """A 2x2 confusion over labeled pairs."""
+
+    tp: int = 0
+    fn: int = 0
+    fp: int = 0
+    tn: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fn + self.fp + self.tn
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def mcc(self) -> float:
+        """Matthews correlation coefficient in [-1, 1]; 0 when any
+        marginal is empty (the standard degenerate-case convention)."""
+        denom = (
+            (self.tp + self.fp)
+            * (self.tp + self.fn)
+            * (self.tn + self.fp)
+            * (self.tn + self.fn)
+        )
+        if denom == 0:
+            return 0.0
+        return (self.tp * self.tn - self.fp * self.fn) / math.sqrt(denom)
+
+    def __add__(self, other: "Confusion") -> "Confusion":
+        return Confusion(
+            self.tp + other.tp,
+            self.fn + other.fn,
+            self.fp + other.fp,
+            self.tn + other.tn,
+        )
+
+
+def confusion_from_pairs(pairs, values_equal) -> Confusion:
+    """Build the confusion from ``(is_variant, pair)`` labels and a
+    ``values_equal(pair) -> bool`` probe of the updated table."""
+    tp = fn = fp = tn = 0
+    for is_variant, pair in pairs:
+        identical = values_equal(pair)
+        if is_variant:
+            if identical:
+                tp += 1
+            else:
+                fn += 1
+        else:
+            if identical:
+                fp += 1
+            else:
+                tn += 1
+    return Confusion(tp, fn, fp, tn)

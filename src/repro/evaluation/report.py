@@ -1,0 +1,91 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output consistent and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .experiment import RuntimePoint, SeriesPoint, StandardizationSeries
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """A minimal fixed-width table (no external deps)."""
+    materialized: List[List[str]] = [
+        [_cell(v) for v in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialized:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_series(
+    series: List[StandardizationSeries],
+    metric: str,
+    checkpoints: Sequence[int],
+) -> str:
+    """Figures 6-8/10 as a table: one row per checkpoint budget, one
+    column per method."""
+    headers = ["#groups"] + [s.method for s in series]
+    rows = []
+    for budget in checkpoints:
+        row: List[object] = [budget]
+        for s in series:
+            row.append(_metric_at(s.points, metric, budget))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def _metric_at(
+    points: Sequence[SeriesPoint], metric: str, budget: int
+) -> Optional[float]:
+    """The metric at the largest confirmed count <= budget."""
+    best: Optional[SeriesPoint] = None
+    for point in points:
+        if point.confirmed <= budget and (
+            best is None or point.confirmed > best.confirmed
+        ):
+            best = point
+    return getattr(best, metric) if best is not None else None
+
+
+def format_runtime(
+    curves: dict, checkpoints: Sequence[int]
+) -> str:
+    """Figure 9 as a table: cumulative seconds to reach k groups."""
+    headers = ["#groups"] + list(curves)
+    rows = []
+    for k in checkpoints:
+        row: List[object] = [k]
+        for name, points in curves.items():
+            row.append(_runtime_at(points, k))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def _runtime_at(points: Sequence[RuntimePoint], k: int) -> Optional[float]:
+    best: Optional[RuntimePoint] = None
+    for point in points:
+        if point.groups <= k and (best is None or point.groups > best.groups):
+            best = point
+    return best.seconds if best is not None else None

@@ -1,0 +1,110 @@
+"""Accu — Bayesian source-accuracy fusion (Dong, Berti-Equille,
+Srivastava, VLDB 2009; paper's reference [15]).
+
+Each source has an accuracy ``A(s)``; assuming ``n`` uniformly likely
+false values, the posterior of value ``v`` is proportional to
+
+    exp( sum_{s claims v} ln( n * A(s) / (1 - A(s)) ) )
+
+Accuracies and value posteriors are iterated to a fixpoint.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+from ..data.table import ClusterTable
+from .base import claims_from_table, group_claims
+
+
+class Accu:
+    """Iterative source-accuracy estimation and Bayesian fusion."""
+
+    def __init__(
+        self,
+        initial_accuracy: float = 0.8,
+        false_value_count: int = 10,
+        max_iterations: int = 10,
+        tolerance: float = 1e-6,
+    ) -> None:
+        if not 0 < initial_accuracy < 1:
+            raise ValueError("initial_accuracy must be in (0, 1)")
+        self.initial_accuracy = initial_accuracy
+        self.n_false = max(1, false_value_count)
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.accuracy: Dict[str, float] = {}
+
+    def fuse(self, table: ClusterTable, column: str) -> Dict[int, Optional[str]]:
+        claims = claims_from_table(table, column)
+        grouped = group_claims(claims)
+        sources = {c.source for c in claims}
+        self.accuracy = {s: self.initial_accuracy for s in sources}
+
+        probabilities: Dict[int, Dict[str, float]] = {}
+        for _ in range(self.max_iterations):
+            probabilities = {
+                obj: self._value_probabilities(by_value)
+                for obj, by_value in grouped.items()
+            }
+            new_acc = self._source_accuracies(grouped, probabilities, sources)
+            delta = max(
+                (abs(new_acc[s] - self.accuracy[s]) for s in sources),
+                default=0.0,
+            )
+            self.accuracy = new_acc
+            if delta < self.tolerance:
+                break
+
+        golden: Dict[int, Optional[str]] = {}
+        for obj, by_value in grouped.items():
+            probs = probabilities.get(obj, {})
+            golden[obj] = max(
+                by_value, key=lambda v: (probs.get(v, 0.0), v)
+            ) if by_value else None
+        return golden
+
+    # -- internals ----------------------------------------------------------
+
+    def _vote(self, source: str) -> float:
+        acc = min(max(self.accuracy[source], 0.01), 0.99)
+        return math.log(self.n_false * acc / (1.0 - acc))
+
+    def _value_probabilities(
+        self, by_value: Dict[str, List[str]]
+    ) -> Dict[str, float]:
+        scores = {
+            value: sum(self._vote(s) for s in sources)
+            for value, sources in by_value.items()
+        }
+        if not scores:
+            return {}
+        peak = max(scores.values())
+        expd = {v: math.exp(score - peak) for v, score in scores.items()}
+        total = sum(expd.values())
+        return {v: e / total for v, e in expd.items()}
+
+    def _source_accuracies(
+        self,
+        grouped: Dict[int, Dict[str, List[str]]],
+        probabilities: Dict[int, Dict[str, float]],
+        sources: Iterable[str],
+    ) -> Dict[str, float]:
+        sums = {s: 0.0 for s in sources}
+        counts = {s: 0 for s in sources}
+        for obj, by_value in grouped.items():
+            probs = probabilities[obj]
+            for value, claimants in by_value.items():
+                for s in claimants:
+                    sums[s] += probs.get(value, 0.0)
+                    counts[s] += 1
+        return {
+            s: (sums[s] / counts[s]) if counts[s] else self.initial_accuracy
+            for s in sums
+        }
+
+
+def fuse(table: ClusterTable, column: str, **kwargs) -> Dict[int, Optional[str]]:
+    """Module-level convenience mirroring the other fusion modules."""
+    return Accu(**kwargs).fuse(table, column)

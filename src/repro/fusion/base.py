@@ -1,0 +1,47 @@
+"""Shared claim model for source-aware truth discovery.
+
+TruthFinder and Accu reason about *which source said what about which
+object*; this module extracts (source, object, value) claims from a
+:class:`~repro.data.table.ClusterTable`, where the object is the
+cluster and the source is each record's provenance tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..data.table import ClusterTable
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One source's assertion of one value for one object."""
+
+    source: str
+    obj: int  # cluster index
+    value: str
+
+
+def claims_from_table(table: ClusterTable, column: str) -> List[Claim]:
+    """Extract claims; records without a source tag get per-record tags
+    so every record still votes independently."""
+    claims: List[Claim] = []
+    for ci, cluster in enumerate(table.clusters):
+        for ri, record in enumerate(cluster.records):
+            value = record.values.get(column, "")
+            if not value:
+                continue
+            source = record.source or f"__record_{ci}_{ri}"
+            claims.append(Claim(source, ci, value))
+    return claims
+
+
+def group_claims(claims: List[Claim]) -> Dict[int, Dict[str, List[str]]]:
+    """``obj -> value -> [sources]`` (a source may repeat per object)."""
+    grouped: Dict[int, Dict[str, List[str]]] = {}
+    for claim in claims:
+        grouped.setdefault(claim.obj, {}).setdefault(claim.value, []).append(
+            claim.source
+        )
+    return grouped

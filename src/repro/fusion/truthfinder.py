@@ -1,0 +1,138 @@
+"""TruthFinder (Yin, Han, Yu, TKDE 2008) — iterative trustworthiness.
+
+Source trustworthiness and claim confidence reinforce each other:
+
+    tau(s)   = average confidence of the claims s makes
+    sigma(v) = 1 - prod_{s claims v} (1 - tau(s))        (base score)
+    sigma*(v) = sigma(v) + rho * sum_{v' != v} sigma(v') * imp(v' -> v)
+
+with a logistic dampening of the combined score.  Implication between
+values defaults to token-Jaccard similarity shifted to [-0.5, 0.5]:
+similar variants support each other, dissimilar values erode each
+other — precisely why pre-standardizing variants (this paper's
+contribution) also helps methods beyond plain majority voting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..data.table import ClusterTable
+from .base import claims_from_table, group_claims
+
+Implication = Callable[[str, str], float]
+
+
+def default_implication(a: str, b: str) -> float:
+    """Token-Jaccard similarity mapped to [-0.5, 0.5]."""
+    ta, tb = set(a.split()), set(b.split())
+    if not ta or not tb:
+        return -0.5
+    jac = len(ta & tb) / len(ta | tb)
+    return jac - 0.5
+
+
+class TruthFinder:
+    """Iterative source-trust / claim-confidence fixpoint."""
+
+    def __init__(
+        self,
+        initial_trust: float = 0.9,
+        dampening: float = 0.3,
+        implication_weight: float = 0.5,
+        implication: Implication = default_implication,
+        max_iterations: int = 10,
+        tolerance: float = 1e-6,
+    ) -> None:
+        if not 0 < initial_trust < 1:
+            raise ValueError("initial_trust must be in (0, 1)")
+        self.initial_trust = initial_trust
+        self.dampening = dampening
+        self.implication_weight = implication_weight
+        self.implication = implication
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.trust: Dict[str, float] = {}
+
+    def fuse(self, table: ClusterTable, column: str) -> Dict[int, Optional[str]]:
+        """Golden value per cluster: the highest-confidence claim."""
+        claims = claims_from_table(table, column)
+        grouped = group_claims(claims)
+        sources = {c.source for c in claims}
+        self.trust = {s: self.initial_trust for s in sources}
+
+        confidences: Dict[int, Dict[str, float]] = {}
+        for _ in range(self.max_iterations):
+            confidences = self._claim_confidences(grouped)
+            new_trust = self._source_trust(grouped, confidences, sources)
+            delta = max(
+                (abs(new_trust[s] - self.trust[s]) for s in sources),
+                default=0.0,
+            )
+            self.trust = new_trust
+            if delta < self.tolerance:
+                break
+
+        golden: Dict[int, Optional[str]] = {}
+        for obj, by_value in grouped.items():
+            scores = confidences.get(obj, {})
+            golden[obj] = max(
+                by_value, key=lambda v: (scores.get(v, 0.0), v)
+            ) if by_value else None
+        return golden
+
+    # -- internals ----------------------------------------------------------
+
+    def _claim_confidences(
+        self, grouped: Dict[int, Dict[str, List[str]]]
+    ) -> Dict[int, Dict[str, float]]:
+        confidences: Dict[int, Dict[str, float]] = {}
+        for obj, by_value in grouped.items():
+            raw: Dict[str, float] = {}
+            for value, sources in by_value.items():
+                # sigma(v) via trust scores: -sum ln(1 - tau(s))
+                score = 0.0
+                for s in sources:
+                    trust = min(self.trust[s], 0.999999)
+                    score += -math.log(1.0 - trust)
+                raw[value] = score
+            adjusted: Dict[str, float] = {}
+            for value in by_value:
+                influence = sum(
+                    raw[other] * self.implication(other, value)
+                    for other in by_value
+                    if other != value
+                )
+                adjusted[value] = (
+                    raw[value] + self.implication_weight * influence
+                )
+            confidences[obj] = {
+                value: 1.0 / (1.0 + math.exp(-self.dampening * score))
+                for value, score in adjusted.items()
+            }
+        return confidences
+
+    def _source_trust(
+        self,
+        grouped: Dict[int, Dict[str, List[str]]],
+        confidences: Dict[int, Dict[str, float]],
+        sources: Iterable[str],
+    ) -> Dict[str, float]:
+        sums: Dict[str, float] = {s: 0.0 for s in sources}
+        counts: Dict[str, int] = {s: 0 for s in sources}
+        for obj, by_value in grouped.items():
+            for value, claimants in by_value.items():
+                conf = confidences[obj][value]
+                for s in claimants:
+                    sums[s] += conf
+                    counts[s] += 1
+        return {
+            s: (sums[s] / counts[s]) if counts[s] else self.initial_trust
+            for s in sums
+        }
+
+
+def fuse(table: ClusterTable, column: str, **kwargs) -> Dict[int, Optional[str]]:
+    """Module-level convenience mirroring :func:`repro.fusion.majority.fuse`."""
+    return TruthFinder(**kwargs).fuse(table, column)

@@ -1,0 +1,14 @@
+"""Human-in-the-loop standardization and golden-record creation."""
+
+from .consolidate import ConsolidationReport, GoldenRecord, GoldenRecordCreation
+from .golden import entity_precision, golden_precision, golden_records
+from .oracle import (
+    ApproveAllOracle,
+    Decision,
+    FORWARD,
+    GroundTruthOracle,
+    Oracle,
+    REVERSE,
+    RejectAllOracle,
+)
+from .standardize import StandardizationLog, Standardizer, StepRecord

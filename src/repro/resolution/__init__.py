@@ -1,0 +1,14 @@
+"""Entity-resolution substrate: similarity, blocking, clustering."""
+
+from .blocking import build_blocks, candidate_pairs, exact_keys, prefix_keys, token_keys
+from .matcher import Matcher, cluster_by_key, hybrid_similarity
+from .similarity import (
+    cosine,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    overlap,
+)
+from .unionfind import UnionFind

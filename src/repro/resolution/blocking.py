@@ -1,0 +1,66 @@
+"""Blocking strategies: cheap candidate-pair generation for resolution.
+
+Comparing all record pairs is quadratic; blocking buckets records by a
+cheap key and only compares within buckets.  Provided strategies:
+
+* token blocking — one block per token of the blocking attribute;
+* prefix blocking — block by the first ``k`` characters;
+* key blocking — exact match on a key attribute (ISBN / ISSN / EIN,
+  how the paper's datasets were clustered).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+BlockKeyFn = Callable[[str], Iterable[Hashable]]
+
+
+def token_keys(value: str) -> Iterable[Hashable]:
+    """One block key per lowercase token."""
+    return {t.lower() for t in value.split()}
+
+
+def prefix_keys(length: int = 3) -> BlockKeyFn:
+    """Block by the lowercase ``length``-prefix of the value."""
+
+    def fn(value: str) -> Iterable[Hashable]:
+        cleaned = value.strip().lower()
+        return {cleaned[:length]} if cleaned else set()
+
+    return fn
+
+
+def exact_keys(value: str) -> Iterable[Hashable]:
+    """One block per exact value (key-based clustering)."""
+    return {value} if value else set()
+
+
+def build_blocks(
+    values: Sequence[str],
+    key_fn: BlockKeyFn = token_keys,
+) -> Dict[Hashable, List[int]]:
+    """``block key -> record indices``."""
+    blocks: Dict[Hashable, List[int]] = defaultdict(list)
+    for idx, value in enumerate(values):
+        for key in key_fn(value):
+            blocks[key].append(idx)
+    return dict(blocks)
+
+
+def candidate_pairs(
+    blocks: Dict[Hashable, List[int]],
+    max_block_size: int = 50,
+) -> Set[Tuple[int, int]]:
+    """Distinct within-block index pairs; oversized blocks are skipped
+    (standard guard against stop-word blocks going quadratic)."""
+    pairs: Set[Tuple[int, int]] = set()
+    for members in blocks.values():
+        if len(members) > max_block_size:
+            continue
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                a, b = members[i], members[j]
+                pairs.add((a, b) if a < b else (b, a))
+    return pairs

@@ -1,0 +1,123 @@
+"""String similarity measures for the entity-resolution substrate.
+
+The paper consumes clusters produced by upstream entity resolution
+(Tamr, Magellan, DataCivilizer); this module provides the classic
+measures a lightweight resolver needs: Levenshtein, Jaro, Jaro-Winkler,
+token Jaccard, overlap, and cosine over token counts.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Edit distance with unit insert/delete/substitute costs."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """``1 - dist / max_len``; 1.0 for two empty strings."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity."""
+    if a == b:
+        return 1.0
+    la, lb = len(a), len(b)
+    if la == 0 or lb == 0:
+        return 0.0
+    window = max(la, lb) // 2 - 1
+    window = max(window, 0)
+    match_a = [False] * la
+    match_b = [False] * lb
+    matches = 0
+    for i in range(la):
+        lo = max(0, i - window)
+        hi = min(lb, i + window + 1)
+        for j in range(lo, hi):
+            if not match_b[j] and a[i] == b[j]:
+                match_a[i] = match_b[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(la):
+        if match_a[i]:
+            while not match_b[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    return (
+        matches / la + matches / lb + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_weight: float = 0.1) -> float:
+    """Jaro-Winkler: Jaro boosted by the common prefix (up to 4 chars)."""
+    base = jaro(a, b)
+    prefix = 0
+    for ca, cb in zip(a[:4], b[:4]):
+        if ca != cb:
+            break
+        prefix += 1
+    return base + prefix * prefix_weight * (1.0 - base)
+
+
+def jaccard(a: Sequence[str], b: Sequence[str]) -> float:
+    """Jaccard similarity of two token collections."""
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 1.0
+    if not sa or not sb:
+        return 0.0
+    return len(sa & sb) / len(sa | sb)
+
+
+def overlap(a: Sequence[str], b: Sequence[str]) -> float:
+    """Overlap coefficient: |A ∩ B| / min(|A|, |B|)."""
+    sa, sb = set(a), set(b)
+    if not sa or not sb:
+        return 1.0 if not sa and not sb else 0.0
+    return len(sa & sb) / min(len(sa), len(sb))
+
+
+def cosine(a: Sequence[str], b: Sequence[str]) -> float:
+    """Cosine similarity over token count vectors."""
+    ca, cb = Counter(a), Counter(b)
+    if not ca and not cb:
+        return 1.0
+    if not ca or not cb:
+        return 0.0
+    dot = sum(ca[t] * cb[t] for t in ca.keys() & cb.keys())
+    norm = math.sqrt(sum(v * v for v in ca.values())) * math.sqrt(
+        sum(v * v for v in cb.values())
+    )
+    return dot / norm if norm else 0.0

@@ -1,0 +1,64 @@
+"""Tests for Damerau-Levenshtein distance and alignment."""
+
+import pytest
+
+from repro.align.damerau import alignment_segments, damerau_levenshtein
+
+
+class TestDistance:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("ca", "abc", 3),  # restricted DL (OSA) distance
+            ("ab", "ba", 1),  # adjacent transposition
+            ("abcd", "acbd", 1),
+            ("flaw", "lawn", 2),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert damerau_levenshtein(a, b) == expected
+
+    def test_symmetry(self):
+        assert damerau_levenshtein("abcx", "xabc") == damerau_levenshtein(
+            "xabc", "abcx"
+        )
+
+    def test_triangle_inequality_samples(self):
+        words = ["paris", "pairs", "parts", "sprat"]
+        for a in words:
+            for b in words:
+                for c in words:
+                    assert damerau_levenshtein(a, c) <= damerau_levenshtein(
+                        a, b
+                    ) + damerau_levenshtein(b, c)
+
+    def test_works_on_token_sequences(self):
+        a = "9 St , 02141 Wisconsin".split()
+        b = "9th St , 02141 WI".split()
+        assert damerau_levenshtein(a, b) == 2
+
+
+class TestAlignmentSegments:
+    def test_substitution_run(self):
+        segments = alignment_segments("a x y b".split(), "a p q b".split())
+        assert segments == [(["x", "y"], ["p", "q"])]
+
+    def test_transposition_becomes_segment(self):
+        segments = alignment_segments("a x y b".split(), "a y x b".split())
+        assert segments == [(["x", "y"], ["y", "x"])]
+
+    def test_identical(self):
+        assert alignment_segments(["a"], ["a"]) == []
+
+    def test_one_sided_runs_skipped(self):
+        assert alignment_segments("a b".split(), "a x b".split()) == []
+
+    def test_mixed_run_merges(self):
+        # del + sub in one run yields a two-to-one segment.
+        segments = alignment_segments("a x y b".split(), "a z b".split())
+        assert segments == [(["x", "y"], ["z"])]

@@ -1,0 +1,71 @@
+"""Tests for LCS alignment (Appendix A)."""
+
+import pytest
+
+from repro.align.lcs import aligned_segments, lcs_length, lcs_pairs
+
+
+class TestLcsPairs:
+    def test_simple(self):
+        assert lcs_pairs("abc", "abc") == [(0, 0), (1, 1), (2, 2)]
+
+    def test_subsequence(self):
+        pairs = lcs_pairs(list("axbxc"), list("abc"))
+        assert [a for a, _ in pairs] == [0, 2, 4]
+        assert [b for _, b in pairs] == [0, 1, 2]
+
+    def test_no_common(self):
+        assert lcs_pairs("abc", "xyz") == []
+
+    def test_empty(self):
+        assert lcs_pairs("", "abc") == []
+        assert lcs_pairs("abc", "") == []
+
+    def test_indices_are_increasing(self):
+        pairs = lcs_pairs(list("banana"), list("ananas"))
+        assert all(
+            a1 < a2 and b1 < b2
+            for (a1, b1), (a2, b2) in zip(pairs, pairs[1:])
+        )
+
+    def test_matches_are_equal(self):
+        a, b = list("kitten"), list("sitting")
+        for i, j in lcs_pairs(a, b):
+            assert a[i] == b[j]
+
+    def test_length(self):
+        assert lcs_length(list("banana"), list("ananas")) == 5
+
+
+class TestAlignedSegments:
+    def test_appendix_a_example(self):
+        """'9 St, 02141 Wisconsin' vs '9th St, 02141 WI' aligns on
+        'St, 02141' and yields the two substitution segments."""
+        a = "9 St, 02141 Wisconsin".split()
+        b = "9th St, 02141 WI".split()
+        segments = aligned_segments(a, b)
+        assert (["9"], ["9th"]) in segments
+        assert (["Wisconsin"], ["WI"]) in segments
+
+    def test_multi_token_segment(self):
+        a = "fox , dan box".split()
+        b = "dan fox".split()
+        segments = aligned_segments(a, b)
+        # Everything except one anchored token pairs up.
+        assert all(seg_a and seg_b for seg_a, seg_b in segments)
+
+    def test_pure_insertion_skipped(self):
+        a = "a b".split()
+        b = "a x b".split()
+        assert aligned_segments(a, b) == []
+
+    def test_pure_deletion_skipped(self):
+        a = "a x b".split()
+        b = "a b".split()
+        assert aligned_segments(a, b) == []
+
+    def test_identical_sequences(self):
+        assert aligned_segments(["a", "b"], ["a", "b"]) == []
+
+    def test_total_replacement(self):
+        assert aligned_segments(["x"], ["y"]) == [(["x"], ["y"])]

@@ -1,0 +1,51 @@
+"""Tests for the tokenizer helpers."""
+
+import pytest
+
+from repro.align.tokenize import contains_token_run, join, token_spans, tokens
+
+
+class TestTokens:
+    def test_split(self):
+        assert tokens("a b  c") == ["a", "b", "c"]
+
+    def test_empty(self):
+        assert tokens("") == []
+        assert tokens("   ") == []
+
+
+class TestTokenSpans:
+    def test_spans(self):
+        assert token_spans("ab  cd") == [(0, 2, "ab"), (4, 6, "cd")]
+
+    def test_leading_trailing_space(self):
+        assert token_spans("  x ") == [(2, 3, "x")]
+
+    def test_round_trip(self):
+        value = "9th  St, 02141"
+        assert [t for _, _, t in token_spans(value)] == tokens(value)
+
+
+class TestJoin:
+    def test_join(self):
+        assert join(["a", "b"]) == "a b"
+
+    def test_join_inverse_of_tokens_modulo_whitespace(self):
+        assert join(tokens("a   b c")) == "a b c"
+
+
+class TestContainsTokenRun:
+    def test_positive(self):
+        assert contains_token_run("9th St Extra", "St")
+        assert contains_token_run("9th St Extra", "St Extra")
+        assert contains_token_run("9th St", "9th St")
+
+    def test_token_boundary_respected(self):
+        assert not contains_token_run("9th Stone", "St")
+        assert not contains_token_run("WISCONSIN", "WI")
+
+    def test_empty_segment(self):
+        assert not contains_token_run("a b", "")
+
+    def test_longer_than_value(self):
+        assert not contains_token_run("a", "a b")

@@ -1,0 +1,63 @@
+"""Tests for the Single baseline feed."""
+
+import pytest
+
+from repro.baselines.single import SingleFeed
+from repro.candidates.generate import generate_candidates
+from repro.core.replacement import Replacement
+from repro.data.table import ClusterTable, Record
+
+
+def store_for(*clusters, column="v"):
+    table = ClusterTable([column])
+    for ci, values in enumerate(clusters):
+        table.add_cluster(
+            f"c{ci}",
+            [Record(f"r{ci}_{i}", {column: v}) for i, v in enumerate(values)],
+        )
+    return generate_candidates(table, column)
+
+
+class TestSingleFeed:
+    def test_groups_are_singletons(self):
+        feed = SingleFeed(store_for(["a", "b"]))
+        group = feed.next_group()
+        assert group is not None and group.size == 1
+
+    def test_ranked_by_support(self):
+        # "x" <-> "y" appears in two clusters; "p" <-> "q" in one.
+        store = store_for(["x", "y"], ["x", "y"], ["p", "q"])
+        feed = SingleFeed(store)
+        first = feed.next_group()
+        assert {first.replacements[0].lhs, first.replacements[0].rhs} == {"x", "y"}
+
+    def test_each_candidate_presented_once(self):
+        store = store_for(["a", "b"])
+        feed = SingleFeed(store)
+        seen = set()
+        while True:
+            group = feed.next_group()
+            if group is None:
+                break
+            replacement = group.replacements[0]
+            assert replacement not in seen
+            seen.add(replacement)
+        assert len(seen) == 2  # both directions of a <-> b
+
+    def test_exhaustion(self):
+        feed = SingleFeed(store_for(["a", "b"]))
+        feed.next_group()
+        feed.next_group()
+        assert feed.next_group() is None
+
+    def test_removed_replacements_skipped(self):
+        store = store_for(["a", "b"])
+        feed = SingleFeed(store)
+        feed.remove_replacements([Replacement("a", "b"), Replacement("b", "a")])
+        assert feed.next_group() is None
+
+    def test_deterministic_tie_break(self):
+        store = store_for(["a", "b"])
+        first = SingleFeed(store).next_group()
+        second = SingleFeed(store).next_group()
+        assert first.replacements == second.replacements

@@ -1,0 +1,137 @@
+"""Tests for the wrangler rule engine and the dataset rule sets."""
+
+import pytest
+
+from repro.baselines.rules import (
+    CaseRule,
+    address_rules,
+    authorlist_rules,
+    journaltitle_rules,
+    rules_for,
+)
+from repro.baselines.wrangler import ReplaceRule, RuleSet
+from repro.data.table import CellRef, ClusterTable, Record
+
+
+class TestReplaceRule:
+    def test_simple_replace(self):
+        assert ReplaceRule(r"\bSt\b", "Street").apply("9th St") == "9th Street"
+
+    def test_backreferences(self):
+        rule = ReplaceRule(r"^([a-z]+), ([a-z]+)$", r"\2 \1")
+        assert rule.apply("lee, mary") == "mary lee"
+
+    def test_no_match_is_identity(self):
+        assert ReplaceRule("zzz", "x").apply("abc") == "abc"
+
+    def test_paper_example_rule(self):
+        # The paper's REPLACE with '' on '({any}+)' for annotations.
+        rule = ReplaceRule(r" ?\([a-z]+\)", "")
+        assert rule.apply("carroll, john (edt)") == "carroll, john"
+
+
+class TestCaseRule:
+    def test_title_cases_full_match_only(self):
+        rule = CaseRule(r"[A-Z0-9 ]+", "title")
+        assert rule.apply("JOURNAL OF BIOLOGY") == "Journal Of Biology"
+        assert rule.apply("Journal of Biology") == "Journal of Biology"
+
+    def test_lower_mode(self):
+        assert CaseRule(r"[A-Z]+", "lower").apply("ABC") == "abc"
+
+    def test_upper_mode(self):
+        assert CaseRule(r"[a-z]+", "upper").apply("abc") == "ABC"
+
+
+class TestRuleSet:
+    def test_rules_apply_in_order(self):
+        rules = RuleSet("t", [ReplaceRule("a", "b"), ReplaceRule("b", "c")])
+        assert rules.apply("a") == "c"
+
+    def test_apply_to_table_counts_changes(self):
+        table = ClusterTable(["v"])
+        table.add_cluster(
+            "c0", [Record("r0", {"v": "a x"}), Record("r1", {"v": "q"})]
+        )
+        rules = RuleSet("t", [ReplaceRule("x", "y")])
+        assert rules.apply_to_table(table, "v") == 1
+        assert table.value(CellRef(0, 0, "v")) == "a y"
+
+    def test_len(self):
+        assert len(address_rules()) >= 30  # "30-40 lines of wrangler code"
+
+
+class TestAddressRules:
+    @pytest.mark.parametrize(
+        "dirty,clean",
+        [
+            ("9 St, 10001 NY", "9th Street, 10001 NY"),
+            ("3 E Ave, 10001 NY", "3rd E Avenue, 10001 NY"),
+            ("21 Blvd, 10001 New York", "21st Boulevard, 10001 NY"),
+            ("Oak Rd, 10001 California", "Oak Road, 10001 CA"),
+            ("11 St, 10001 NY", "11th Street, 10001 NY"),
+            ("12 St, 10001 NY", "12th Street, 10001 NY"),
+        ],
+    )
+    def test_covered_families(self, dirty, clean):
+        assert address_rules().apply(dirty) == clean
+
+    def test_dotted_abbreviation_near_miss(self):
+        """The authentic gap: 'St.' leaves a stray period behind."""
+        assert address_rules().apply("9th St., 10001 NY") == "9th Street., 10001 NY"
+
+    def test_direction_gap(self):
+        """Directions were never handled (recall gap)."""
+        assert "East" in address_rules().apply("9th East Avenue, 10001 NY")
+
+
+class TestAuthorListRules:
+    def test_paper_examples(self):
+        rules = authorlist_rules()
+        assert rules.apply("carroll, john (edt)") == "john carroll"
+        assert rules.apply("fox, dan box, jon") == "dan fox, jon box"
+        assert rules.apply("knuth, donald") == "donald knuth"
+
+    def test_nickname_gap(self):
+        # Regex cannot know bob == robert: untouched.
+        assert authorlist_rules().apply("bob fox") == "bob fox"
+
+    def test_missing_separator_gap(self):
+        value = "levy, margipowell, philip"
+        assert authorlist_rules().apply(value) != "margi levy, philip powell"
+
+
+class TestJournalTitleRules:
+    @pytest.mark.parametrize(
+        "dirty,clean",
+        [
+            ("J of Applied Biology", "Journal of Applied Biology"),
+            ("J. of Applied Biology", "Journal of Applied Biology"),
+            ("Int Journal of Physics", "International Journal of Physics"),
+            ("Annals of Chemistry.", "Annals of Chemistry"),
+            ("Archives of Geology & History", "Archives of Geology and History"),
+        ],
+    )
+    def test_covered_families(self, dirty, clean):
+        assert journaltitle_rules().apply(dirty) == clean
+
+    def test_all_caps_title_cased(self):
+        out = journaltitle_rules().apply("JOURNAL OF APPLIED BIOLOGY")
+        assert out == "Journal of Applied Biology"
+
+    def test_field_abbreviation_gap(self):
+        # ISO-4 field abbreviations were not covered by the user.
+        assert journaltitle_rules().apply("Journal of Appl Biol") != (
+            "Journal of Applied Biology"
+        )
+
+
+class TestRulesFor:
+    def test_lookup(self):
+        assert rules_for("Address").name == "address-wrangler"
+        assert rules_for("AuthorList").name == "authorlist-wrangler"
+        assert rules_for("JournalTitle").name == "journaltitle-wrangler"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            rules_for("Nope")

@@ -1,0 +1,95 @@
+"""Tests for the plain-language program explanations."""
+
+import pytest
+
+from repro.core.explain import (
+    describe_function,
+    describe_position,
+    describe_term,
+    explain_program,
+)
+from repro.core.functions import ConstantStr, Prefix, SubStr, Suffix
+from repro.core.positions import BEGIN, END, ConstPos, MatchPos
+from repro.core.program import make_program
+from repro.core.terms import CAPITALS, ConstTerm, LOWERCASE, WHITESPACE
+
+
+class TestDescribeTerm:
+    def test_regex_terms(self):
+        assert describe_term(CAPITALS) == "capital-letter run"
+        assert describe_term(LOWERCASE) == "lowercase-letter run"
+
+    def test_const_term(self):
+        assert describe_term(ConstTerm("Mr.")) == "literal 'Mr.'"
+
+
+class TestDescribePosition:
+    def test_string_ends(self):
+        assert describe_position(ConstPos(1)) == "the start of the string"
+        assert describe_position(ConstPos(-1)) == "the end of the string"
+
+    def test_absolute_positions(self):
+        assert describe_position(ConstPos(3)) == "position 3"
+        assert describe_position(ConstPos(-4)) == "position 3 from the end"
+
+    def test_match_positions(self):
+        assert (
+            describe_position(MatchPos(CAPITALS, 1, BEGIN))
+            == "the start of the 1st capital-letter run"
+        )
+        assert (
+            describe_position(MatchPos(CAPITALS, -1, END))
+            == "the end of the last capital-letter run"
+        )
+        assert "2nd" in describe_position(MatchPos(LOWERCASE, 2, BEGIN))
+
+
+class TestDescribeFunction:
+    def test_constant(self):
+        assert describe_function(ConstantStr(". ")) == "append '. '"
+
+    def test_substr(self):
+        text = describe_function(
+            SubStr(ConstPos(1), MatchPos(LOWERCASE, 1, END))
+        )
+        assert text.startswith("take the text from the start of the string")
+        assert "lowercase-letter run" in text
+
+    def test_affixes(self):
+        assert "leading part" in describe_function(Prefix(LOWERCASE, 1))
+        assert "trailing part" in describe_function(Suffix(LOWERCASE, -1))
+
+
+class TestExplainProgram:
+    def test_paper_program(self):
+        # Figure 3's f2 ⊕ f3 ⊕ f1.
+        program = make_program(
+            [
+                SubStr(MatchPos(WHITESPACE, 1, END), MatchPos(CAPITALS, -1, END)),
+                ConstantStr(". "),
+                SubStr(MatchPos(CAPITALS, 1, BEGIN), MatchPos(LOWERCASE, 1, END)),
+            ]
+        )
+        text = explain_program(program)
+        assert text.count("then") == 2
+        assert "append '. '" in text
+
+    def test_empty_program(self):
+        assert explain_program(make_program([])) == "produce the empty string"
+
+    def test_every_group_program_is_explainable(self):
+        """explain_program must never crash on real search output."""
+        from repro.core.grouping import unsupervised_grouping
+        from repro.core.replacement import Replacement
+
+        candidates = [
+            Replacement("Lee, Mary", "M. Lee"),
+            Replacement("Smith, James", "J. Smith"),
+            Replacement("Street", "St"),
+            Replacement("Avenue", "Ave"),
+            Replacement("9th", "9"),
+            Replacement("3rd", "3"),
+        ]
+        for group in unsupervised_grouping(candidates).groups:
+            text = explain_program(group.program)
+            assert isinstance(text, str) and text

@@ -1,0 +1,121 @@
+"""Tests for string functions, including the affix extension."""
+
+import pytest
+
+from repro.core.functions import (
+    ConstantStr,
+    Prefix,
+    SubStr,
+    Suffix,
+    label_sort_key,
+)
+from repro.core.positions import BEGIN, END, ConstPos, MatchPos
+from repro.core.terms import CAPITALS, LOWERCASE, MatchContext, WHITESPACE
+
+
+@pytest.fixture
+def lee_mary():
+    return MatchContext("Lee, Mary")
+
+
+class TestConstantStr:
+    def test_outputs_constant(self, lee_mary):
+        # Paper Example B.2: ConstantStr("MIT") = "MIT".
+        assert ConstantStr("MIT").outputs(lee_mary) == ["MIT"]
+
+    def test_produces(self, lee_mary):
+        assert ConstantStr("x").produces(lee_mary, "x")
+        assert not ConstantStr("x").produces(lee_mary, "y")
+
+
+class TestSubStr:
+    def test_paper_example(self, lee_mary):
+        # Example B.2: SubStr(MatchPos(TC,1,B), MatchPos(Tl,1,E)) = "Lee".
+        fn = SubStr(MatchPos(CAPITALS, 1, BEGIN), MatchPos(LOWERCASE, 1, END))
+        assert fn.outputs(lee_mary) == ["Lee"]
+
+    def test_figure3_f1(self, lee_mary):
+        # f1 = Substring(PA, PB) = "Lee".
+        fn = SubStr(MatchPos(CAPITALS, 1, BEGIN), MatchPos(LOWERCASE, 1, END))
+        assert fn.outputs(lee_mary) == ["Lee"]
+
+    def test_figure3_f2(self, lee_mary):
+        # f2 = Substring(PC, PD) = "M" (between whitespace end and last
+        # capital end).
+        fn = SubStr(MatchPos(WHITESPACE, 1, END), MatchPos(CAPITALS, -1, END))
+        assert fn.outputs(lee_mary) == ["M"]
+
+    def test_const_positions(self, lee_mary):
+        assert SubStr(ConstPos(1), ConstPos(4)).outputs(lee_mary) == ["Lee"]
+
+    def test_invalid_when_left_not_less_than_right(self, lee_mary):
+        assert SubStr(ConstPos(4), ConstPos(4)).outputs(lee_mary) == []
+        assert SubStr(ConstPos(5), ConstPos(4)).outputs(lee_mary) == []
+
+    def test_invalid_when_position_fails(self, lee_mary):
+        fn = SubStr(MatchPos(CAPITALS, 9, BEGIN), ConstPos(4))
+        assert fn.outputs(lee_mary) == []
+
+    def test_produces(self, lee_mary):
+        fn = SubStr(ConstPos(1), ConstPos(4))
+        assert fn.produces(lee_mary, "Lee")
+        assert not fn.produces(lee_mary, "Mary")
+
+
+class TestPrefix:
+    def test_appendix_d_example(self):
+        # Street -> St: 't' is a prefix of the 1st lowercase match 'treet'.
+        ctx = MatchContext("Street")
+        assert Prefix(LOWERCASE, 1).produces(ctx, "t")
+        assert Prefix(LOWERCASE, 1).produces(ctx, "tree")
+
+    def test_avenue_example(self):
+        # Avenue -> Ave: 've' is a prefix of 'venue'.
+        ctx = MatchContext("Avenue")
+        assert Prefix(LOWERCASE, 1).produces(ctx, "ve")
+
+    def test_proper_prefix_only(self):
+        ctx = MatchContext("Street")
+        # The whole match 'treet' is not a *proper* prefix.
+        assert not Prefix(LOWERCASE, 1).produces(ctx, "treet")
+
+    def test_outputs_all_proper_prefixes(self):
+        ctx = MatchContext("abc X")
+        assert Prefix(LOWERCASE, 1).outputs(ctx) == ["a", "ab"]
+
+    def test_backward_index(self):
+        ctx = MatchContext("abc def")
+        assert Prefix(LOWERCASE, -1).produces(ctx, "de")
+
+    def test_missing_match(self):
+        ctx = MatchContext("123")
+        assert Prefix(LOWERCASE, 1).outputs(ctx) == []
+
+
+class TestSuffix:
+    def test_outputs_all_proper_suffixes(self):
+        ctx = MatchContext("abc X")
+        assert Suffix(LOWERCASE, 1).outputs(ctx) == ["bc", "c"]
+
+    def test_produces(self):
+        ctx = MatchContext("Street")
+        assert Suffix(LOWERCASE, 1).produces(ctx, "reet")
+        assert not Suffix(LOWERCASE, 1).produces(ctx, "treet")
+
+    def test_missing_match(self):
+        ctx = MatchContext("123")
+        assert Suffix(LOWERCASE, 1).outputs(ctx) == []
+
+
+class TestLabelSortKey:
+    def test_substr_sorts_before_affix_and_const(self, lee_mary):
+        substr = SubStr(ConstPos(1), ConstPos(4))
+        prefix = Prefix(LOWERCASE, 1)
+        const = ConstantStr("Lee")
+        ordered = sorted([const, prefix, substr], key=label_sort_key)
+        assert ordered == [substr, prefix, const]
+
+    def test_deterministic_on_equal_class(self):
+        a = ConstantStr("a")
+        b = ConstantStr("b")
+        assert label_sort_key(a) < label_sort_key(b)

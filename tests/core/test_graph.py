@@ -1,0 +1,133 @@
+"""Tests for transformation graph construction (Definition 2, App. C)."""
+
+import pytest
+
+from repro.config import Config
+from repro.core.functions import ConstantStr, Prefix, SubStr, Suffix
+from repro.core.graph import build_graph
+from repro.core.program import Program
+from repro.core.terms import MatchContext
+
+
+@pytest.fixture
+def lee_graph():
+    return build_graph("Lee, Mary", "M. Lee")
+
+
+class TestShape:
+    def test_node_count(self, lee_graph):
+        # |t|+1 nodes for t = "M. Lee" (Definition 2).
+        assert lee_graph.num_nodes == 7
+        assert lee_graph.last_node == 7
+
+    def test_all_21_spans_with_permissive_config(self):
+        # An edge (i, j) for every 1 <= i < j <= |t|+1: 21 edges (the
+        # paper's Example 4.1 mentions all 21).  The default config's
+        # aligned-constants static order drops unlabeled edges, so the
+        # full count shows under a permissive config.
+        config = Config(aligned_constants=False, boundary_positions_only=False)
+        graph = build_graph("Lee, Mary", "M. Lee", config=config)
+        assert len(graph.edges) == 21
+        for (i, j), labels in graph.edges.items():
+            assert ConstantStr("M. Lee"[i - 1 : j - 1]) in labels
+
+    def test_aligned_edges_have_constant_label(self, lee_graph):
+        # Unit boundaries of "M. Lee" are {1,2,3,4,7}; every aligned
+        # span keeps its ConstantStr label.
+        for i, j in [(1, 2), (2, 3), (3, 4), (4, 7), (1, 7), (2, 4)]:
+            assert ConstantStr("M. Lee"[i - 1 : j - 1]) in lee_graph.labels(i, j)
+
+    def test_unaligned_span_has_no_constant_label(self, lee_graph):
+        # (5, 6) splits the "ee" run: no per-character constants.
+        assert ConstantStr("e") not in lee_graph.labels(5, 6)
+
+    def test_out_edges_sorted(self, lee_graph):
+        for i, pairs in lee_graph.out_edges.items():
+            targets = [j for j, _ in pairs]
+            assert targets == sorted(targets)
+
+
+class TestLabelCorrectness:
+    def test_example_4_1_e47_contains_f1(self, lee_graph):
+        # Edge e4,7 = "Lee" must carry a SubStr extracting "Lee".
+        labels = lee_graph.labels(4, 7)
+        ctx = MatchContext("Lee, Mary")
+        substrs = [l for l in labels if isinstance(l, SubStr)]
+        assert substrs, "expected SubStr labels on e4,7"
+        assert all(l.outputs(ctx) == ["Lee"] for l in substrs)
+
+    def test_full_constant_label_on_e17(self, lee_graph):
+        assert ConstantStr("M. Lee") in lee_graph.labels(1, 7)
+
+    def test_every_label_produces_the_edge_substring(self, lee_graph):
+        """The graph invariant: every label on edge (i, j) outputs
+        t[i, j) when applied to s."""
+        ctx = MatchContext("Lee, Mary")
+        for (i, j), labels in lee_graph.edges.items():
+            expected = "M. Lee"[i - 1 : j - 1]
+            for label in labels:
+                assert label.produces(ctx, expected), (
+                    f"label {label!r} on edge ({i},{j}) does not produce "
+                    f"{expected!r}"
+                )
+
+    def test_paper_consistent_path_exists(self, lee_graph):
+        # The Figure 3 program f2 ⊕ f3 ⊕ f1 corresponds to a path
+        # n1 -> n2 -> n4 -> n7; each hop must exist with a suitable label.
+        ctx = MatchContext("Lee, Mary")
+        assert any(l.produces(ctx, "M") for l in lee_graph.labels(1, 2))
+        assert any(l.produces(ctx, ". ") for l in lee_graph.labels(2, 4))
+        assert any(l.produces(ctx, "Lee") for l in lee_graph.labels(4, 7))
+
+
+class TestAffixLabels:
+    def test_street_st_prefix(self):
+        # Example D.1: edge e2,3 of Street -> St has Prefix(Tl, 1).
+        graph = build_graph("Street", "St")
+        labels = graph.labels(2, 3)
+        assert any(isinstance(l, Prefix) for l in labels)
+
+    def test_avenue_ave_prefix(self):
+        graph = build_graph("Avenue", "Ave")
+        labels = graph.labels(2, 4)
+        assert any(isinstance(l, Prefix) for l in labels)
+
+    def test_longest_only_rule(self):
+        # For Street -> Stre, prefixes 't', 'tr', 'tre' of 'treet' all
+        # start at node 2; only the longest ('tre', edge (2,5)) is
+        # labeled (static order, Appendix E).
+        graph = build_graph("Street", "Stre")
+        assert any(isinstance(l, Prefix) for l in graph.labels(2, 5))
+        assert not any(isinstance(l, Prefix) for l in graph.labels(2, 4))
+        assert not any(isinstance(l, Prefix) for l in graph.labels(2, 3))
+
+    def test_suffix_labels(self):
+        # "reet" is a proper suffix of 'treet'.
+        graph = build_graph("Street", "reet")
+        assert any(isinstance(l, Suffix) for l in graph.labels(1, 5))
+
+    def test_no_affix_when_disabled(self):
+        config = Config(use_affix=False)
+        graph = build_graph("Street", "St", config=config)
+        for _, labels in graph.edges.items():
+            assert not any(isinstance(l, (Prefix, Suffix)) for l in labels)
+
+
+class TestGuards:
+    def test_oversized_strings_get_no_graph(self):
+        config = Config(max_string_length=10)
+        assert build_graph("a" * 11, "b", config=config) is None
+        assert build_graph("a", "b" * 11, config=config) is None
+
+    def test_empty_target_gets_no_graph(self):
+        assert build_graph("abc", "") is None
+
+    def test_empty_source_gets_no_graph(self):
+        assert build_graph("", "abc") is None
+
+    def test_position_function_cap_respected(self):
+        config = Config(max_position_functions=1, max_substr_labels_per_edge=1)
+        graph = build_graph("ab", "ab", config=config)
+        for _, labels in graph.edges.items():
+            substrs = [l for l in labels if isinstance(l, SubStr)]
+            assert len(substrs) <= config.max_occurrences_per_edge

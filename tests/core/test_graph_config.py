@@ -1,0 +1,86 @@
+"""Tests for the static-order configuration knobs of graph building
+(DESIGN.md §5.11)."""
+
+import pytest
+
+from repro.config import Config
+from repro.core.functions import ConstantStr, SubStr
+from repro.core.graph import _unit_boundaries, build_graph
+from repro.core.terms import MatchContext
+
+
+class TestUnitBoundaries:
+    def test_paper_example(self):
+        # "M. Lee" decomposes as [C][.][b][C][ll]: boundaries 1,2,3,4,5,7.
+        assert _unit_boundaries("M. Lee") == frozenset({1, 2, 3, 4, 5, 7})
+
+    def test_single_run(self):
+        assert _unit_boundaries("abc") == frozenset({1, 4})
+
+    def test_punctuation_units(self):
+        # Each non-class char is its own unit.
+        assert _unit_boundaries("a--b") == frozenset({1, 2, 3, 4, 5})
+
+    def test_digit_letter_transition(self):
+        assert _unit_boundaries("9th") == frozenset({1, 2, 4})
+
+
+class TestAlignedConstants:
+    def test_full_target_constant_always_present(self):
+        graph = build_graph("abc", "zzz", config=Config(scored_constants=False))
+        assert ConstantStr("zzz") in graph.labels(1, 4)
+
+    def test_mid_run_constants_absent_by_default(self):
+        graph = build_graph("abc", "xyz", config=Config(scored_constants=False))
+        assert ConstantStr("y") not in graph.labels(2, 3)
+
+    def test_mid_run_constants_present_when_disabled(self):
+        config = Config(aligned_constants=False, scored_constants=False)
+        graph = build_graph("abc", "xyz", config=config)
+        assert ConstantStr("y") in graph.labels(2, 3)
+
+
+class TestBoundaryPositions:
+    def test_mid_token_substr_absent_by_default(self):
+        # Extracting "ab" from "abc" requires a position function at 3
+        # (mid-run): unavailable under boundary_positions_only.
+        graph = build_graph("abc", "ab")
+        assert not any(
+            isinstance(l, SubStr) for l in graph.labels(1, 3)
+        )
+
+    def test_mid_token_substr_present_when_disabled(self):
+        config = Config(boundary_positions_only=False)
+        graph = build_graph("abc", "ab", config=config)
+        assert any(isinstance(l, SubStr) for l in graph.labels(1, 3))
+
+    def test_affix_still_covers_mid_token(self):
+        # The designed escape hatch: "ab" is a proper prefix of "abc".
+        from repro.core.functions import Prefix
+
+        graph = build_graph("abc", "ab")
+        assert any(isinstance(l, Prefix) for l in graph.labels(1, 3))
+
+    def test_whole_token_substr_survives(self):
+        graph = build_graph("abc def", "def")
+        ctx = MatchContext("abc def")
+        substrs = [l for l in graph.labels(1, 4) if isinstance(l, SubStr)]
+        assert substrs
+        assert all(l.produces(ctx, "def") for l in substrs)
+
+
+class TestScoredConstantsWhitelist:
+    def test_whitelist_blocks_rare_tokens(self):
+        graph = build_graph(
+            "abc", "xy z", constant_whitelist=frozenset({"xy"})
+        )
+        # "xy" aligned and whitelisted.
+        assert ConstantStr("xy") in graph.labels(1, 3)
+        # "z" not whitelisted: no label on its edge...
+        assert ConstantStr("z") not in graph.labels(4, 5)
+        # ...but the full target stays (completeness).
+        assert ConstantStr("xy z") in graph.labels(1, 5)
+
+    def test_separators_always_pass(self):
+        graph = build_graph("abc", "x, y", constant_whitelist=frozenset())
+        assert ConstantStr(", ") in graph.labels(2, 4)

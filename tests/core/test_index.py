@@ -1,0 +1,115 @@
+"""Tests for the inverted index and adjacency-aware intersection,
+validated against the paper's Example 5.1."""
+
+import pytest
+
+from repro.core.functions import ConstantStr, SubStr
+from repro.core.graph import build_graph
+from repro.core.index import InvertedIndex
+from repro.core.positions import BEGIN, END, MatchPos
+from repro.core.terms import CAPITALS, LOWERCASE, MatchContext, WHITESPACE
+
+
+@pytest.fixture
+def example_51_index():
+    """Example 5.1: three replacement graphs."""
+    index = InvertedIndex()
+    g1 = build_graph("Lee, Mary", "M. Lee")
+    g2 = build_graph("Smith, James", "J. Smith")
+    g3 = build_graph("Lee, Mary", "Mary Lee")
+    index.add_graphs([g1, g2, g3])
+    return index, g1, g2, g3
+
+
+def _find_label(graph, i, j, produces_text):
+    ctx = MatchContext(graph.source)
+    for label in graph.labels(i, j):
+        if isinstance(label, SubStr) and label.produces(ctx, produces_text):
+            return label
+    raise AssertionError(f"no SubStr label on ({i},{j}) producing {produces_text!r}")
+
+
+class TestPostings:
+    def test_gids_assigned_sequentially(self, example_51_index):
+        index, g1, g2, g3 = example_51_index
+        assert (g1.gid, g2.gid, g3.gid) == (0, 1, 2)
+
+    def test_last_nodes_tracked(self, example_51_index):
+        index, g1, g2, g3 = example_51_index
+        assert index.last_node[g1.gid] == 7
+        assert index.last_node[g2.gid] == 9
+        assert index.last_node[g3.gid] == 9
+
+    def test_constant_posting_single_graph(self, example_51_index):
+        index, g1, _, _ = example_51_index
+        posting = index.posting(ConstantStr("M. Lee"))
+        assert set(posting) == {g1.gid}
+        assert posting[g1.gid] == {1: (7,)}
+
+    def test_posting_size_counts_graphs(self, example_51_index):
+        index, g1, g2, g3 = example_51_index
+        # f2-style label: extract the capital after the whitespace;
+        # present in all three graphs (each target starts with it).
+        f2 = SubStr(MatchPos(WHITESPACE, 1, END), MatchPos(CAPITALS, -1, END))
+        assert index.posting_size(f2) == 3
+
+    def test_posting_size_live_filtering(self, example_51_index):
+        index, g1, g2, g3 = example_51_index
+        f2 = SubStr(MatchPos(WHITESPACE, 1, END), MatchPos(CAPITALS, -1, END))
+        assert index.posting_size_live(f2, {g1.gid}) == 1
+        assert index.posting_size_live(f2, None) == 3
+
+    def test_unknown_label_empty(self, example_51_index):
+        index, *_ = example_51_index
+        assert index.posting(ConstantStr("nope")) == {}
+        assert index.posting_size(ConstantStr("nope")) == 0
+
+
+class TestIntersection:
+    def test_example_51_path_intersection(self, example_51_index):
+        """I[f2] ∩ I[f3] ∩ I[f1] = {<G1,1,7>, <G2,1,9>} (Example 5.1)."""
+        index, g1, g2, g3 = example_51_index
+        f2 = _find_label(g1, 1, 2, "M")
+        f3 = ConstantStr(". ")
+        f1 = _find_label(g1, 4, 7, "Lee")
+
+        state = index.initial_state(f2)
+        assert set(state) == {g1.gid, g2.gid, g3.gid}  # all start with a capital
+
+        state = index.extend_state(state, f3)
+        assert set(state) == {g1.gid, g2.gid}  # G3 has no '. '
+
+        state = index.extend_state(state, f1)
+        assert state[g1.gid] == frozenset({7})
+        assert state[g2.gid] == frozenset({9})
+
+        members = index.complete_members(state)
+        assert members == (g1.gid, g2.gid)
+
+    def test_adjacency_required(self, example_51_index):
+        """Non-adjacent edges must not join (Section 5.1)."""
+        index, g1, _, _ = example_51_index
+        f2 = _find_label(g1, 1, 2, "M")
+        f1 = _find_label(g1, 4, 7, "Lee")
+        state = index.initial_state(f2)  # ends at node 2
+        state = index.extend_state(state, f1)  # needs start node 2, not 4
+        assert g1.gid not in state
+
+    def test_initial_state_requires_start_node_one(self, example_51_index):
+        index, g1, _, _ = example_51_index
+        f1 = _find_label(g1, 4, 7, "Lee")  # starts at node 4
+        state = index.initial_state(f1)
+        assert g1.gid not in state
+
+    def test_live_filtering_in_joins(self, example_51_index):
+        index, g1, g2, g3 = example_51_index
+        f2 = _find_label(g1, 1, 2, "M")
+        state = index.initial_state(f2, live={g2.gid})
+        assert set(state) == {g2.gid}
+
+    def test_state_size_with_live(self, example_51_index):
+        index, g1, g2, g3 = example_51_index
+        f2 = _find_label(g1, 1, 2, "M")
+        state = index.initial_state(f2)
+        assert index.state_size(state) == 3
+        assert index.state_size(state, {g1.gid, g2.gid}) == 2

@@ -1,0 +1,86 @@
+"""Tests for the exact optimal-partition solver (Definition 3)."""
+
+import pytest
+
+from repro.config import Config
+from repro.core.grouping import unsupervised_grouping
+from repro.core.graph import build_graph
+from repro.core.optimal import (
+    enumerate_paths,
+    minimum_partition_size,
+    path_cover_sets,
+)
+from repro.core.program import Program
+from repro.core.replacement import Replacement
+
+TINY = Config(max_path_length=4)
+
+
+class TestEnumeratePaths:
+    def test_paths_are_consistent_programs(self):
+        graph = build_graph("9th", "9")
+        for path in enumerate_paths(graph, max_length=4):
+            assert Program(path).produces("9th", "9")
+
+    def test_includes_trivial_constant_path(self):
+        graph = build_graph("abc", "xyz")
+        keys = {tuple(f.canonical() for f in p) for p in enumerate_paths(graph, 4)}
+        assert (("const", "xyz"),) in keys
+
+    def test_cap_enforced(self):
+        graph = build_graph("Lee, Mary", "M. Lee")
+        with pytest.raises(ValueError):
+            enumerate_paths(graph, max_length=6, cap=3)
+
+
+class TestPathCoverSets:
+    def test_shared_path_covers_both(self):
+        replacements = [Replacement("9th", "9"), Replacement("3rd", "3")]
+        cover = path_cover_sets(replacements, config=TINY)
+        assert frozenset({0, 1}) in set(cover.values())
+
+    def test_every_replacement_covered(self):
+        replacements = [Replacement("9th", "9"), Replacement("ab", "cd")]
+        cover = path_cover_sets(replacements, config=TINY)
+        covered = set()
+        for members in cover.values():
+            covered |= members
+        assert covered == {0, 1}
+
+
+class TestMinimumPartition:
+    def test_empty(self):
+        assert minimum_partition_size([]) == 0
+
+    def test_singleton(self):
+        assert minimum_partition_size([Replacement("a b", "b a")], config=TINY) == 1
+
+    def test_groupable_pair_needs_one_group(self):
+        replacements = [Replacement("9th", "9"), Replacement("3rd", "3")]
+        assert minimum_partition_size(replacements, config=TINY) == 1
+
+    def test_ungroupable_pair_needs_two(self):
+        replacements = [Replacement("9th", "9"), Replacement("x", "yy")]
+        assert minimum_partition_size(replacements, config=TINY) == 2
+
+    def test_greedy_never_beats_optimal(self):
+        """The greedy pivot partition is valid, hence >= the optimum."""
+        replacements = [
+            Replacement("9th", "9"),
+            Replacement("3rd", "3"),
+            Replacement("21st", "21"),
+            Replacement("ab", "ba"),
+        ]
+        optimal = minimum_partition_size(replacements, config=TINY)
+        greedy = len(unsupervised_grouping(replacements, config=TINY).groups)
+        assert greedy >= optimal
+
+    def test_greedy_matches_optimal_on_clean_families(self):
+        replacements = [
+            Replacement("9th", "9"),
+            Replacement("3rd", "3"),
+            Replacement("45th", "45"),
+        ]
+        optimal = minimum_partition_size(replacements, config=TINY)
+        greedy = len(unsupervised_grouping(replacements, config=TINY).groups)
+        assert greedy == optimal == 1

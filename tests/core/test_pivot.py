@@ -1,0 +1,156 @@
+"""Tests for pivot-path search (Algorithms 3-4, Table 5, Example 5.2)."""
+
+import pytest
+
+from repro.config import Config
+from repro.core.functions import ConstantStr, SubStr
+from repro.core.graph import build_graph
+from repro.core.index import InvertedIndex
+from repro.core.pivot import (
+    GlobalBounds,
+    PivotCandidate,
+    SearchStats,
+    initial_upper_bound,
+    search_pivot,
+)
+from repro.core.program import Program
+
+
+@pytest.fixture
+def example_graphs():
+    """Example 5.1 / 5.2: phi1, phi2, phi3 and their index."""
+    index = InvertedIndex()
+    g1 = build_graph("Lee, Mary", "M. Lee")
+    g2 = build_graph("Smith, James", "J. Smith")
+    g3 = build_graph("Lee, Mary", "Mary Lee")
+    index.add_graphs([g1, g2, g3])
+    return index, g1, g2, g3
+
+
+class TestSearchPivot:
+    def test_paper_table5_trace(self, example_graphs):
+        """Example 5.2: the pivot of G1 is shared by G1 and G2 and
+        produces 'M. Lee' / 'J. Smith' — the f2 ⊕ f3 ⊕ f1 family."""
+        index, g1, g2, g3 = example_graphs
+        found = search_pivot(g1, index)
+        assert found is not None
+        assert found.count == 2
+        assert set(found.members) == {g1.gid, g2.gid}
+        program = Program(found.path)
+        assert program.produces("Lee, Mary", "M. Lee")
+        assert program.produces("Smith, James", "J. Smith")
+
+    def test_transpose_pivot(self, example_graphs):
+        index, g1, g2, g3 = example_graphs
+        found = search_pivot(g3, index)
+        assert found is not None
+        # G3 ("Lee, Mary" -> "Mary Lee") shares no path with the
+        # initialed graphs beyond itself.
+        assert found.count == 1
+        assert Program(found.path).produces("Lee, Mary", "Mary Lee")
+
+    def test_threshold_zero_always_succeeds(self, example_graphs):
+        index, g1, _, _ = example_graphs
+        assert search_pivot(g1, index, threshold=0) is not None
+
+    def test_threshold_filters(self, example_graphs):
+        index, g1, g2, g3 = example_graphs
+        assert search_pivot(g3, index, threshold=1) is None
+        found = search_pivot(g1, index, threshold=1)
+        assert found is not None and found.count == 2
+
+    def test_threshold_at_best_returns_none(self, example_graphs):
+        index, g1, _, _ = example_graphs
+        assert search_pivot(g1, index, threshold=2) is None
+
+    def test_live_filtering(self, example_graphs):
+        index, g1, g2, g3 = example_graphs
+        found = search_pivot(g1, index, live={g1.gid, g3.gid})
+        assert found is not None
+        assert found.count == 1  # G2 excluded, no sharing left
+
+    def test_stats_instrumentation(self, example_graphs):
+        index, g1, _, _ = example_graphs
+        stats = SearchStats()
+        search_pivot(g1, index, stats=stats)
+        assert stats.searches == 1
+        assert stats.expansions > 0
+        assert stats.completions > 0
+
+    def test_oneshot_mode_finds_same_best(self, example_graphs):
+        """Without early termination (OneShot) the best count matches."""
+        index, g1, _, _ = example_graphs
+        config = Config().without_early_termination()
+        pruned = search_pivot(g1, index)
+        full = search_pivot(g1, index, config=config)
+        assert full is not None and pruned is not None
+        assert full.count == pruned.count
+
+    def test_search_is_deterministic(self, example_graphs):
+        index, g1, _, _ = example_graphs
+        a = search_pivot(g1, index)
+        b = search_pivot(g1, index)
+        assert a.path == b.path and a.members == b.members
+
+
+class TestGlobalBounds:
+    def test_record_updates_lower_bounds(self, example_graphs):
+        index, g1, g2, g3 = example_graphs
+        bounds = GlobalBounds()
+        search_pivot(g1, index, bounds=bounds)
+        # Example 5.3: finding the f2 ⊕ f3 ⊕ f1 path sets the global
+        # threshold of G2 (a member of the path's list) to 2.
+        assert bounds.lower(g2.gid) == 2
+        assert bounds.lower(g1.gid) == 2
+
+    def test_witness_survives_refresh(self, example_graphs):
+        index, g1, g2, g3 = example_graphs
+        bounds = GlobalBounds()
+        search_pivot(g1, index, bounds=bounds)
+        bounds.refresh({g1.gid, g2.gid, g3.gid})
+        assert bounds.lower(g1.gid) == 2
+
+    def test_refresh_filters_dead_members(self, example_graphs):
+        index, g1, g2, g3 = example_graphs
+        bounds = GlobalBounds()
+        search_pivot(g1, index, bounds=bounds)
+        bounds.refresh({g1.gid, g3.gid})  # G2 removed
+        assert bounds.lower(g1.gid) == 1  # witness filtered down to {G1}
+
+    def test_best_witness(self, example_graphs):
+        index, g1, g2, g3 = example_graphs
+        bounds = GlobalBounds()
+        search_pivot(g1, index, bounds=bounds)
+        top = bounds.best({g1.gid, g2.gid, g3.gid})
+        assert top is not None and top.count == 2
+
+    def test_global_floor_speeds_second_search(self, example_graphs):
+        """After searching G1, G2's floor prunes paths below 2."""
+        index, g1, g2, g3 = example_graphs
+        bounds = GlobalBounds()
+        search_pivot(g1, index, bounds=bounds)
+        stats = SearchStats()
+        found = search_pivot(g2, index, bounds=bounds, stats=stats)
+        assert found is not None and found.count == 2
+
+
+class TestUpperBounds:
+    def test_lemma_6_2_bound_holds(self, example_graphs):
+        index, g1, g2, g3 = example_graphs
+        for graph in (g1, g2, g3):
+            found = search_pivot(graph, index)
+            assert found.count <= initial_upper_bound(graph, index)
+
+    def test_example_6_3_g3_bound_is_1(self, example_graphs):
+        """Example 6.1: the upper bound of G3 is 1 — some position of
+        'Mary Lee' is only producible by G3-specific labels."""
+        index, g1, g2, g3 = example_graphs
+        assert initial_upper_bound(g3, index) >= 1
+        # G1's bound must be at least its true pivot count (2).
+        assert initial_upper_bound(g1, index) >= 2
+
+    def test_budget_truncation_still_returns_path(self, example_graphs):
+        index, g1, _, _ = example_graphs
+        config = Config(max_search_expansions=3)
+        found = search_pivot(g1, index, config=config)
+        assert found is not None  # best-so-far under a tiny budget

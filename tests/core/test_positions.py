@@ -1,0 +1,103 @@
+"""Tests for position functions against the paper's Appendix B examples."""
+
+import pytest
+
+from repro.core.positions import (
+    BEGIN,
+    END,
+    ConstPos,
+    MatchPos,
+    position_candidates,
+)
+from repro.core.terms import CAPITALS, LOWERCASE, MatchContext, WHITESPACE
+
+
+@pytest.fixture
+def lee_mary():
+    return MatchContext("Lee, Mary")
+
+
+class TestConstPos:
+    def test_forward_example(self, lee_mary):
+        # Paper Example B.1: ConstPos(2) = 2.
+        assert ConstPos(2).evaluate(lee_mary) == 2
+
+    def test_backward_example(self, lee_mary):
+        # Paper Example B.1: ConstPos(-5) = 9 + 2 - 5 = 6.
+        assert ConstPos(-5).evaluate(lee_mary) == 6
+
+    def test_forward_bound(self, lee_mary):
+        assert ConstPos(10).evaluate(lee_mary) == 10  # |s|+1
+        assert ConstPos(11).evaluate(lee_mary) is None
+
+    def test_backward_bound(self, lee_mary):
+        assert ConstPos(-1).evaluate(lee_mary) == 10
+        assert ConstPos(-10).evaluate(lee_mary) == 1
+        assert ConstPos(-11).evaluate(lee_mary) is None
+
+    def test_zero_is_invalid(self, lee_mary):
+        assert ConstPos(0).evaluate(lee_mary) is None
+
+
+class TestMatchPos:
+    def test_paper_example_begin(self, lee_mary):
+        # Example B.1: MatchPos(TC, 2, B) = 6.
+        assert MatchPos(CAPITALS, 2, BEGIN).evaluate(lee_mary) == 6
+
+    def test_paper_example_end(self, lee_mary):
+        # Example B.1: MatchPos(TC, 2, E) = 7.
+        assert MatchPos(CAPITALS, 2, END).evaluate(lee_mary) == 7
+
+    def test_figure3_pa(self, lee_mary):
+        # Figure 4: PA (begin of 1st capitals match) = 1.
+        assert MatchPos(CAPITALS, 1, BEGIN).evaluate(lee_mary) == 1
+
+    def test_figure3_pb(self, lee_mary):
+        # PB: end of 1st lowercase match ("ee") = 4.
+        assert MatchPos(LOWERCASE, 1, END).evaluate(lee_mary) == 4
+
+    def test_figure3_pc(self, lee_mary):
+        # PC: end of 1st whitespace match = 6.
+        assert MatchPos(WHITESPACE, 1, END).evaluate(lee_mary) == 6
+
+    def test_figure3_pd(self, lee_mary):
+        # PD: end of last (-1st) capitals match = 7.
+        assert MatchPos(CAPITALS, -1, END).evaluate(lee_mary) == 7
+
+    def test_backward_index(self, lee_mary):
+        assert MatchPos(CAPITALS, -2, BEGIN).evaluate(lee_mary) == 1
+
+    def test_out_of_range(self, lee_mary):
+        assert MatchPos(CAPITALS, 3, BEGIN).evaluate(lee_mary) is None
+        assert MatchPos(CAPITALS, -3, BEGIN).evaluate(lee_mary) is None
+
+    def test_zero_is_invalid(self, lee_mary):
+        assert MatchPos(CAPITALS, 0, BEGIN).evaluate(lee_mary) is None
+
+
+class TestPositionCandidates:
+    def test_every_position_has_candidates(self, lee_mary):
+        table = position_candidates(lee_mary)
+        assert set(table) == set(range(1, 11))
+        assert all(table[k] for k in table)
+
+    def test_candidates_locate_their_position(self, lee_mary):
+        table = position_candidates(lee_mary)
+        for position, functions in table.items():
+            for fn in functions:
+                assert fn.evaluate(lee_mary) == position
+
+    def test_truncation(self, lee_mary):
+        table = position_candidates(lee_mary, max_per_position=2)
+        assert all(len(fns) <= 2 for fns in table.values())
+
+    def test_static_order_prefers_matchpos(self, lee_mary):
+        # Position 1 is located by both MatchPos(TC, 1, B) and
+        # ConstPos(1); the static order puts MatchPos first.
+        table = position_candidates(lee_mary, max_per_position=1)
+        assert isinstance(table[1][0], MatchPos)
+
+    def test_constpos_always_present_untruncated(self, lee_mary):
+        table = position_candidates(lee_mary)
+        # Position 5 (the space) gets ConstPos among others.
+        assert any(isinstance(fn, ConstPos) for fn in table[5])

@@ -1,0 +1,84 @@
+"""Tests for transformation programs (Definition 5, Example B.3)."""
+
+import pytest
+
+from repro.core.functions import ConstantStr, Prefix, SubStr
+from repro.core.positions import BEGIN, END, ConstPos, MatchPos
+from repro.core.program import Program, make_program
+from repro.core.terms import CAPITALS, LOWERCASE, WHITESPACE
+
+
+@pytest.fixture
+def paper_program():
+    """The Figure 3 / Example B.3 program: f2 ⊕ f3 ⊕ f1."""
+    f1 = SubStr(MatchPos(CAPITALS, 1, BEGIN), MatchPos(LOWERCASE, 1, END))
+    f2 = SubStr(MatchPos(WHITESPACE, 1, END), MatchPos(CAPITALS, -1, END))
+    f3 = ConstantStr(". ")
+    return make_program([f2, f3, f1])
+
+
+class TestEvaluate:
+    def test_paper_example(self, paper_program):
+        # rho("Lee, Mary") = "M. Lee" (Figure 4).
+        assert paper_program.evaluate("Lee, Mary") == {"M. Lee"}
+
+    def test_paper_example_generalizes(self, paper_program):
+        # The same program transposes any "Last, First" name.
+        assert paper_program.evaluate("Smith, James") == {"J. Smith"}
+
+    def test_evaluate_unique(self, paper_program):
+        assert paper_program.evaluate_unique("Lee, Mary") == "M. Lee"
+
+    def test_failing_function_empties_output(self, paper_program):
+        # No whitespace -> f2 fails -> no output at all.
+        assert paper_program.evaluate("LeeMary") == set()
+
+    def test_affix_multivalued(self):
+        program = make_program([Prefix(LOWERCASE, 1)])
+        assert program.evaluate("abc") == {"a", "ab"}
+
+    def test_empty_program_produces_empty_string(self):
+        assert make_program([]).evaluate("anything") == {""}
+
+
+class TestProduces:
+    def test_consistent_replacement(self, paper_program):
+        assert paper_program.produces("Lee, Mary", "M. Lee")
+
+    def test_inconsistent_replacement(self, paper_program):
+        assert not paper_program.produces("Lee, Mary", "Mary Lee")
+
+    def test_affix_consistency_appendix_d(self):
+        # SubStr(capitals) ⊕ Prefix(Tl, 1) expresses both
+        # Street -> St and Avenue -> Ave (Example D.1).
+        program = make_program(
+            [
+                SubStr(MatchPos(CAPITALS, 1, BEGIN), MatchPos(CAPITALS, 1, END)),
+                Prefix(LOWERCASE, 1),
+            ]
+        )
+        assert program.produces("Street", "St")
+        assert program.produces("Avenue", "Ave")
+        assert not program.produces("Street", "Ave")
+
+    def test_produces_requires_full_consumption(self):
+        program = make_program([ConstantStr("M")])
+        assert not program.produces("x", "M. Lee")
+        assert program.produces("x", "M")
+
+
+class TestProgramIdentity:
+    def test_canonical_is_stable(self, paper_program):
+        assert paper_program.canonical() == paper_program.canonical()
+
+    def test_equality(self, paper_program):
+        clone = Program(tuple(paper_program.functions))
+        assert clone == paper_program
+
+    def test_describe_mentions_every_function(self, paper_program):
+        text = paper_program.describe()
+        assert "ConstantStr" in text and "SubStr" in text
+
+    def test_len_and_iter(self, paper_program):
+        assert len(paper_program) == 3
+        assert list(paper_program) == list(paper_program.functions)

@@ -1,0 +1,33 @@
+"""Tests for the Replacement value object."""
+
+import pytest
+
+from repro.core.replacement import Replacement
+
+
+class TestReplacement:
+    def test_holds_both_sides(self):
+        r = Replacement("a", "b")
+        assert r.lhs == "a" and r.rhs == "b"
+
+    def test_identical_sides_rejected(self):
+        with pytest.raises(ValueError):
+            Replacement("same", "same")
+
+    def test_reversed(self):
+        r = Replacement("a", "b")
+        assert r.reversed() == Replacement("b", "a")
+        assert r.reversed().reversed() == r
+
+    def test_hashable_and_equal(self):
+        assert Replacement("a", "b") == Replacement("a", "b")
+        assert len({Replacement("a", "b"), Replacement("a", "b")}) == 1
+
+    def test_directed(self):
+        assert Replacement("a", "b") != Replacement("b", "a")
+
+    def test_ordering_is_lexicographic(self):
+        assert Replacement("a", "b") < Replacement("a", "c") < Replacement("b", "a")
+
+    def test_repr(self):
+        assert repr(Replacement("a", "b")) == "'a' -> 'b'"

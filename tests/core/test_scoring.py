@@ -1,0 +1,78 @@
+"""Tests for the Appendix E constant-string scoring."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.replacement import Replacement
+from repro.core.scoring import (
+    global_frequencies,
+    group_frequencies,
+    score_constant,
+    tokenize_for_scoring,
+    top_constant_terms,
+)
+
+
+class TestTokenize:
+    def test_splits_letter_digit_punct_runs(self):
+        assert tokenize_for_scoring("Mr. Lee-9") == ["Mr", ".", "Lee", "-", "9"]
+
+    def test_whitespace_dropped(self):
+        assert tokenize_for_scoring("a  b") == ["a", "b"]
+
+    def test_empty(self):
+        assert tokenize_for_scoring("") == []
+
+
+class TestFrequencies:
+    def test_global_counts(self):
+        counts = global_frequencies(["Mr. Lee", "Mr. Ray"])
+        assert counts["Mr"] == 2
+        assert counts["Lee"] == 1
+
+    def test_group_counts_both_sides(self):
+        counts = group_frequencies([Replacement("Mr. Lee", "Lee")])
+        assert counts["Lee"] == 2
+        assert counts["Mr"] == 1
+
+
+class TestScore:
+    def test_formula(self):
+        # freqStruc / sqrt(freqGlobal) (Appendix E).
+        assert score_constant("x", 4, 16) == 1.0
+
+    def test_zero_global(self):
+        assert score_constant("x", 4, 0) == 0.0
+
+    def test_prefers_group_local_strings(self):
+        # "Mr" frequent in group and globally rare beats a string that
+        # is frequent everywhere.
+        everywhere = score_constant("the", 5, 10000)
+        local = score_constant("Mr", 5, 25)
+        assert local > everywhere
+
+
+class TestTopConstantTerms:
+    def test_selects_group_local_tokens(self):
+        group = [
+            Replacement("Mr. Lee", "Lee"),
+            Replacement("Mr. Ray", "Ray"),
+            Replacement("Mr. Kim", "Kim"),
+        ]
+        counts = Counter({"Mr": 10, "Lee": 500, "Ray": 400, "Kim": 450, ".": 9000})
+        top = top_constant_terms(group, counts, 1)
+        assert top == ["Mr"]
+
+    def test_single_characters_skipped(self):
+        group = [Replacement("a b", "b a")]
+        counts = Counter({"a": 1, "b": 1})
+        assert top_constant_terms(group, counts, 5) == []
+
+    def test_zero_budget(self):
+        assert top_constant_terms([], Counter(), 0) == []
+
+    def test_deterministic_on_ties(self):
+        group = [Replacement("xx yy", "yy xx")]
+        counts = Counter({"xx": 4, "yy": 4})
+        assert top_constant_terms(group, counts, 2) == ["xx", "yy"]

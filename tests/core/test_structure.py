@@ -1,0 +1,89 @@
+"""Tests for structure signatures and refinement (Section 7.2)."""
+
+import pytest
+
+from repro.core.replacement import Replacement
+from repro.core.structure import (
+    partition_by_structure,
+    structurally_equivalent,
+    structure_key,
+    structure_signature,
+)
+
+
+class TestStructureSignature:
+    def test_paper_example_9(self):
+        # Struc("9") = Td (Section 7.2).
+        assert structure_signature("9") == ("d",)
+
+    def test_paper_example_9th(self):
+        # Struc("9th") = Td Tl.
+        assert structure_signature("9th") == ("d", "l")
+
+    def test_runs_collapse(self):
+        assert structure_signature("abc") == ("l",)
+        assert structure_signature("ABC") == ("C",)
+        assert structure_signature("123") == ("d",)
+        assert structure_signature("   ") == ("b",)
+
+    def test_single_char_terms_do_not_collapse(self):
+        # Characters outside the four classes each form their own term.
+        assert structure_signature("--") == ("-", "-")
+
+    def test_mixed(self):
+        assert structure_signature("A-1") == ("C", "-", "d")
+
+    def test_name_structure(self):
+        assert structure_signature("Lee, Mary") == ("C", "l", ",", "b", "C", "l")
+
+    def test_empty(self):
+        assert structure_signature("") == ()
+
+    def test_class_alternation(self):
+        assert structure_signature("a1a") == ("l", "d", "l")
+
+    def test_unicode_nonascii_digit_is_single_char(self):
+        # Non-ASCII digits are not [0-9]: they become single-char terms.
+        assert structure_signature("٣") == ("٣",)
+
+
+class TestStructureEquivalence:
+    def test_paper_example_ordinals(self):
+        # 9 -> 9th and 3 -> 3rd share structure Td -> TdTl (Section 7.2).
+        a = Replacement("9", "9th")
+        b = Replacement("3", "3rd")
+        assert structurally_equivalent(a, b)
+
+    def test_both_sides_must_match(self):
+        a = Replacement("9", "9th")
+        c = Replacement("9", "9-")
+        assert not structurally_equivalent(a, c)
+
+    def test_key_shape(self):
+        key = structure_key(Replacement("9", "9th"))
+        assert key == (("d",), ("d", "l"))
+
+
+class TestPartition:
+    def test_partition_is_disjoint_and_complete(self):
+        replacements = [
+            Replacement("9", "9th"),
+            Replacement("3", "3rd"),
+            Replacement("Street", "St"),
+            Replacement("Avenue", "Ave"),
+            Replacement("Mary Lee", "M. Lee"),
+        ]
+        buckets = partition_by_structure(replacements)
+        scattered = [r for bucket in buckets.values() for r in bucket]
+        assert sorted(scattered) == sorted(replacements)
+        # ordinals together; street words together; the name alone
+        assert len(buckets) == 3
+
+    def test_order_preserved_within_bucket(self):
+        replacements = [Replacement("9", "9th"), Replacement("3", "3rd")]
+        buckets = partition_by_structure(replacements)
+        bucket = buckets[(("d",), ("d", "l"))]
+        assert bucket == replacements
+
+    def test_empty_input(self):
+        assert partition_by_structure([]) == {}

@@ -1,0 +1,104 @@
+"""Tests for the DSL terms and match caching."""
+
+import pytest
+
+from repro.core.terms import (
+    CAPITALS,
+    ConstTerm,
+    DIGITS,
+    LOWERCASE,
+    MatchContext,
+    PUNCTUATION,
+    RegexTerm,
+    TermVocabulary,
+    WHITESPACE,
+)
+
+
+class TestRegexTerm:
+    def test_capitals_matches_maximal_runs(self):
+        assert CAPITALS.matches("Lee, Mary") == [(1, 2), (6, 7)]
+
+    def test_capitals_run_collapses(self):
+        # "ABc" has one maximal capitals run "AB".
+        assert CAPITALS.matches("ABc") == [(1, 3)]
+
+    def test_lowercase_matches(self):
+        assert LOWERCASE.matches("Lee, Mary") == [(2, 4), (7, 10)]
+
+    def test_digits_matches(self):
+        assert DIGITS.matches("9 St, 02141 WI") == [(1, 2), (7, 12)]
+
+    def test_whitespace_matches(self):
+        assert WHITESPACE.matches("a b  c") == [(2, 3), (4, 6)]
+
+    def test_punctuation_matches(self):
+        assert PUNCTUATION.matches("Lee, Mary") == [(4, 5)]
+
+    def test_no_matches(self):
+        assert DIGITS.matches("abc") == []
+
+    def test_empty_string(self):
+        assert CAPITALS.matches("") == []
+
+    def test_positions_are_one_based_half_open(self):
+        # "M" occupies 1-based span [1, 2).
+        assert CAPITALS.matches("Mary") == [(1, 2)]
+
+    def test_repr(self):
+        assert repr(CAPITALS) == "TC"
+
+
+class TestConstTerm:
+    def test_finds_all_occurrences(self):
+        assert ConstTerm("ab").matches("abab") == [(1, 3), (3, 5)]
+
+    def test_occurrences_do_not_overlap(self):
+        assert ConstTerm("aa").matches("aaa") == [(1, 3)]
+
+    def test_absent(self):
+        assert ConstTerm("xyz").matches("abc") == []
+
+    def test_empty_literal_matches_nothing(self):
+        assert ConstTerm("").matches("abc") == []
+
+    def test_repr_contains_literal(self):
+        assert "ab" in repr(ConstTerm("ab"))
+
+
+class TestTermVocabulary:
+    def test_default_has_four_regex_terms(self):
+        vocab = TermVocabulary()
+        assert len(vocab.regex_terms) == 4
+        assert not vocab.constant_terms
+
+    def test_with_constant_terms(self):
+        vocab = TermVocabulary().with_constant_terms(["Mr.", "Dr."])
+        assert {t.literal for t in vocab.constant_terms} == {"Mr.", "Dr."}
+
+    def test_with_constant_terms_dedupes(self):
+        vocab = TermVocabulary().with_constant_terms(["Mr."])
+        vocab = vocab.with_constant_terms(["Mr.", "Dr."])
+        assert len(vocab.constant_terms) == 2
+
+    def test_with_constant_terms_skips_empty(self):
+        vocab = TermVocabulary().with_constant_terms(["", "x"])
+        assert len(vocab.constant_terms) == 1
+
+    def test_all_terms_concatenates(self):
+        vocab = TermVocabulary().with_constant_terms(["q"])
+        assert len(vocab.all_terms) == 5
+
+
+class TestMatchContext:
+    def test_caches_matches(self):
+        ctx = MatchContext("Lee, Mary")
+        first = ctx.matches(CAPITALS)
+        assert ctx.matches(CAPITALS) is first
+
+    def test_len_is_string_length(self):
+        assert len(MatchContext("abcd")) == 4
+
+    def test_vocabulary_attached(self):
+        vocab = TermVocabulary()
+        assert MatchContext("x", vocab).vocabulary is vocab

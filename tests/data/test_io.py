@@ -1,0 +1,111 @@
+"""Tests for CSV / JSON table I/O."""
+
+import pytest
+
+from repro.data.io import (
+    cluster_records,
+    read_csv_clustered,
+    read_csv_clusters,
+    read_csv_records,
+    read_json_clusters,
+    read_json_records,
+    write_csv_clusters,
+    write_golden_csv,
+    write_json_clusters,
+)
+from repro.data.table import CellRef, ClusterTable, Record
+
+
+@pytest.fixture
+def table():
+    t = ClusterTable(["title"])
+    t.add_cluster(
+        "issn1",
+        [
+            Record("r0", {"title": "Journal of Biology"}, "s1"),
+            Record("r1", {"title": "J of Biology"}, "s2"),
+        ],
+    )
+    t.add_cluster("issn2", [Record("r2", {"title": "Physics Letters"}, "s1")])
+    return t
+
+
+class TestCsvRoundTrip:
+    def test_clustered_round_trip(self, table, tmp_path):
+        path = tmp_path / "clusters.csv"
+        write_csv_clusters(table, path)
+        loaded = read_csv_clustered(path)
+        assert loaded.num_clusters == table.num_clusters
+        assert loaded.column_values("title") == table.column_values("title")
+        assert loaded.clusters[0].records[0].source == "s1"
+
+    def test_read_flat_records(self, tmp_path):
+        path = tmp_path / "flat.csv"
+        path.write_text(
+            "issn,title,src\n123,Journal of Biology,a\n123,J of Biology,b\n"
+            "456,Physics Letters,a\n",
+            encoding="utf-8",
+        )
+        records = read_csv_records(path, source_column="src")
+        assert len(records) == 3
+        assert records[0].source == "a"
+        assert records[0].values == {"issn": "123", "title": "Journal of Biology"}
+
+    def test_read_csv_clusters_by_key(self, tmp_path):
+        path = tmp_path / "flat.csv"
+        path.write_text(
+            "issn,title\n123,Journal of Biology\n123,J of Biology\n"
+            "456,Physics Letters\n",
+            encoding="utf-8",
+        )
+        clustered = read_csv_clusters(path, "issn")
+        assert clustered.num_clusters == 2
+        sizes = sorted(len(c) for c in clustered.clusters)
+        assert sizes == [1, 2]
+
+    def test_missing_values_become_empty(self, tmp_path):
+        path = tmp_path / "flat.csv"
+        path.write_text("k,a,b\n1,x,\n", encoding="utf-8")
+        records = read_csv_records(path)
+        assert records[0].values["b"] == ""
+
+
+class TestJsonRoundTrip:
+    def test_clustered_round_trip(self, table, tmp_path):
+        path = tmp_path / "clusters.json"
+        write_json_clusters(table, path)
+        loaded = read_json_clusters(path)
+        assert loaded.num_clusters == table.num_clusters
+        assert loaded.column_values("title") == table.column_values("title")
+        assert loaded.clusters[1].key == "issn2"
+
+    def test_read_flat_json(self, tmp_path):
+        path = tmp_path / "records.json"
+        path.write_text(
+            '[{"__rid__": "a", "__source__": "s9", "title": "X"},'
+            ' {"title": "Y"}]',
+            encoding="utf-8",
+        )
+        records = read_json_records(path)
+        assert records[0].rid == "a" and records[0].source == "s9"
+        assert records[1].values == {"title": "Y"}
+
+
+class TestClusterRecords:
+    def test_key_grouping(self):
+        records = [
+            Record("a", {"k": "1", "v": "x"}),
+            Record("b", {"k": "1", "v": "y"}),
+            Record("c", {"k": "2", "v": "z"}),
+        ]
+        table = cluster_records(records, "k")
+        assert table.num_clusters == 2
+
+
+class TestGoldenExport:
+    def test_write_golden_csv(self, table, tmp_path):
+        path = tmp_path / "golden.csv"
+        write_golden_csv({0: "Journal of Biology", 1: None}, table, "title", path)
+        content = path.read_text(encoding="utf-8")
+        assert "issn1,Journal of Biology" in content
+        assert "issn2," in content

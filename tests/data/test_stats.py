@@ -1,0 +1,67 @@
+"""Tests for Table 6 statistics."""
+
+import pytest
+
+from repro.data.stats import dataset_stats
+from repro.data.table import ClusterTable, Record
+
+
+def table_of(*clusters, column="v"):
+    table = ClusterTable([column])
+    for ci, values in enumerate(clusters):
+        table.add_cluster(
+            f"c{ci}",
+            [Record(f"r{ci}_{i}", {column: v}) for i, v in enumerate(values)],
+        )
+    return table
+
+
+class TestClusterShape:
+    def test_sizes(self):
+        stats = dataset_stats(table_of(["a"], ["b", "c", "d"]), "v")
+        assert stats.records == 4
+        assert stats.clusters == 2
+        assert stats.min_cluster_size == 1
+        assert stats.max_cluster_size == 3
+        assert stats.avg_cluster_size == 2.0
+
+    def test_empty_table(self):
+        stats = dataset_stats(ClusterTable(["v"]), "v")
+        assert stats.records == 0 and stats.distinct_value_pairs == 0
+
+
+class TestDistinctPairs:
+    def test_identical_values_not_counted(self):
+        stats = dataset_stats(table_of(["a", "a", "b"]), "v")
+        assert stats.distinct_value_pairs == 1
+
+    def test_pairs_are_unordered(self):
+        # (a,b) in one cluster and (b,a) in another count once.
+        stats = dataset_stats(table_of(["a", "b"], ["b", "a"]), "v")
+        assert stats.distinct_value_pairs == 1
+
+    def test_cross_cluster_pairs_not_counted(self):
+        stats = dataset_stats(table_of(["a"], ["b"]), "v")
+        assert stats.distinct_value_pairs == 0
+
+
+class TestLabeledSplit:
+    def test_variant_conflict_percentages(self):
+        table = table_of(["a", "b"], ["c", "d"])
+        # Label the (a,b) pair variant, the (c,d) pair conflict.
+        stats = dataset_stats(
+            table, "v", lambda x, y: table.value(x) in ("a", "b")
+        )
+        assert stats.variant_pair_pct == 0.5
+        assert stats.conflict_pair_pct == 0.5
+
+    def test_without_labeler_percentages_none(self):
+        stats = dataset_stats(table_of(["a", "b"]), "v")
+        assert stats.variant_pair_pct is None
+        assert stats.conflict_pair_pct is None
+
+    def test_as_row(self):
+        stats = dataset_stats(table_of(["a", "b"]), "v", lambda x, y: True)
+        row = stats.as_row()
+        assert row[0] == 2  # records
+        assert row[-2] == 100.0  # variant %

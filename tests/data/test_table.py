@@ -1,0 +1,87 @@
+"""Tests for the cluster-table data model."""
+
+import pytest
+
+from repro.data.table import CellRef, Cluster, ClusterTable, Record
+
+
+@pytest.fixture
+def table():
+    t = ClusterTable(["name", "city"])
+    t.add_cluster(
+        "k1",
+        [
+            Record("r0", {"name": "a", "city": "x"}),
+            Record("r1", {"name": "b", "city": "y"}),
+        ],
+    )
+    t.add_cluster("k2", [Record("r2", {"name": "c", "city": "z"})])
+    return t
+
+
+class TestAccess:
+    def test_value_roundtrip(self, table):
+        cell = CellRef(0, 1, "name")
+        assert table.value(cell) == "b"
+        table.set_value(cell, "B")
+        assert table.value(cell) == "B"
+
+    def test_cells_order(self, table):
+        cells = list(table.cells("name"))
+        assert cells == [
+            CellRef(0, 0, "name"),
+            CellRef(0, 1, "name"),
+            CellRef(1, 0, "name"),
+        ]
+
+    def test_cluster_values(self, table):
+        assert table.cluster_values(0, "name") == ["a", "b"]
+        assert table.cluster_values(1, "city") == ["z"]
+
+    def test_column_values(self, table):
+        assert table.column_values("city") == ["x", "y", "z"]
+
+    def test_cluster_cells(self, table):
+        assert table.cluster_cells(1, "name") == [CellRef(1, 0, "name")]
+
+
+class TestShape:
+    def test_counts(self, table):
+        assert table.num_clusters == 2
+        assert table.num_records == 3
+
+    def test_add_cluster_returns_index(self, table):
+        idx = table.add_cluster("k3", [Record("r3", {"name": "d", "city": "w"})])
+        assert idx == 2
+
+    def test_repr(self, table):
+        assert "3 records" in repr(table)
+
+    def test_cluster_len(self):
+        assert len(Cluster("k", [Record("r", {})])) == 1
+
+
+class TestCopy:
+    def test_copy_is_deep_for_values(self, table):
+        clone = table.copy()
+        clone.set_value(CellRef(0, 0, "name"), "changed")
+        assert table.value(CellRef(0, 0, "name")) == "a"
+
+    def test_copy_preserves_structure(self, table):
+        clone = table.copy()
+        assert clone.num_clusters == table.num_clusters
+        assert clone.columns == table.columns
+        assert clone.column_values("name") == table.column_values("name")
+
+    def test_copy_preserves_sources(self):
+        t = ClusterTable(["v"])
+        t.add_cluster("k", [Record("r", {"v": "a"}, source="s9")])
+        assert t.copy().clusters[0].records[0].source == "s9"
+
+
+class TestCellRef:
+    def test_ordering(self):
+        assert CellRef(0, 0, "a") < CellRef(0, 1, "a") < CellRef(1, 0, "a")
+
+    def test_hashable(self):
+        assert len({CellRef(0, 0, "a"), CellRef(0, 0, "a")}) == 1

@@ -1,0 +1,66 @@
+"""Sanity tests for the generator vocabularies."""
+
+import pytest
+
+from repro.datagen import corpus
+
+
+class TestNameCorpora:
+    def test_first_names_nonempty_and_unique(self):
+        assert len(corpus.FIRST_NAMES) > 100
+        assert len(set(corpus.FIRST_NAMES)) == len(corpus.FIRST_NAMES)
+
+    def test_last_names_nonempty_and_unique(self):
+        assert len(corpus.LAST_NAMES) > 100
+        assert len(set(corpus.LAST_NAMES)) == len(corpus.LAST_NAMES)
+
+    def test_nicknames_reference_known_names(self):
+        for full in corpus.NICKNAMES:
+            assert full in corpus.FIRST_NAMES, full
+
+    def test_nicknames_differ_from_full_names(self):
+        for full, nick in corpus.NICKNAMES.items():
+            assert full.lower() != nick.lower(), full
+
+
+class TestAddressCorpora:
+    def test_street_types_have_distinct_abbreviations(self):
+        abbrevs = list(corpus.STREET_TYPES.values())
+        assert len(set(abbrevs)) == len(abbrevs)
+        for full, abbrev in corpus.STREET_TYPES.items():
+            assert abbrev != full and abbrev
+
+    def test_all_51_states(self):
+        assert len(corpus.STATES) == 51  # 50 states + DC
+        for full, abbrev in corpus.STATES.items():
+            assert len(abbrev) == 2 and abbrev.isupper()
+
+    def test_state_abbreviations_unique(self):
+        abbrevs = list(corpus.STATES.values())
+        assert len(set(abbrevs)) == len(abbrevs)
+
+    def test_directions(self):
+        assert set(corpus.DIRECTIONS.values()) == {"E", "W", "N", "S"}
+
+
+class TestJournalCorpora:
+    def test_head_abbreviations_shorter(self):
+        for full, abbrev in corpus.JOURNAL_HEADS.items():
+            assert len(abbrev) < len(full)
+
+    def test_field_abbreviations_are_prefix_like(self):
+        # ISO-4 truncations keep the word's first letter (enables the
+        # Prefix-function grouping path).
+        for full, abbrev in corpus.FIELD_ABBREVIATIONS.items():
+            assert abbrev[0].lower() == full[0].lower(), full
+            assert len(abbrev) < len(full)
+
+    def test_every_field_word_has_an_abbreviation(self):
+        for word in corpus.JOURNAL_FIELDS:
+            assert word in corpus.FIELD_ABBREVIATIONS, word
+        for word in corpus.JOURNAL_QUALIFIERS:
+            assert word in corpus.FIELD_ABBREVIATIONS, word
+
+    def test_annotations_parenthesized(self):
+        for note in corpus.AUTHOR_ANNOTATIONS:
+            assert note.startswith("(") and note.endswith(")")

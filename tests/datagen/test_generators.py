@@ -1,0 +1,160 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.data.stats import dataset_stats
+from repro.datagen import (
+    DATASETS,
+    address_dataset,
+    authorlist_dataset,
+    journaltitle_dataset,
+)
+from repro.datagen.address import canonical_address, make_address, ordinal
+from repro.datagen.base import GeneratorSpec, lowercased
+from repro.datagen.journaltitle import canonical_journal, make_journal
+from repro.datagen.authorlist import canonical_authors, make_author_list
+import random
+
+
+@pytest.fixture(scope="module")
+def small_address():
+    return address_dataset(scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def small_authors():
+    return authorlist_dataset(scale=0.2)
+
+
+@pytest.fixture(scope="module")
+def small_journals():
+    return journaltitle_dataset(scale=0.05)
+
+
+class TestOrdinal:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (1, "1st"), (2, "2nd"), (3, "3rd"), (4, "4th"), (9, "9th"),
+            (11, "11th"), (12, "12th"), (13, "13th"), (21, "21st"),
+            (22, "22nd"), (33, "33rd"), (111, "111th"),
+        ],
+    )
+    def test_suffixes(self, n, expected):
+        assert ordinal(n) == expected
+
+
+class TestGroundTruth:
+    @pytest.mark.parametrize(
+        "fixture", ["small_address", "small_authors", "small_journals"]
+    )
+    def test_every_cell_has_canonical(self, fixture, request):
+        ds = request.getfixturevalue(fixture)
+        for cell in ds.table.cells(ds.column):
+            assert cell in ds.canonical
+
+    @pytest.mark.parametrize(
+        "fixture", ["small_address", "small_authors", "small_journals"]
+    )
+    def test_every_cluster_has_golden(self, fixture, request):
+        ds = request.getfixturevalue(fixture)
+        assert set(ds.golden) == set(range(ds.table.num_clusters))
+
+    def test_labeler_symmetry(self, small_address):
+        ds = small_address
+        is_variant = ds.labeler()
+        cells = list(ds.table.cells(ds.column))[:50]
+        for a in cells[:10]:
+            for b in cells[:10]:
+                assert is_variant(a, b) == is_variant(b, a)
+
+    def test_fresh_table_is_independent(self, small_address):
+        ds = small_address
+        copy = ds.fresh_table()
+        cell = next(iter(copy.cells(ds.column)))
+        copy.set_value(cell, "MUTATED")
+        assert ds.table.value(cell) != "MUTATED"
+
+
+class TestShapes:
+    def test_address_mix_is_conflict_heavy(self, small_address):
+        stats = dataset_stats(
+            small_address.table, small_address.column, small_address.labeler()
+        )
+        assert stats.conflict_pair_pct > 0.5
+
+    def test_journal_mix_is_variant_heavy(self, small_journals):
+        stats = dataset_stats(
+            small_journals.table,
+            small_journals.column,
+            small_journals.labeler(),
+        )
+        assert stats.variant_pair_pct > 0.5
+
+    def test_journal_clusters_are_tiny(self, small_journals):
+        stats = dataset_stats(small_journals.table, small_journals.column)
+        assert stats.avg_cluster_size < 3.0
+
+    def test_scale_controls_size(self):
+        small = address_dataset(scale=0.05)
+        large = address_dataset(scale=0.2)
+        assert large.table.num_clusters > small.table.num_clusters
+
+    def test_generation_is_deterministic(self):
+        a = address_dataset(scale=0.05, seed=3)
+        b = address_dataset(scale=0.05, seed=3)
+        assert a.table.column_values(a.column) == b.table.column_values(b.column)
+
+    def test_seed_changes_data(self):
+        a = address_dataset(scale=0.05, seed=3)
+        b = address_dataset(scale=0.05, seed=4)
+        assert a.table.column_values(a.column) != b.table.column_values(b.column)
+
+
+class TestEntities:
+    def test_canonical_address_format(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            entity = make_address(rng)
+            canon = canonical_address(entity)
+            assert ", " in canon
+            assert canon.rsplit(" ", 1)[1].isupper()  # state abbreviation
+
+    def test_canonical_authors_lowercase(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            entity = make_author_list(rng)
+            assert canonical_authors(entity) == canonical_authors(entity).lower()
+
+    def test_canonical_journal_words(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            entity = make_journal(rng)
+            title = canonical_journal(entity)
+            assert title and "  " not in title
+
+
+class TestLowercased:
+    def test_everything_lowercased(self, small_journals):
+        low = lowercased(small_journals)
+        for cell in low.table.cells(low.column):
+            assert low.table.value(cell) == low.table.value(cell).lower()
+        assert all(v == v.lower() for v in low.golden.values())
+        assert all(v == v.lower() for v in low.canonical.values())
+
+    def test_original_untouched(self, small_journals):
+        values_before = small_journals.table.column_values(small_journals.column)
+        lowercased(small_journals)
+        assert small_journals.table.column_values(
+            small_journals.column
+        ) == values_before
+
+
+class TestRegistry:
+    def test_all_three_registered(self):
+        assert set(DATASETS) == {"Address", "AuthorList", "JournalTitle"}
+
+    def test_registry_constructs(self):
+        for maker in DATASETS.values():
+            ds = maker(scale=0.03)
+            assert ds.table.num_records > 0

@@ -1,0 +1,98 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.datagen import address_dataset, journaltitle_dataset
+from repro.evaluation.experiment import (
+    run_consolidation,
+    run_grouping_runtime,
+    run_method_series,
+    run_trifacta_series,
+)
+from repro.evaluation.report import format_runtime, format_series, format_table
+
+
+@pytest.fixture(scope="module")
+def tiny_address():
+    return address_dataset(scale=0.06)
+
+
+@pytest.fixture(scope="module")
+def tiny_journals():
+    return journaltitle_dataset(scale=0.04)
+
+
+class TestMethodSeries:
+    def test_series_starts_at_zero(self, tiny_address):
+        series = run_method_series(tiny_address, "group", budget=5, sample_size=50)
+        assert series.points[0].confirmed == 0
+        assert series.points[0].recall == 0.0
+
+    def test_series_monotone_in_confirmed(self, tiny_address):
+        series = run_method_series(tiny_address, "group", budget=5, sample_size=50)
+        confirmed = [p.confirmed for p in series.points]
+        assert confirmed == sorted(confirmed)
+
+    def test_single_method_runs(self, tiny_address):
+        series = run_method_series(tiny_address, "single", budget=5, sample_size=50)
+        assert series.method == "single"
+        assert len(series.points) >= 1
+
+    def test_unknown_method(self, tiny_address):
+        with pytest.raises(ValueError):
+            run_method_series(tiny_address, "nope", budget=1)
+
+    def test_oracle_error_rate_accepted(self, tiny_address):
+        series = run_method_series(
+            tiny_address, "group", budget=3, sample_size=50, oracle_error_rate=0.5
+        )
+        assert series.points  # runs to completion under a noisy oracle
+
+
+class TestTrifactaSeries:
+    def test_flat_series(self, tiny_address):
+        series = run_trifacta_series(tiny_address, budget=5, sample_size=50)
+        recalls = {p.recall for p in series.points}
+        assert len(recalls) == 1  # rules applied once, constant metrics
+        assert len(series.points) == 6  # 0..budget inclusive
+
+
+class TestRuntime:
+    def test_incremental_points_cumulative(self, tiny_journals):
+        points = run_grouping_runtime(tiny_journals, "incremental", 5)
+        seconds = [p.seconds for p in points]
+        assert seconds == sorted(seconds)
+
+    def test_oneshot_upfront_constant(self, tiny_journals):
+        points = run_grouping_runtime(tiny_journals, "oneshot", 5)
+        assert len({p.seconds for p in points}) == 1
+
+    def test_unknown_variant(self, tiny_journals):
+        with pytest.raises(ValueError):
+            run_grouping_runtime(tiny_journals, "nope", 5)
+
+
+class TestConsolidation:
+    def test_before_after(self, tiny_journals):
+        before, after = run_consolidation(tiny_journals, budget=20)
+        assert not before.standardized and after.standardized
+        assert 0.0 <= before.precision <= 1.0
+        assert after.precision >= before.precision
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(("a", "bb"), [(1, 2.5), ("x", None)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.500" in text and "-" in text
+
+    def test_format_series(self, tiny_address):
+        series = run_method_series(tiny_address, "group", budget=3, sample_size=50)
+        text = format_series([series], "recall", (0, 3))
+        assert "#groups" in text and "group" in text
+
+    def test_format_runtime(self, tiny_journals):
+        points = run_grouping_runtime(tiny_journals, "incremental", 3)
+        text = format_runtime({"incremental": points}, (1, 3))
+        assert "incremental" in text

@@ -1,0 +1,74 @@
+"""Tests for the evaluation metrics (Table 7)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import Confusion, confusion_from_pairs
+
+counts = st.integers(min_value=0, max_value=500)
+
+
+class TestConfusion:
+    def test_paper_table7_semantics(self):
+        """Variant pairs that became identical are TP, etc."""
+        pairs = [
+            (True, "merged-variant"),
+            (True, "missed-variant"),
+            (False, "merged-conflict"),
+            (False, "kept-conflict"),
+        ]
+        confusion = confusion_from_pairs(
+            pairs, lambda tag: tag.startswith("merged")
+        )
+        assert (confusion.tp, confusion.fn, confusion.fp, confusion.tn) == (
+            1, 1, 1, 1,
+        )
+
+    def test_precision_recall(self):
+        c = Confusion(tp=8, fn=2, fp=1, tn=9)
+        assert c.precision == pytest.approx(8 / 9)
+        assert c.recall == pytest.approx(0.8)
+
+    def test_perfect(self):
+        c = Confusion(tp=5, fn=0, fp=0, tn=5)
+        assert c.precision == 1.0 and c.recall == 1.0 and c.mcc == 1.0
+
+    def test_inverted(self):
+        c = Confusion(tp=0, fn=5, fp=5, tn=0)
+        assert c.mcc == -1.0
+
+    def test_empty_confusion_degenerate_values(self):
+        c = Confusion()
+        assert c.precision == 1.0  # nothing replaced, nothing wrong
+        assert c.recall == 0.0
+        assert c.mcc == 0.0
+        assert c.f1 == 0.0
+
+    def test_addition(self):
+        total = Confusion(1, 2, 3, 4) + Confusion(10, 20, 30, 40)
+        assert total == Confusion(11, 22, 33, 44)
+
+    @settings(max_examples=100, deadline=None)
+    @given(counts, counts, counts, counts)
+    def test_mcc_bounded(self, tp, fn, fp, tn):
+        c = Confusion(tp, fn, fp, tn)
+        assert -1.0 <= c.mcc <= 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(counts, counts, counts, counts)
+    def test_rates_bounded(self, tp, fn, fp, tn):
+        c = Confusion(tp, fn, fp, tn)
+        assert 0.0 <= c.precision <= 1.0
+        assert 0.0 <= c.recall <= 1.0
+        assert 0.0 <= c.f1 <= 1.0
+
+    def test_mcc_formula_on_known_values(self):
+        c = Confusion(tp=6, fn=2, fp=1, tn=11)
+        expected = (6 * 11 - 1 * 2) / math.sqrt(7 * 8 * 12 * 13)
+        assert c.mcc == pytest.approx(expected)
+
+    def test_total(self):
+        assert Confusion(1, 2, 3, 4).total == 10

@@ -1,0 +1,63 @@
+"""Tests for labeled pair sampling."""
+
+import pytest
+
+from repro.data.table import CellRef, ClusterTable, Record
+from repro.evaluation.sampling import (
+    all_nonidentical_pairs,
+    sample_labeled_pairs,
+)
+
+
+def table_of(*clusters, column="v"):
+    table = ClusterTable([column])
+    for ci, values in enumerate(clusters):
+        table.add_cluster(
+            f"c{ci}",
+            [Record(f"r{ci}_{i}", {column: v}) for i, v in enumerate(values)],
+        )
+    return table
+
+
+class TestAllPairs:
+    def test_only_nonidentical_same_cluster(self):
+        table = table_of(["a", "a", "b"], ["c"])
+        pairs = all_nonidentical_pairs(table, "v")
+        assert (CellRef(0, 0, "v"), CellRef(0, 2, "v")) in pairs
+        assert (CellRef(0, 0, "v"), CellRef(0, 1, "v")) not in pairs
+        assert all(a.cluster == b.cluster for a, b in pairs)
+
+    def test_empty_table(self):
+        assert all_nonidentical_pairs(ClusterTable(["v"]), "v") == []
+
+
+class TestSampling:
+    def test_sample_size_respected(self):
+        table = table_of(list("abcdefgh"))
+        sampled = sample_labeled_pairs(table, "v", lambda a, b: True, 5, seed=0)
+        assert len(sampled) == 5
+
+    def test_small_population_returned_whole(self):
+        table = table_of(["a", "b"])
+        sampled = sample_labeled_pairs(table, "v", lambda a, b: True, 100)
+        assert len(sampled) == 1
+
+    def test_labels_applied(self):
+        table = table_of(["a", "b", "c"])
+        sampled = sample_labeled_pairs(
+            table, "v", lambda a, b: a.row == 0, 100
+        )
+        by_label = {p.is_variant for p in sampled}
+        assert by_label == {True, False}
+
+    def test_seed_determinism(self):
+        table = table_of(list("abcdefgh"))
+        one = sample_labeled_pairs(table, "v", lambda a, b: True, 4, seed=7)
+        two = sample_labeled_pairs(table, "v", lambda a, b: True, 4, seed=7)
+        assert one == two
+
+    def test_different_seeds_differ(self):
+        table = table_of(list("abcdefghijkl"))
+        one = sample_labeled_pairs(table, "v", lambda a, b: True, 5, seed=1)
+        two = sample_labeled_pairs(table, "v", lambda a, b: True, 5, seed=2)
+        assert one != two

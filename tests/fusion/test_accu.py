@@ -1,0 +1,73 @@
+"""Tests for the Accu (Bayesian source accuracy) substrate."""
+
+import pytest
+
+from repro.data.table import ClusterTable, Record
+from repro.fusion.accu import Accu, fuse
+
+
+def table_with_sources(*clusters, column="v"):
+    table = ClusterTable([column])
+    for ci, records in enumerate(clusters):
+        table.add_cluster(
+            f"c{ci}",
+            [
+                Record(f"r{ci}_{i}", {column: value}, source)
+                for i, (source, value) in enumerate(records)
+            ],
+        )
+    return table
+
+
+class TestAccu:
+    def test_majority_wins(self):
+        table = table_with_sources(
+            [("s1", "right"), ("s2", "right"), ("s3", "wrong")],
+        )
+        assert fuse(table, "v")[0] == "right"
+
+    def test_accurate_source_outvotes(self):
+        table = table_with_sources(
+            [("s1", "a"), ("s3", "b")],
+            [("s1", "x"), ("s2", "x"), ("s3", "y")],
+            [("s1", "p"), ("s2", "p"), ("s3", "q")],
+        )
+        model = Accu()
+        golden = model.fuse(table, "v")
+        assert golden[0] == "a"
+        assert model.accuracy["s1"] > model.accuracy["s3"]
+
+    def test_probabilities_normalized(self):
+        table = table_with_sources(
+            [("s1", "a"), ("s2", "b"), ("s3", "c")],
+        )
+        model = Accu()
+        model.fuse(table, "v")
+        probs = model._value_probabilities(
+            {"a": ["s1"], "b": ["s2"], "c": ["s3"]}
+        )
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_accuracy_bounds_respected(self):
+        table = table_with_sources(
+            [("s1", "a"), ("s2", "a")],
+            [("s1", "b"), ("s2", "b")],
+        )
+        model = Accu(max_iterations=50)
+        model.fuse(table, "v")
+        assert all(0.0 <= a <= 1.0 for a in model.accuracy.values())
+
+    def test_invalid_initial_accuracy(self):
+        with pytest.raises(ValueError):
+            Accu(initial_accuracy=0.0)
+
+    def test_deterministic(self):
+        table = table_with_sources(
+            [("s1", "a"), ("s2", "b")],
+            [("s1", "x"), ("s2", "x")],
+        )
+        assert fuse(table, "v") == fuse(table, "v")
+
+    def test_single_claim(self):
+        table = table_with_sources([("s1", "only")])
+        assert fuse(table, "v")[0] == "only"

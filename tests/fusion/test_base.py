@@ -1,0 +1,35 @@
+"""Tests for the shared claim model."""
+
+from repro.data.table import ClusterTable, Record
+from repro.fusion.base import Claim, claims_from_table, group_claims
+
+
+def test_claims_extracted_per_record():
+    table = ClusterTable(["v"])
+    table.add_cluster(
+        "c0",
+        [Record("r0", {"v": "a"}, "s1"), Record("r1", {"v": "b"}, "s2")],
+    )
+    claims = claims_from_table(table, "v")
+    assert Claim("s1", 0, "a") in claims
+    assert Claim("s2", 0, "b") in claims
+
+
+def test_missing_source_gets_synthetic_tag():
+    table = ClusterTable(["v"])
+    table.add_cluster("c0", [Record("r0", {"v": "a"})])
+    claims = claims_from_table(table, "v")
+    assert claims[0].source.startswith("__record_")
+
+
+def test_empty_values_skipped():
+    table = ClusterTable(["v"])
+    table.add_cluster("c0", [Record("r0", {"v": ""})])
+    assert claims_from_table(table, "v") == []
+
+
+def test_group_claims_structure():
+    claims = [Claim("s1", 0, "a"), Claim("s2", 0, "a"), Claim("s1", 1, "b")]
+    grouped = group_claims(claims)
+    assert grouped[0]["a"] == ["s1", "s2"]
+    assert grouped[1]["b"] == ["s1"]

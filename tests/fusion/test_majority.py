@@ -1,0 +1,52 @@
+"""Tests for majority consensus (Section 8.3)."""
+
+import pytest
+
+from repro.data.table import ClusterTable, Record
+from repro.fusion.majority import fuse, majority_value
+
+
+def table_of(*clusters, column="v"):
+    table = ClusterTable([column])
+    for ci, values in enumerate(clusters):
+        table.add_cluster(
+            f"c{ci}",
+            [Record(f"r{ci}_{i}", {column: v}) for i, v in enumerate(values)],
+        )
+    return table
+
+
+class TestMajorityValue:
+    def test_clear_majority(self):
+        assert majority_value(["a", "a", "b"]) == "a"
+
+    def test_tie_yields_none(self):
+        # Paper: "if there are two values with the same frequency, MC
+        # could not produce a golden value."
+        assert majority_value(["a", "b"]) is None
+
+    def test_singleton(self):
+        assert majority_value(["a"]) == "a"
+
+    def test_empty(self):
+        assert majority_value([]) is None
+
+    def test_empty_strings_ignored(self):
+        assert majority_value(["", "", "a"]) == "a"
+
+    def test_tie_between_two_of_three(self):
+        assert majority_value(["a", "a", "b", "b", "c"]) is None
+
+
+class TestFuse:
+    def test_per_cluster(self):
+        table = table_of(["x", "x", "y"], ["q"])
+        golden = fuse(table, "v")
+        assert golden == {0: "x", 1: "q"}
+
+    def test_standardization_breaks_ties(self):
+        """The Table 8 mechanism: merging variants unlocks MC."""
+        before = table_of(["Journal of Biology", "J of Biology"])
+        assert fuse(before, "v")[0] is None
+        after = table_of(["Journal of Biology", "Journal of Biology"])
+        assert fuse(after, "v")[0] == "Journal of Biology"

@@ -1,0 +1,78 @@
+"""Tests for the TruthFinder substrate."""
+
+import pytest
+
+from repro.data.table import ClusterTable, Record
+from repro.fusion.truthfinder import TruthFinder, default_implication, fuse
+
+
+def table_with_sources(*clusters, column="v"):
+    table = ClusterTable([column])
+    for ci, records in enumerate(clusters):
+        table.add_cluster(
+            f"c{ci}",
+            [
+                Record(f"r{ci}_{i}", {column: value}, source)
+                for i, (source, value) in enumerate(records)
+            ],
+        )
+    return table
+
+
+class TestTruthFinder:
+    def test_majority_agreement_wins(self):
+        table = table_with_sources(
+            [("s1", "right"), ("s2", "right"), ("s3", "wrong")],
+        )
+        assert fuse(table, "v")[0] == "right"
+
+    def test_reliable_source_breaks_ties(self):
+        # s1 and s2 agree on every other object, s3 is always the odd
+        # one out; on the contested object s1's claim should win.
+        table = table_with_sources(
+            [("s1", "a"), ("s3", "b")],
+            [("s1", "x"), ("s2", "x"), ("s3", "y")],
+            [("s1", "p"), ("s2", "p"), ("s3", "q")],
+        )
+        finder = TruthFinder()
+        golden = finder.fuse(table, "v")
+        assert golden[1] == "x" and golden[2] == "p"
+        assert golden[0] == "a"
+        assert finder.trust["s1"] > finder.trust["s3"]
+
+    def test_trust_scores_bounded(self):
+        table = table_with_sources(
+            [("s1", "a"), ("s2", "a"), ("s3", "b")],
+        )
+        finder = TruthFinder()
+        finder.fuse(table, "v")
+        assert all(0.0 <= t <= 1.0 for t in finder.trust.values())
+
+    def test_records_without_source_vote_independently(self):
+        table = ClusterTable(["v"])
+        table.add_cluster(
+            "c0",
+            [Record("r0", {"v": "a"}), Record("r1", {"v": "a"}),
+             Record("r2", {"v": "b"})],
+        )
+        assert fuse(table, "v")[0] == "a"
+
+    def test_empty_values_skipped(self):
+        table = table_with_sources([("s1", ""), ("s2", "x")])
+        assert fuse(table, "v")[0] == "x"
+
+    def test_invalid_initial_trust(self):
+        with pytest.raises(ValueError):
+            TruthFinder(initial_trust=1.5)
+
+    def test_implication_supports_similar_values(self):
+        assert default_implication("a b c", "a b d") > default_implication(
+            "a b c", "x y z"
+        )
+
+    def test_deterministic(self):
+        table = table_with_sources(
+            [("s1", "a"), ("s2", "b")],
+            [("s1", "x"), ("s2", "x")],
+        )
+        assert fuse(table, "v") == fuse(table, "v")

@@ -1,0 +1,64 @@
+"""Tests for the interactive console oracle."""
+
+import pytest
+
+from repro.core.grouping import singleton_group
+from repro.core.replacement import Replacement
+from repro.pipeline.oracle import FORWARD, REVERSE, ConsoleOracle
+
+
+def make_oracle(answer):
+    printed = []
+    oracle = ConsoleOracle(
+        prompt_fn=lambda prompt: answer,
+        print_fn=printed.append,
+    )
+    return oracle, printed
+
+
+class TestConsoleOracle:
+    def test_yes_approves_forward(self):
+        oracle, _ = make_oracle("y")
+        decision = oracle.review(singleton_group(Replacement("a", "b")))
+        assert decision.approved and decision.direction == FORWARD
+
+    def test_r_approves_reverse(self):
+        oracle, _ = make_oracle("r")
+        decision = oracle.review(singleton_group(Replacement("a", "b")))
+        assert decision.approved and decision.direction == REVERSE
+
+    def test_anything_else_rejects(self):
+        for answer in ("n", "", "no", "q"):
+            oracle, _ = make_oracle(answer)
+            assert not oracle.review(
+                singleton_group(Replacement("a", "b"))
+            ).approved
+
+    def test_whitespace_and_case_tolerated(self):
+        oracle, _ = make_oracle("  Y ")
+        assert oracle.review(singleton_group(Replacement("a", "b"))).approved
+
+    def test_group_is_displayed(self):
+        oracle, printed = make_oracle("y")
+        oracle.review(singleton_group(Replacement("lhs-text", "rhs-text")))
+        blob = "\n".join(printed)
+        assert "lhs-text" in blob and "rhs-text" in blob
+        assert "program" in blob
+
+    def test_member_display_truncated(self):
+        oracle, printed = make_oracle("n")
+        from repro.core.grouping import Group
+        from repro.core.program import Program
+        from repro.core.functions import ConstantStr
+
+        members = tuple(Replacement(f"a{i}", "b") for i in range(20))
+        oracle.members_shown = 3
+        oracle.review(Group(Program((ConstantStr("b"),)), members))
+        blob = "\n".join(printed)
+        assert "... and 17 more" in blob
+
+    def test_counters(self):
+        oracle, _ = make_oracle("y")
+        oracle.review(singleton_group(Replacement("a", "b")))
+        oracle.review(singleton_group(Replacement("c", "d")))
+        assert oracle.reviewed == 2 and oracle.approved == 2

@@ -1,0 +1,82 @@
+"""Tests for golden-record creation and precision scoring."""
+
+import pytest
+
+from repro.data.table import CellRef, ClusterTable, Record
+from repro.fusion import majority
+from repro.pipeline.golden import entity_precision, golden_precision, golden_records
+
+
+def table_of(*clusters, column="v"):
+    table = ClusterTable([column])
+    for ci, values in enumerate(clusters):
+        table.add_cluster(
+            f"c{ci}",
+            [Record(f"r{ci}_{i}", {column: v}) for i, v in enumerate(values)],
+        )
+    return table
+
+
+class TestGoldenRecords:
+    def test_majority_per_cluster(self):
+        table = table_of(["a", "a", "b"], ["x"])
+        golden = golden_records(table, "v", majority.fuse)
+        assert golden == {0: "a", 1: "x"}
+
+
+class TestGoldenPrecision:
+    def test_exact_match_scoring(self):
+        golden = {0: "a", 1: "wrong"}
+        truth = {0: "a", 1: "right"}
+        assert golden_precision(golden, truth) == 0.5
+
+    def test_missing_counts_as_wrong_by_default(self):
+        assert golden_precision({0: None}, {0: "a"}) == 0.0
+
+    def test_missing_can_be_skipped(self):
+        golden = {0: None, 1: "b"}
+        truth = {0: "a", 1: "b"}
+        assert golden_precision(golden, truth, count_missing_as_wrong=False) == 1.0
+
+    def test_empty_truth(self):
+        assert golden_precision({}, {}) == 0.0
+
+
+class TestEntityPrecision:
+    def test_variant_surface_form_counts(self):
+        """The paper's rule: a golden value in a variant rendering still
+        refers to the same entity -> TP."""
+        table = table_of(["J of Bio", "J of Bio"])
+        canonical = {
+            CellRef(0, 0, "v"): "Journal of Biology",
+            CellRef(0, 1, "v"): "Journal of Biology",
+        }
+        golden = golden_records(table, "v", majority.fuse)
+        truth = {0: "Journal of Biology"}
+        assert entity_precision(table, "v", golden, canonical, truth) == 1.0
+        # ... even though exact-string scoring would call it wrong:
+        assert golden_precision(golden, truth) == 0.0
+
+    def test_wrong_entity_does_not_count(self):
+        table = table_of(["Annals of X", "Annals of X"])
+        canonical = {
+            CellRef(0, 0, "v"): "Annals of X",
+            CellRef(0, 1, "v"): "Annals of X",
+        }
+        golden = golden_records(table, "v", majority.fuse)
+        assert entity_precision(
+            table, "v", golden, canonical, {0: "Journal of Y"}
+        ) == 0.0
+
+    def test_tie_counts_as_wrong(self):
+        table = table_of(["a", "b"])
+        canonical = {
+            CellRef(0, 0, "v"): "a",
+            CellRef(0, 1, "v"): "a",
+        }
+        golden = golden_records(table, "v", majority.fuse)  # tie -> None
+        assert entity_precision(table, "v", golden, canonical, {0: "a"}) == 0.0
+
+    def test_empty_truth(self):
+        table = table_of(["a"])
+        assert entity_precision(table, "v", {}, {}, {}) == 0.0

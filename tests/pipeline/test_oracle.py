@@ -1,0 +1,132 @@
+"""Tests for the simulated human oracles (Section 3, Step 3)."""
+
+import pytest
+
+from repro.candidates.generate import generate_candidates
+from repro.core.grouping import Group, singleton_group
+from repro.core.program import Program
+from repro.core.functions import ConstantStr
+from repro.core.replacement import Replacement
+from repro.data.table import CellRef, ClusterTable, Record
+from repro.pipeline.oracle import (
+    ApproveAllOracle,
+    FORWARD,
+    GroundTruthOracle,
+    REVERSE,
+    RejectAllOracle,
+)
+
+
+def make_dataset():
+    """A cluster with two variants of one name plus one conflict."""
+    table = ClusterTable(["name"])
+    table.add_cluster(
+        "c0",
+        [
+            Record("r0", {"name": "Mary Lee"}),
+            Record("r1", {"name": "Lee, Mary"}),
+            Record("r2", {"name": "Bob Stone"}),  # conflicting entity
+        ],
+    )
+    canonical = {
+        CellRef(0, 0, "name"): "Mary Lee",
+        CellRef(0, 1, "name"): "Mary Lee",
+        CellRef(0, 2, "name"): "Bob Stone",
+    }
+    store = generate_candidates(table, "name")
+    return table, canonical, store
+
+
+def group_of(*replacements):
+    return Group(
+        Program((ConstantStr("x"),)), tuple(replacements)
+    )
+
+
+class TestTrivialOracles:
+    def test_approve_all(self):
+        decision = ApproveAllOracle().review(group_of(Replacement("a", "b")))
+        assert decision.approved and decision.direction == FORWARD
+
+    def test_reject_all(self):
+        assert not RejectAllOracle().review(group_of(Replacement("a", "b"))).approved
+
+
+class TestGroundTruthOracle:
+    def test_variant_group_approved(self):
+        _, canonical, store = make_dataset()
+        oracle = GroundTruthOracle(canonical, store)
+        decision = oracle.review(group_of(Replacement("Lee, Mary", "Mary Lee")))
+        assert decision.approved
+
+    def test_conflict_group_rejected(self):
+        _, canonical, store = make_dataset()
+        oracle = GroundTruthOracle(canonical, store)
+        decision = oracle.review(group_of(Replacement("Bob Stone", "Mary Lee")))
+        assert not decision.approved
+
+    def test_mixed_group_majority_decides(self):
+        _, canonical, store = make_dataset()
+        oracle = GroundTruthOracle(canonical, store)
+        # One variant member + one conflict member: 50% is not a majority.
+        decision = oracle.review(
+            group_of(
+                Replacement("Lee, Mary", "Mary Lee"),
+                Replacement("Bob Stone", "Mary Lee"),
+            )
+        )
+        assert not decision.approved
+
+    def test_direction_toward_canonical(self):
+        _, canonical, store = make_dataset()
+        oracle = GroundTruthOracle(canonical, store)
+        # rhs ("Mary Lee") is the canonical side -> forward.
+        forward = oracle.review(group_of(Replacement("Lee, Mary", "Mary Lee")))
+        assert forward.direction == FORWARD
+        # lhs is the canonical side -> reverse.
+        reverse = oracle.review(group_of(Replacement("Mary Lee", "Lee, Mary")))
+        assert reverse.direction == REVERSE
+
+    def test_unknown_replacement_rejected(self):
+        _, canonical, store = make_dataset()
+        oracle = GroundTruthOracle(canonical, store)
+        decision = oracle.review(group_of(Replacement("zzz", "qqq")))
+        assert not decision.approved  # no provenance, no votes
+
+    def test_error_injection_flips_decisions(self):
+        _, canonical, store = make_dataset()
+        noisy = GroundTruthOracle(canonical, store, error_rate=1.0, seed=1)
+        decision = noisy.review(group_of(Replacement("Lee, Mary", "Mary Lee")))
+        assert not decision.approved  # flipped by injected error
+
+    def test_counts_tracked(self):
+        _, canonical, store = make_dataset()
+        oracle = GroundTruthOracle(canonical, store)
+        oracle.review(group_of(Replacement("Lee, Mary", "Mary Lee")))
+        oracle.review(group_of(Replacement("Bob Stone", "Mary Lee")))
+        assert oracle.reviewed == 2
+        assert oracle.approved == 1
+
+    def test_token_level_judgment(self):
+        table = ClusterTable(["address"])
+        table.add_cluster(
+            "c0",
+            [
+                Record("r0", {"address": "9 St, 02141 Wisconsin"}),
+                Record("r1", {"address": "9th St, 02141 WI"}),
+            ],
+        )
+        canon = "9th St, 02141 WI"
+        canonical = {
+            CellRef(0, 0, "address"): canon,
+            CellRef(0, 1, "address"): canon,
+        }
+        store = generate_candidates(table, "address")
+        oracle = GroundTruthOracle(canonical, store)
+        # Both directions describe the same variant pair; the oracle
+        # approves each and picks the direction toward the canonical
+        # side ("WI").
+        forward = oracle.review(group_of(Replacement("Wisconsin", "WI")))
+        assert forward.approved and forward.direction == FORWARD
+        reverse = oracle.review(group_of(Replacement("WI", "Wisconsin")))
+        assert reverse.approved and reverse.direction == REVERSE

@@ -1,0 +1,122 @@
+"""Tests for the human-in-the-loop standardization loop (Algorithm 1)."""
+
+import pytest
+
+from repro.config import Config
+from repro.data.table import CellRef, ClusterTable, Record
+from repro.pipeline.oracle import (
+    ApproveAllOracle,
+    GroundTruthOracle,
+    RejectAllOracle,
+)
+from repro.pipeline.standardize import Standardizer
+
+
+def paper_table():
+    table = ClusterTable(["name"])
+    table.add_cluster(
+        "C1",
+        [
+            Record("r1", {"name": "Mary Lee"}),
+            Record("r2", {"name": "M. Lee"}),
+            Record("r3", {"name": "Lee, Mary"}),
+        ],
+    )
+    table.add_cluster(
+        "C2",
+        [
+            Record("r4", {"name": "Smith, James"}),
+            Record("r5", {"name": "James Smith"}),
+            Record("r6", {"name": "J. Smith"}),
+        ],
+    )
+    return table
+
+
+def paper_canonical():
+    canon = {}
+    for ri in range(3):
+        canon[CellRef(0, ri, "name")] = "Mary Lee"
+        canon[CellRef(1, ri, "name")] = "James Smith"
+    return canon
+
+
+class TestRun:
+    def test_approve_all_harmonizes_clusters(self):
+        table = paper_table()
+        standardizer = Standardizer(table, "name")
+        log = standardizer.run(ApproveAllOracle(), budget=20)
+        assert log.groups_approved > 0
+        # Each cluster collapses to a single representation (Table 2).
+        for ci in range(table.num_clusters):
+            assert len(set(table.cluster_values(ci, "name"))) == 1
+
+    def test_reject_all_changes_nothing(self):
+        table = paper_table()
+        before = table.column_values("name")
+        standardizer = Standardizer(table, "name")
+        log = standardizer.run(RejectAllOracle(), budget=20)
+        assert log.groups_approved == 0
+        assert table.column_values("name") == before
+
+    def test_ground_truth_oracle_moves_toward_canonical(self):
+        table = paper_table()
+        standardizer = Standardizer(table, "name")
+        oracle = GroundTruthOracle(paper_canonical(), standardizer.store)
+        standardizer.run(oracle, budget=20)
+        assert set(table.cluster_values(0, "name")) == {"Mary Lee"}
+        assert set(table.cluster_values(1, "name")) == {"James Smith"}
+
+    def test_budget_respected(self):
+        table = paper_table()
+        standardizer = Standardizer(table, "name")
+        log = standardizer.run(ApproveAllOracle(), budget=2)
+        assert log.groups_confirmed == 2
+
+    def test_zero_budget(self):
+        table = paper_table()
+        standardizer = Standardizer(table, "name")
+        log = standardizer.run(ApproveAllOracle(), budget=0)
+        assert log.groups_confirmed == 0
+
+    def test_after_step_callback_fires_per_group(self):
+        table = paper_table()
+        standardizer = Standardizer(table, "name")
+        steps = []
+        log = standardizer.run(
+            ApproveAllOracle(), budget=5, after_step=steps.append
+        )
+        # One callback per presented group (the feed may exhaust early
+        # once applications retire the remaining candidates).
+        assert len(steps) == log.groups_confirmed >= 1
+        assert [s.index for s in steps] == list(range(len(steps)))
+
+    def test_log_counts(self):
+        table = paper_table()
+        standardizer = Standardizer(table, "name")
+        log = standardizer.run(ApproveAllOracle(), budget=6)
+        assert log.groups_confirmed >= log.groups_approved
+        assert log.cells_changed >= 1
+
+
+class TestFeedInteraction:
+    def test_feed_exhaustion_stops_early(self):
+        table = ClusterTable(["v"])
+        table.add_cluster("c", [Record("a", {"v": "x"}), Record("b", {"v": "y"})])
+        standardizer = Standardizer(table, "v")
+        log = standardizer.run(ApproveAllOracle(), budget=100)
+        assert log.groups_confirmed < 100
+
+    def test_dead_candidates_not_re_presented(self):
+        """Applying a group must retire candidates invalidated by the
+        update (Section 7.1) before the next group is drawn."""
+        table = paper_table()
+        standardizer = Standardizer(table, "name")
+        seen = []
+        standardizer.run(
+            ApproveAllOracle(),
+            budget=30,
+            after_step=lambda s: seen.extend(s.group.replacements),
+        )
+        # No replacement may be presented twice.
+        assert len(seen) == len(set(seen))

@@ -1,0 +1,96 @@
+"""Property-based tests for the alignment substrate."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.damerau import damerau_levenshtein
+from repro.align.lcs import aligned_segments, lcs_length, lcs_pairs
+from repro.align.tokenize import join, tokens
+from repro.resolution.similarity import levenshtein
+
+SMALL = settings(max_examples=60, deadline=None)
+
+token_lists = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=4),
+    max_size=8,
+)
+
+
+class TestLcsProperties:
+    @SMALL
+    @given(token_lists, token_lists)
+    def test_lcs_is_common_subsequence(self, a, b):
+        pairs = lcs_pairs(a, b)
+        assert all(a[i] == b[j] for i, j in pairs)
+        assert all(
+            p1[0] < p2[0] and p1[1] < p2[1]
+            for p1, p2 in zip(pairs, pairs[1:])
+        )
+
+    @SMALL
+    @given(token_lists, token_lists)
+    def test_lcs_symmetric_length(self, a, b):
+        assert lcs_length(a, b) == lcs_length(b, a)
+
+    @SMALL
+    @given(token_lists)
+    def test_lcs_with_self_is_identity(self, a):
+        assert lcs_length(a, a) == len(a)
+
+    @SMALL
+    @given(token_lists, token_lists)
+    def test_lcs_bounded(self, a, b):
+        assert lcs_length(a, b) <= min(len(a), len(b))
+
+    @SMALL
+    @given(token_lists, token_lists)
+    def test_segments_are_nonempty_both_sides(self, a, b):
+        for seg_a, seg_b in aligned_segments(a, b):
+            assert seg_a and seg_b
+
+
+class TestDamerauProperties:
+    @SMALL
+    @given(
+        st.text(string.ascii_lowercase, max_size=8),
+        st.text(string.ascii_lowercase, max_size=8),
+    )
+    def test_symmetric(self, a, b):
+        assert damerau_levenshtein(a, b) == damerau_levenshtein(b, a)
+
+    @SMALL
+    @given(st.text(string.ascii_lowercase, max_size=10))
+    def test_identity(self, a):
+        assert damerau_levenshtein(a, a) == 0
+
+    @SMALL
+    @given(
+        st.text(string.ascii_lowercase, max_size=8),
+        st.text(string.ascii_lowercase, max_size=8),
+    )
+    def test_at_most_levenshtein(self, a, b):
+        """Adding the transposition op never increases the distance."""
+        assert damerau_levenshtein(a, b) <= levenshtein(a, b)
+
+    @SMALL
+    @given(
+        st.text(string.ascii_lowercase, max_size=8),
+        st.text(string.ascii_lowercase, max_size=8),
+    )
+    def test_lower_bound_length_difference(self, a, b):
+        assert damerau_levenshtein(a, b) >= abs(len(a) - len(b))
+
+
+class TestTokenizeProperties:
+    @SMALL
+    @given(token_lists)
+    def test_join_tokens_roundtrip(self, parts):
+        assert tokens(join(parts)) == parts
+
+    @SMALL
+    @given(st.text(alphabet=string.ascii_lowercase + " ", max_size=30))
+    def test_tokens_have_no_whitespace(self, value):
+        assert all(not any(c.isspace() for c in t) for t in tokens(value))

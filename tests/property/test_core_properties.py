@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import Config
+from repro.core.graph import build_graph
+from repro.core.grouping import unsupervised_grouping
+from repro.core.incremental import IncrementalGrouper
+from repro.core.index import InvertedIndex
+from repro.core.pivot import initial_upper_bound, search_pivot
+from repro.core.program import Program
+from repro.core.replacement import Replacement
+from repro.core.structure import structure_signature
+from repro.core.terms import MatchContext
+
+SMALL = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+alphabet = string.ascii_letters + string.digits + " .,-"
+words = st.text(alphabet=alphabet, min_size=1, max_size=10)
+
+
+@st.composite
+def replacement_pairs(draw):
+    lhs = draw(words)
+    rhs = draw(words)
+    if lhs == rhs:
+        rhs = rhs + "x"
+    return Replacement(lhs, rhs)
+
+
+class TestGraphInvariants:
+    @SMALL
+    @given(words, words)
+    def test_every_label_produces_its_edge_substring(self, s, t):
+        """The Definition 2 invariant, on arbitrary strings."""
+        graph = build_graph(s, t)
+        if graph is None:
+            return
+        ctx = MatchContext(s)
+        for (i, j), labels in graph.edges.items():
+            expected = t[i - 1 : j - 1]
+            for label in labels:
+                assert label.produces(ctx, expected)
+
+    @SMALL
+    @given(words, words)
+    def test_full_span_constant_always_present(self, s, t):
+        """Completeness: every graph has its trivial one-edge path."""
+        graph = build_graph(s, t)
+        if graph is None:
+            return
+        full = graph.labels(1, graph.last_node)
+        assert any(
+            getattr(l, "text", None) == t for l in full
+        ), "whole-target ConstantStr missing"
+
+    @SMALL
+    @given(words, words)
+    def test_node_count_is_target_length_plus_one(self, s, t):
+        graph = build_graph(s, t)
+        if graph is None:
+            return
+        assert graph.num_nodes == len(t) + 1
+
+
+class TestPivotInvariants:
+    @SMALL
+    @given(st.lists(replacement_pairs(), min_size=1, max_size=6, unique=True))
+    def test_pivot_members_share_the_path(self, replacements):
+        """Every member of a pivot candidate's list must be consistent
+        with the pivot program."""
+        index = InvertedIndex()
+        graphs = {}
+        for r in replacements:
+            g = build_graph(r.lhs, r.rhs)
+            if g is not None:
+                index.add_graph(g)
+                graphs[g.gid] = r
+        for gid, r in graphs.items():
+            found = search_pivot(index.graphs[gid], index)
+            assert found is not None
+            assert gid in found.members
+            program = Program(found.path)
+            for member_gid in found.members:
+                member = graphs[member_gid]
+                assert program.produces(member.lhs, member.rhs)
+
+    @SMALL
+    @given(st.lists(replacement_pairs(), min_size=1, max_size=6, unique=True))
+    def test_upper_bound_dominates_pivot_count(self, replacements):
+        """Lemma 6.2 on arbitrary inputs."""
+        index = InvertedIndex()
+        gids = []
+        for r in replacements:
+            g = build_graph(r.lhs, r.rhs)
+            if g is not None:
+                gids.append(index.add_graph(g))
+        for gid in gids:
+            found = search_pivot(index.graphs[gid], index)
+            assert found.count <= initial_upper_bound(index.graphs[gid], index)
+
+
+class TestGroupingInvariants:
+    @SMALL
+    @given(st.lists(replacement_pairs(), min_size=0, max_size=8, unique=True))
+    def test_grouping_is_a_partition(self, replacements):
+        outcome = unsupervised_grouping(replacements)
+        scattered = sorted(r for g in outcome.groups for r in g.replacements)
+        assert scattered == sorted(set(replacements))
+
+    @SMALL
+    @given(st.lists(replacement_pairs(), min_size=0, max_size=8, unique=True))
+    def test_group_programs_consistent(self, replacements):
+        for group in unsupervised_grouping(replacements).groups:
+            for member in group.replacements:
+                assert group.program.produces(member.lhs, member.rhs)
+
+    @SMALL
+    @given(st.lists(replacement_pairs(), min_size=0, max_size=8, unique=True))
+    def test_incremental_is_a_partition_in_descending_order(self, replacements):
+        grouper = IncrementalGrouper(replacements)
+        groups = list(grouper.groups())
+        sizes = [g.size for g in groups]
+        assert sizes == sorted(sizes, reverse=True)
+        scattered = sorted(r for g in groups for r in g.replacements)
+        assert scattered == sorted(set(replacements))
+
+    @SMALL
+    @given(st.lists(replacement_pairs(), min_size=0, max_size=6, unique=True))
+    def test_incremental_matches_oneshot_partition_sizes(self, replacements):
+        oneshot = sorted(
+            g.size for g in unsupervised_grouping(replacements).groups
+        )
+        incremental = sorted(
+            g.size for g in IncrementalGrouper(replacements).groups()
+        )
+        assert oneshot == incremental
+
+
+class TestStructureInvariants:
+    @SMALL
+    @given(st.text(alphabet=alphabet, max_size=30))
+    def test_signature_deterministic_and_total(self, s):
+        sig = structure_signature(s)
+        assert sig == structure_signature(s)
+        if not s:
+            assert sig == ()
+        else:
+            assert len(sig) >= 1
+
+    @SMALL
+    @given(st.text(alphabet=alphabet, min_size=1, max_size=30))
+    def test_signature_length_bounded_by_string_length(self, s):
+        assert len(structure_signature(s)) <= len(s)
+
+    @SMALL
+    @given(
+        st.text(alphabet=alphabet, min_size=1, max_size=15),
+        st.text(alphabet=alphabet, min_size=1, max_size=15),
+    )
+    def test_concatenation_compatibility(self, a, b):
+        """Signature of a+b starts with signature of a (modulo the
+        possibly-merged boundary run)."""
+        sig_a = structure_signature(a)
+        sig_ab = structure_signature(a + b)
+        assert sig_ab[: max(0, len(sig_a) - 1)] == sig_a[: max(0, len(sig_a) - 1)]

@@ -1,0 +1,97 @@
+"""Property-based tests for replacement-set maintenance (Section 7.1)."""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.candidates.generate import generate_candidates
+from repro.data.table import ClusterTable, Record
+
+SMALL = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+value = st.text(alphabet=string.ascii_lowercase + " ", min_size=1, max_size=12).map(
+    lambda s: " ".join(s.split()) or "x"
+)
+cluster = st.lists(value, min_size=1, max_size=4)
+tables = st.lists(cluster, min_size=1, max_size=3)
+
+
+def build(clusters):
+    table = ClusterTable(["v"])
+    for ci, values in enumerate(clusters):
+        table.add_cluster(
+            f"c{ci}",
+            [Record(f"r{ci}_{i}", {"v": v}) for i, v in enumerate(values)],
+        )
+    return table
+
+
+class TestStoreInvariants:
+    @SMALL
+    @given(tables)
+    def test_candidates_reference_live_values(self, clusters):
+        table = build(clusters)
+        store = generate_candidates(table, "v")
+        for r in store.replacements():
+            for lhs_cell, rhs_cell in store.cell_pairs(r):
+                assert table.value(lhs_cell) == r.lhs
+                assert table.value(rhs_cell) == r.rhs
+                assert lhs_cell.cluster == rhs_cell.cluster
+
+    @SMALL
+    @given(tables)
+    def test_directions_come_in_pairs(self, clusters):
+        table = build(clusters)
+        store = generate_candidates(table, "v")
+        for r in store.replacements():
+            if store.cell_pairs(r):
+                assert store.cell_pairs(r.reversed())
+
+    @SMALL
+    @given(tables)
+    def test_apply_first_replacement_keeps_invariants(self, clusters):
+        table = build(clusters)
+        store = generate_candidates(table, "v")
+        replacements = store.replacements()
+        if not replacements:
+            return
+        store.apply_replacement(replacements[0])
+        store.drain_dead()
+        # After maintenance, every surviving whole-value entry still
+        # references live values (the Section 7.1 contract).
+        for r in store.replacements():
+            for lhs_cell, rhs_cell in store.cell_pairs(r):
+                assert table.value(lhs_cell) == r.lhs
+                assert table.value(rhs_cell) == r.rhs
+
+    @SMALL
+    @given(tables)
+    def test_no_new_keys_after_apply(self, clusters):
+        table = build(clusters)
+        store = generate_candidates(table, "v")
+        before = set(store.replacements())
+        for r in list(before)[:2]:
+            store.apply_replacement(r)
+        assert set(store.replacements()) <= before
+
+    @SMALL
+    @given(tables)
+    def test_apply_converges(self, clusters):
+        """Repeatedly applying candidates terminates with identical
+        clusters (no oscillation)."""
+        table = build(clusters)
+        store = generate_candidates(table, "v")
+        for _ in range(50):
+            replacements = store.replacements()
+            candidates = [r for r in replacements if store.cell_pairs(r)]
+            if not candidates:
+                break
+            store.apply_replacement(sorted(candidates)[0])
+        else:
+            pytest.fail("replacement application did not converge")

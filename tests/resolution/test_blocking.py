@@ -1,0 +1,51 @@
+"""Tests for blocking strategies."""
+
+import pytest
+
+from repro.resolution.blocking import (
+    build_blocks,
+    candidate_pairs,
+    exact_keys,
+    prefix_keys,
+    token_keys,
+)
+
+
+class TestKeyFunctions:
+    def test_token_keys_lowercase(self):
+        assert token_keys("Main St") == {"main", "st"}
+
+    def test_prefix_keys(self):
+        fn = prefix_keys(3)
+        assert fn("Martha") == {"mar"}
+        assert fn("") == set()
+
+    def test_exact_keys(self):
+        assert exact_keys("X1") == {"X1"}
+        assert exact_keys("") == set()
+
+
+class TestBlocks:
+    def test_build_blocks(self):
+        blocks = build_blocks(["a b", "b c", "d"])
+        assert blocks["b"] == [0, 1]
+        assert blocks["d"] == [2]
+
+    def test_candidate_pairs_within_blocks_only(self):
+        blocks = build_blocks(["a x", "a y", "b z"])
+        pairs = candidate_pairs(blocks)
+        assert (0, 1) in pairs
+        assert (0, 2) not in pairs
+
+    def test_pairs_deduped_across_blocks(self):
+        blocks = build_blocks(["a b", "a b"])
+        assert candidate_pairs(blocks) == {(0, 1)}
+
+    def test_oversized_blocks_skipped(self):
+        values = ["common"] * 10
+        blocks = build_blocks(values)
+        assert candidate_pairs(blocks, max_block_size=5) == set()
+
+    def test_pairs_are_ordered(self):
+        blocks = build_blocks(["k", "k"])
+        assert all(a < b for a, b in candidate_pairs(blocks))

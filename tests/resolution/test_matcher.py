@@ -1,0 +1,82 @@
+"""Tests for the end-to-end entity resolver."""
+
+import pytest
+
+from repro.data.table import Record
+from repro.resolution.matcher import Matcher, cluster_by_key, hybrid_similarity
+
+
+def records_of(*values, attribute="title", keys=None):
+    return [
+        Record(
+            f"r{i}",
+            {attribute: v, **({"key": keys[i]} if keys else {})},
+        )
+        for i, v in enumerate(values)
+    ]
+
+
+class TestMatcher:
+    def test_variants_cluster_together(self):
+        records = records_of(
+            "Journal of Applied Biology",
+            "Journal of Applied Biology.",
+            "Physics Letters",
+        )
+        table = Matcher("title", threshold=0.75).resolve(records)
+        sizes = sorted(len(c) for c in table.clusters)
+        assert sizes == [1, 2]
+
+    def test_distinct_entities_stay_apart(self):
+        records = records_of(
+            "Journal of Marine Biology", "Annals of Chemistry"
+        )
+        table = Matcher("title", threshold=0.8).resolve(records)
+        assert table.num_clusters == 2
+
+    def test_transitive_merging(self):
+        records = records_of("alpha beta gamma", "alpha beta gamma x",
+                             "alpha beta gamma x y")
+        table = Matcher("title", threshold=0.75).resolve(records)
+        assert table.num_clusters == 1
+
+    def test_match_pairs_thresholded(self):
+        records = records_of("abc def", "abc def", "zzz qqq")
+        pairs = Matcher("title", threshold=0.99).match_pairs(records)
+        assert pairs == [(0, 1)]
+
+    def test_resolve_preserves_all_records(self):
+        records = records_of("a b", "c d", "e f")
+        table = Matcher("title", threshold=0.9).resolve(records)
+        assert table.num_records == 3
+
+
+class TestClusterByKey:
+    def test_key_clustering(self):
+        records = records_of("x", "y", "z", keys=["k1", "k1", "k2"])
+        table = cluster_by_key(records, "key")
+        assert table.num_clusters == 2
+        assert len(table.clusters[0]) == 2
+
+    def test_missing_keys_become_singletons(self):
+        records = records_of("x", "y", keys=["k1", ""])
+        table = cluster_by_key(records, "key")
+        assert table.num_clusters == 2
+
+    def test_columns_inferred(self):
+        records = records_of("x", keys=["k"])
+        table = cluster_by_key(records, "key")
+        assert set(table.columns) == {"title", "key"}
+
+
+class TestHybridSimilarity:
+    def test_identical(self):
+        assert hybrid_similarity("abc", "abc") == 1.0
+
+    def test_case_insensitive(self):
+        assert hybrid_similarity("ABC", "abc") == 1.0
+
+    def test_orders_sensible(self):
+        close = hybrid_similarity("Journal of Biology", "J of Biology")
+        far = hybrid_similarity("Journal of Biology", "Annals of Physics")
+        assert close > far

@@ -1,0 +1,80 @@
+"""Tests for the similarity measures."""
+
+import pytest
+
+from repro.resolution.similarity import (
+    cosine,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_similarity,
+    overlap,
+)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("", "abc", 3),
+            ("abc", "", 3),
+            ("ab", "ba", 2),  # plain Levenshtein: no transposition op
+        ],
+    )
+    def test_known(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_symmetry(self):
+        assert levenshtein("abcd", "dcba") == levenshtein("dcba", "abcd")
+
+    def test_similarity_normalization(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("", "") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro("martha", "martha") == 1.0
+
+    def test_classic_example(self):
+        assert jaro("MARTHA", "MARHTA") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_no_similarity(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro("", "x") == 0.0
+
+    def test_winkler_prefix_boost(self):
+        base = jaro("MARTHA", "MARHTA")
+        boosted = jaro_winkler("MARTHA", "MARHTA")
+        assert boosted > base
+        assert boosted == pytest.approx(0.9611, abs=1e-3)
+
+    def test_winkler_bounded_by_one(self):
+        assert jaro_winkler("prefix", "prefixx") <= 1.0
+
+
+class TestTokenMeasures:
+    def test_jaccard(self):
+        assert jaccard(["a", "b"], ["b", "c"]) == pytest.approx(1 / 3)
+        assert jaccard([], []) == 1.0
+        assert jaccard(["a"], []) == 0.0
+
+    def test_overlap(self):
+        assert overlap(["a", "b"], ["b"]) == 1.0
+        assert overlap(["a"], ["b"]) == 0.0
+
+    def test_cosine(self):
+        assert cosine(["a", "b"], ["a", "b"]) == pytest.approx(1.0)
+        assert cosine(["a"], ["b"]) == 0.0
+        assert cosine([], []) == 1.0
+
+    def test_cosine_counts_matter(self):
+        assert cosine(["a", "a", "b"], ["a", "b", "b"]) < 1.0

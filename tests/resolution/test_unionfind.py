@@ -1,0 +1,51 @@
+"""Tests for the union-find substrate."""
+
+import pytest
+
+from repro.resolution.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(["a", "b"])
+        assert not uf.connected("a", "b")
+
+    def test_union_connects(self):
+        uf = UnionFind(["a", "b"])
+        assert uf.union("a", "b")
+        assert uf.connected("a", "b")
+
+    def test_union_idempotent(self):
+        uf = UnionFind(["a", "b"])
+        uf.union("a", "b")
+        assert not uf.union("a", "b")  # already merged
+
+    def test_transitivity(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_find_adds_unknown_items(self):
+        uf = UnionFind()
+        assert uf.find("fresh") == "fresh"
+        assert len(uf) == 1
+
+    def test_groups(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(3, 4)
+        groups = uf.groups()
+        assert [0, 1] in groups and [3, 4] in groups and [2] in groups
+
+    def test_groups_deterministic_order(self):
+        uf = UnionFind([3, 1, 2])
+        assert uf.groups() == [[1], [2], [3]]
+
+    def test_large_chain_path_compression(self):
+        uf = UnionFind(range(1000))
+        for i in range(999):
+            uf.union(i, i + 1)
+        assert uf.connected(0, 999)
+        assert len(uf.groups()) == 1

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.dataset == "Address"
+        assert args.scale == 0.15
+
+    def test_dataset_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--dataset", "Nope"])
+
+
+class TestCommands:
+    def test_stats_runs(self, capsys):
+        assert main(["stats", "--dataset", "JournalTitle", "--scale", "0.03"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct value pairs" in out
+
+    def test_groups_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "groups",
+                    "--dataset",
+                    "JournalTitle",
+                    "--scale",
+                    "0.03",
+                    "--top",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Group 1" in out
+
+    def test_standardize_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "standardize",
+                    "--dataset",
+                    "JournalTitle",
+                    "--scale",
+                    "0.03",
+                    "--budget",
+                    "5",
+                    "--sample-size",
+                    "50",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "final" in out and "precision=" in out
+
+    def test_consolidate_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "consolidate",
+                    "--dataset",
+                    "JournalTitle",
+                    "--scale",
+                    "0.03",
+                    "--budget",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "before standardization" in out
+
+    def test_seed_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "stats",
+                    "--dataset",
+                    "Address",
+                    "--scale",
+                    "0.03",
+                    "--seed",
+                    "5",
+                ]
+            )
+            == 0
+        )

@@ -1,0 +1,37 @@
+"""Tests for the configuration object."""
+
+import pytest
+
+from repro.config import Config, DEFAULT_CONFIG
+
+
+class TestDefaults:
+    def test_paper_settings(self):
+        assert DEFAULT_CONFIG.use_affix is True
+        assert DEFAULT_CONFIG.use_structure is True
+        assert DEFAULT_CONFIG.max_path_length == 6  # Section 8.2
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.use_affix = False
+
+
+class TestVariants:
+    def test_without_early_termination(self):
+        config = DEFAULT_CONFIG.without_early_termination()
+        assert not config.local_threshold and not config.global_threshold
+        assert DEFAULT_CONFIG.local_threshold  # original untouched
+
+    def test_with_early_termination(self):
+        config = Config(local_threshold=False).with_early_termination()
+        assert config.local_threshold and config.global_threshold
+
+    def test_without_affix(self):
+        config = DEFAULT_CONFIG.without_affix()
+        assert not config.use_affix
+        assert config.use_structure == DEFAULT_CONFIG.use_structure
+
+    def test_variants_preserve_other_fields(self):
+        base = Config(max_path_length=3, seed=42)
+        assert base.without_affix().max_path_length == 3
+        assert base.without_early_termination().seed == 42
