@@ -5,17 +5,19 @@ Generates the synthetic AuthorList dataset and prints the first ten
 groups produced by the incremental grouper together with sample member
 replacements, mirroring the paper's Table 4.
 
-Run:  python examples/author_groups_demo.py
+Run:  python examples/author_groups_demo.py [scale]
 """
 
 from __future__ import annotations
+
+import sys
 
 from repro import Standardizer
 from repro.datagen import authorlist_dataset
 
 
-def main() -> None:
-    dataset = authorlist_dataset(scale=0.3)
+def main(scale: float = 0.3) -> None:
+    dataset = authorlist_dataset(scale=scale)
     print(f"dataset: {dataset.table}")
     standardizer = Standardizer(dataset.fresh_table(), dataset.column)
     feed = standardizer.default_feed()
@@ -35,4 +37,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.3)

@@ -2,6 +2,9 @@
 (e.g. offline boxes missing the `wheel` package):
 
     python setup.py develop --no-deps
+
+All package metadata lives in ``pyproject.toml``; this file exists only
+so the legacy install path keeps working.
 """
 
 from setuptools import setup

@@ -35,10 +35,22 @@ from .pipeline.oracle import (
     RejectAllOracle,
 )
 from .pipeline.standardize import StandardizationLog, Standardizer
+from .serve import (
+    ApplyEngine,
+    ModelRegistry,
+    ModelReplayer,
+    TransformationModel,
+    build_model,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ApplyEngine",
+    "ModelRegistry",
+    "ModelReplayer",
+    "TransformationModel",
+    "build_model",
     "CellRef",
     "Cluster",
     "ClusterTable",

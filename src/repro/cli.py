@@ -8,25 +8,50 @@ Commands:
 * ``standardize`` — run the full human-in-the-loop standardization
   with the ground-truth oracle and report precision / recall / MCC;
 * ``consolidate`` — Algorithm 1 end to end: standardize, fuse, report
-  golden-record precision before/after.
+  golden-record precision before/after;
+* ``learn`` — run standardization and persist what it learned as a
+  transformation model (JSON file or versioned registry);
+* ``apply`` — load a model and standardize a fresh table or CSV with
+  the compiled engine / exact replayer — no re-learning, no human;
+* ``serve`` — a long-running JSON-lines worker answering transform
+  requests on stdin (one JSON request per line).
 
-All commands operate on the built-in synthetic datasets (``--dataset``
+Synthetic-data commands operate on the built-in datasets (``--dataset``
 one of ``Address``, ``AuthorList``, ``JournalTitle``); ``--scale``
-controls their size.
+controls their size.  ``--seed`` defaults to *unset*: the run then
+picks a random seed and **prints it**, so any logged run can be
+reproduced by passing the printed value back.
 """
 
 from __future__ import annotations
 
 import argparse
+import random
+import re
 import sys
+import time
 from typing import List, Optional
 
 from .config import Config
+from .data.io import (
+    read_csv_clusters,
+    read_csv_records,
+    write_csv_clusters,
+    write_csv_records,
+)
 from .data.stats import dataset_stats
 from .datagen import DATASETS
 from .evaluation.experiment import run_consolidation, run_method_series
 from .pipeline.oracle import GroundTruthOracle
 from .pipeline.standardize import Standardizer
+from .serve import (
+    ApplyEngine,
+    ModelRegistry,
+    ModelReplayer,
+    TransformationModel,
+    build_model,
+    serve_forever,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,14 +98,87 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("majority", "truthfinder", "accu"),
         default="majority",
     )
+
+    def add_model_source(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--model", help="path of a saved model file")
+        p.add_argument("--registry", help="model-registry root directory")
+        p.add_argument("--name", help="model name inside the registry")
+        p.add_argument(
+            "--model-version",
+            type=int,
+            default=None,
+            help="registry version to load (default: latest)",
+        )
+
+    learn = sub.add_parser(
+        "learn", help="standardize and persist the learned model"
+    )
+    add_common(learn)
+    learn.add_argument("--budget", type=int, default=100)
+    learn.add_argument("--error-rate", type=float, default=0.0)
+    learn.add_argument(
+        "--out",
+        help="model file to write (default: <dataset>.model.json; "
+        "ignored with --registry)",
+    )
+    learn.add_argument("--registry", help="save into this registry instead")
+    learn.add_argument("--name", help="model name (default: dataset name)")
+
+    apply_p = sub.add_parser(
+        "apply", help="standardize fresh data with a saved model"
+    )
+    add_common(apply_p)
+    add_model_source(apply_p)
+    apply_p.add_argument(
+        "--input",
+        help="CSV file to standardize instead of a synthetic dataset",
+    )
+    apply_p.add_argument(
+        "--column", help="column to standardize (default: model's column)"
+    )
+    apply_p.add_argument(
+        "--key",
+        help="cluster the CSV by this key column and replay with "
+        "cluster provenance (exact Section 7.1 semantics); without it "
+        "the compiled value engine is used",
+    )
+    apply_p.add_argument("--out", help="write the standardized data here")
+    apply_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard large batches across this many processes",
+    )
+    apply_p.add_argument(
+        "--no-programs",
+        action="store_true",
+        help="disable program generalization to unseen values",
+    )
+
+    serve_p = sub.add_parser(
+        "serve", help="JSON-lines transform worker on stdin/stdout"
+    )
+    add_model_source(serve_p)
+    serve_p.add_argument("--cache-size", type=int, default=65536)
+    serve_p.add_argument("--no-programs", action="store_true")
     return parser
+
+
+def _resolve_seed(args) -> int:
+    """The run's seed; unseeded runs pick one and *print* it so the
+    exact run can be reproduced from its logs."""
+    if args.seed is None:
+        args.seed = random.SystemRandom().randrange(2**31)
+        print(
+            f"seed: {args.seed} (picked at random; rerun with "
+            f"--seed {args.seed} to reproduce)"
+        )
+    return args.seed
 
 
 def _make_dataset(args):
     maker = DATASETS[args.dataset]
-    if args.seed is not None:
-        return maker(scale=args.scale, seed=args.seed)
-    return maker(scale=args.scale)
+    return maker(scale=args.scale, seed=_resolve_seed(args))
 
 
 def cmd_stats(args) -> int:
@@ -151,11 +249,152 @@ def cmd_consolidate(args) -> int:
     return 0
 
 
+def _load_model(args) -> TransformationModel:
+    try:
+        if args.model:
+            return TransformationModel.load(args.model)
+        if args.registry and args.name:
+            return ModelRegistry(args.registry).load(
+                args.name, args.model_version
+            )
+    except FileNotFoundError as exc:
+        raise SystemExit(f"error: {exc}")
+    except (ValueError, KeyError, re.error) as exc:
+        raise SystemExit(f"error: cannot load model: {exc}")
+    raise SystemExit(
+        "error: pass --model FILE, or --registry DIR with --name NAME"
+    )
+
+
+def cmd_learn(args) -> int:
+    dataset = _make_dataset(args)
+    table = dataset.fresh_table()
+    standardizer = Standardizer(table, dataset.column)
+    oracle = GroundTruthOracle(
+        dataset.canonical,
+        standardizer.store,
+        error_rate=args.error_rate,
+        seed=args.seed,
+    )
+    start = time.perf_counter()
+    log = standardizer.run(oracle, args.budget)
+    elapsed = time.perf_counter() - start
+    model = build_model(
+        log,
+        dataset.column,
+        name=args.name or args.dataset,
+        config=standardizer.config,
+        vocabulary=standardizer.vocabulary,
+        provenance={
+            "dataset": args.dataset,
+            "scale": args.scale,
+            "seed": args.seed,
+            "budget": args.budget,
+            "oracle": "ground_truth",
+            "oracle_error_rate": args.error_rate,
+            "learn_seconds": elapsed,
+        },
+    )
+    if args.registry:
+        path = ModelRegistry(args.registry).save(model, args.name)
+    else:
+        path = model.save(args.out or f"{args.dataset.lower()}.model.json")
+    print(
+        f"learned {log.groups_approved}/{log.groups_confirmed} groups "
+        f"({log.cells_changed} cells changed) in {elapsed:.2f}s"
+    )
+    print(f"model written: {path}")
+    return 0
+
+
+def cmd_apply(args) -> int:
+    model = _load_model(args)
+    column = args.column or model.column
+    start = time.perf_counter()
+    if args.input and not args.key:
+        # Flat CSV: the compiled O(N) value engine.
+        records = read_csv_records(args.input)
+        engine = ApplyEngine(model, use_programs=not args.no_programs)
+        values = [r.values.get(column, "") for r in records]
+        outputs = engine.apply_values(values, workers=args.workers)
+        changed = 0
+        for record, out in zip(records, outputs):
+            if record.values.get(column, "") != out:
+                record.values[column] = out
+                changed += 1
+        elapsed = time.perf_counter() - start
+        rows = len(records)
+        if args.out:
+            write_csv_records(records, args.out)
+            print(f"standardized CSV written: {args.out}")
+        hits = engine.stats
+        if hits.sharded_values:
+            # Per-rule counters live in the worker processes and are
+            # not merged back; don't print misleading zeros.
+            print(
+                f"engine: {hits.sharded_values} unique values sharded "
+                f"across {args.workers} workers"
+            )
+        else:
+            print(
+                f"engine: exact={hits.exact_hits} "
+                f"program={hits.program_hits} "
+                f"token={hits.token_hits} untouched={hits.misses}"
+            )
+    else:
+        # Clustered input: provenance-aware replay (exact semantics).
+        if args.workers or args.no_programs:
+            print(
+                "note: --workers/--no-programs only affect the value "
+                "engine; clustered input replays with exact provenance "
+                "semantics (single process, no programs)",
+                file=sys.stderr,
+            )
+        if args.input:
+            table = read_csv_clusters(args.input, args.key)
+        else:
+            table = _make_dataset(args).fresh_table()
+        report = ModelReplayer(model).apply(table, column)
+        elapsed = time.perf_counter() - start
+        rows = table.num_records
+        changed = len(dict.fromkeys(report.changed_cells))
+        if args.out:
+            write_csv_clusters(table, args.out)
+            print(f"standardized clusters written: {args.out}")
+    rate = rows / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"applied {model.groups_confirmed}-group model to {rows} rows in "
+        f"{elapsed:.3f}s ({rate:,.0f} rows/s); {changed} cells changed"
+    )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    model = _load_model(args)
+    engine = ApplyEngine(
+        model,
+        use_programs=not args.no_programs,
+        cache_size=args.cache_size,
+    )
+    # The banner goes to stderr: stdout carries only protocol lines.
+    print(
+        f"serving {model.describe()}; one JSON request per line "
+        "(op: apply/ping/stats/shutdown)",
+        file=sys.stderr,
+    )
+    served = serve_forever(engine)
+    print(f"served {served} requests", file=sys.stderr)
+    return 0
+
+
 COMMANDS = {
     "stats": cmd_stats,
     "groups": cmd_groups,
     "standardize": cmd_standardize,
     "consolidate": cmd_consolidate,
+    "learn": cmd_learn,
+    "apply": cmd_apply,
+    "serve": cmd_serve,
 }
 
 

@@ -7,8 +7,8 @@ that experiments can toggle them without touching algorithm code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Dict, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -112,6 +112,24 @@ class Config:
     def without_affix(self) -> "Config":
         """Variant used by the NoAffix method in Figure 10."""
         return replace(self, use_affix=False)
+
+    def to_dict(self) -> Dict:
+        """JSON-safe rendering (tuples become lists)."""
+        payload = asdict(self)
+        payload["extra_constant_terms"] = list(self.extra_constant_terms)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Config":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored so old
+        models keep loading after new knobs are added."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in payload.items() if k in known}
+        if "extra_constant_terms" in kwargs:
+            kwargs["extra_constant_terms"] = tuple(
+                kwargs["extra_constant_terms"]
+            )
+        return cls(**kwargs)
 
 
 #: Shared default configuration (paper settings).

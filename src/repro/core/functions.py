@@ -19,9 +19,10 @@ not express them (Appendix D).  Program evaluation therefore works with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from .terms import MatchContext
+from .positions import position_from_dict
+from .terms import MatchContext, term_from_dict
 
 
 @dataclass(frozen=True)
@@ -38,6 +39,9 @@ class ConstantStr:
 
     def canonical(self) -> Tuple:
         return ("const", self.text)
+
+    def to_dict(self) -> Dict:
+        return {"kind": "const", "text": self.text}
 
     def __repr__(self) -> str:
         return f"ConstantStr({self.text!r})"
@@ -63,6 +67,13 @@ class SubStr:
 
     def canonical(self) -> Tuple:
         return ("substr", self.left.canonical(), self.right.canonical())
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "substr",
+            "left": self.left.to_dict(),
+            "right": self.right.to_dict(),
+        }
 
     def __repr__(self) -> str:
         return f"SubStr({self.left!r}, {self.right!r})"
@@ -101,6 +112,9 @@ class Prefix:
     def canonical(self) -> Tuple:
         return ("prefix", self.term.sort_key(), self.k)
 
+    def to_dict(self) -> Dict:
+        return {"kind": "prefix", "term": self.term.to_dict(), "k": self.k}
+
     def __repr__(self) -> str:
         return f"Prefix({self.term!r}, {self.k})"
 
@@ -138,11 +152,31 @@ class Suffix:
     def canonical(self) -> Tuple:
         return ("suffix", self.term.sort_key(), self.k)
 
+    def to_dict(self) -> Dict:
+        return {"kind": "suffix", "term": self.term.to_dict(), "k": self.k}
+
     def __repr__(self) -> str:
         return f"Suffix({self.term!r}, {self.k})"
 
 
 StringFunction = object  # ConstantStr | SubStr | Prefix | Suffix
+
+
+def function_from_dict(payload: Dict) -> StringFunction:
+    """Inverse of the string functions' ``to_dict`` methods."""
+    kind = payload.get("kind")
+    if kind == "const":
+        return ConstantStr(str(payload["text"]))
+    if kind == "substr":
+        return SubStr(
+            position_from_dict(payload["left"]),
+            position_from_dict(payload["right"]),
+        )
+    if kind == "prefix":
+        return Prefix(term_from_dict(payload["term"]), int(payload["k"]))
+    if kind == "suffix":
+        return Suffix(term_from_dict(payload["term"]), int(payload["k"]))
+    raise ValueError(f"unknown string-function kind: {kind!r}")
 
 
 def label_sort_key(fn: StringFunction) -> Tuple:

@@ -19,7 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from .terms import ConstTerm, MatchContext, RegexTerm, TermVocabulary
+from .terms import (
+    ConstTerm,
+    MatchContext,
+    RegexTerm,
+    TermVocabulary,
+    term_from_dict,
+)
 
 BEGIN = "B"
 END = "E"
@@ -47,6 +53,9 @@ class ConstPos:
 
     def canonical(self) -> Tuple:
         return ("cp", self.k)
+
+    def to_dict(self) -> Dict:
+        return {"kind": "cp", "k": self.k}
 
     def __repr__(self) -> str:
         return f"ConstPos({self.k})"
@@ -90,11 +99,34 @@ class MatchPos:
     def canonical(self) -> Tuple:
         return ("mp", self.term.sort_key(), self.k, self.direction)
 
+    def to_dict(self) -> Dict:
+        return {
+            "kind": "mp",
+            "term": self.term.to_dict(),
+            "k": self.k,
+            "direction": self.direction,
+        }
+
     def __repr__(self) -> str:
         return f"MatchPos({self.term!r}, {self.k}, {self.direction})"
 
 
 PositionFunction = object  # ConstPos | MatchPos
+
+
+def position_from_dict(payload: Dict) -> PositionFunction:
+    """Inverse of ``ConstPos.to_dict`` / ``MatchPos.to_dict``."""
+    kind = payload.get("kind")
+    if kind == "cp":
+        return ConstPos(int(payload["k"]))
+    if kind == "mp":
+        direction = payload["direction"]
+        if direction not in (BEGIN, END):
+            raise ValueError(f"bad MatchPos direction: {direction!r}")
+        return MatchPos(
+            term_from_dict(payload["term"]), int(payload["k"]), direction
+        )
+    raise ValueError(f"unknown position-function kind: {kind!r}")
 
 
 def position_candidates(

@@ -10,9 +10,9 @@ consistent with a replacement ``s -> t`` iff ``t`` is in that set
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from .functions import StringFunction, label_sort_key
+from .functions import StringFunction, function_from_dict, label_sort_key
 from .terms import DEFAULT_VOCABULARY, MatchContext, TermVocabulary
 
 
@@ -98,6 +98,18 @@ class Program:
     def describe(self) -> str:
         """Human-readable rendering, e.g. for group review UIs."""
         return " ⊕ ".join(repr(f) for f in self.functions)
+
+    def to_dict(self) -> Dict:
+        """JSON-safe rendering; inverse is :meth:`from_dict`."""
+        return {"functions": [f.to_dict() for f in self.functions]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Program":
+        return cls(
+            tuple(
+                function_from_dict(f) for f in payload.get("functions", ())
+            )
+        )
 
 
 def _extensions(fn: StringFunction, ctx: MatchContext, t: str, p: int) -> List[int]:

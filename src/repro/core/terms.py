@@ -44,6 +44,9 @@ class RegexTerm:
     def sort_key(self) -> Tuple:
         return ("re", self.name)
 
+    def to_dict(self) -> Dict:
+        return {"kind": "regex", "name": self.name, "pattern": self.pattern}
+
     def __repr__(self) -> str:
         return f"T{self.name}"
 
@@ -74,6 +77,9 @@ class ConstTerm:
     def sort_key(self) -> Tuple:
         return ("str", self.literal)
 
+    def to_dict(self) -> Dict:
+        return {"kind": "const", "literal": self.literal}
+
     def __repr__(self) -> str:
         return f"T{self.literal!r}"
 
@@ -94,6 +100,25 @@ DEFAULT_REGEX_TERMS: Tuple[RegexTerm, ...] = (
     DIGITS,
     WHITESPACE,
 )
+
+
+def term_from_dict(payload: Dict):
+    """Inverse of ``RegexTerm.to_dict`` / ``ConstTerm.to_dict``.
+
+    Frozen dataclasses compare by field values, so reconstructed terms
+    are equal to (and hash like) the originals; well-known regex terms
+    round-trip to the shared module-level instances.
+    """
+    kind = payload.get("kind")
+    if kind == "regex":
+        term = RegexTerm(str(payload["name"]), str(payload["pattern"]))
+        for known in DEFAULT_REGEX_TERMS + (PUNCTUATION,):
+            if known == term:
+                return known
+        return term
+    if kind == "const":
+        return ConstTerm(str(payload["literal"]))
+    raise ValueError(f"unknown term kind: {kind!r}")
 
 
 class TermVocabulary:
@@ -123,6 +148,19 @@ class TermVocabulary:
             ConstTerm(lit) for lit in literals if lit and lit not in existing
         )
         return TermVocabulary(self.regex_terms, self.constant_terms + extra)
+
+    def to_dict(self) -> Dict:
+        return {
+            "regex_terms": [t.to_dict() for t in self.regex_terms],
+            "constant_terms": [t.to_dict() for t in self.constant_terms],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "TermVocabulary":
+        return cls(
+            [term_from_dict(t) for t in payload.get("regex_terms", ())],
+            [term_from_dict(t) for t in payload.get("constant_terms", ())],
+        )
 
     def __repr__(self) -> str:
         return (

@@ -38,17 +38,28 @@ def read_csv_records(
     source_column: Optional[str] = None,
     id_column: Optional[str] = None,
 ) -> List[Record]:
-    """Load flat records from a CSV file with a header row."""
+    """Load flat records from a CSV file with a header row.
+
+    Reserved columns (``__rid__`` / ``__source__`` / ``__cluster__``,
+    e.g. from a file previously written by :func:`write_csv_records`
+    or :func:`write_csv_clusters`) populate the record id and
+    provenance rather than becoming attribute values, so
+    read-then-write round-trips are stable.
+    """
     records: List[Record] = []
     with open(path, newline="", encoding="utf-8") as handle:
         reader = csv.DictReader(handle)
         for idx, row in enumerate(reader):
             rid = row.get(id_column, "") if id_column else ""
+            rid = rid or row.get(RID_COLUMN, "") or ""
             source = row.get(source_column, "") if source_column else ""
+            source = source or row.get(SOURCE_COLUMN, "") or ""
             values = {
                 k: (v or "")
                 for k, v in row.items()
-                if k not in (id_column, source_column) and k is not None
+                if k not in (id_column, source_column)
+                and k not in _RESERVED
+                and k is not None
             }
             records.append(Record(rid or f"r{idx}", values, source))
     return records
@@ -73,6 +84,31 @@ def read_json_records(path: PathLike) -> List[Record]:
         }
         records.append(Record(rid, values, source))
     return records
+
+
+def write_csv_records(
+    records: Sequence[Record],
+    path: PathLike,
+    columns: Optional[Sequence[str]] = None,
+) -> None:
+    """Persist flat records (inverse of :func:`read_csv_records`); ids
+    and sources ride along in the reserved columns."""
+    if columns is None:
+        seen: List[str] = []
+        for record in records:
+            for column in record.values:
+                if column not in seen:
+                    seen.append(column)
+        columns = seen
+    fieldnames = [RID_COLUMN, SOURCE_COLUMN, *columns]
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for record in records:
+            row = {RID_COLUMN: record.rid, SOURCE_COLUMN: record.source}
+            for column in columns:
+                row[column] = record.values.get(column, "")
+            writer.writerow(row)
 
 
 def cluster_records(

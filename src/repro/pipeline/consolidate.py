@@ -15,6 +15,7 @@ from ..config import DEFAULT_CONFIG, Config
 from ..core.terms import DEFAULT_VOCABULARY, TermVocabulary
 from ..data.table import ClusterTable
 from ..fusion import majority
+from ..serve.model import TransformationModel, build_model
 from .golden import FusionFn, golden_records
 from .oracle import Oracle
 from .standardize import StandardizationLog, Standardizer
@@ -39,6 +40,9 @@ class ConsolidationReport:
 
     golden: List[GoldenRecord]
     logs: Dict[str, StandardizationLog]
+    #: per-column transformation models (with ``collect_models``): the
+    #: run's confirmed knowledge as a persistable by-product.
+    models: Dict[str, TransformationModel] = field(default_factory=dict)
 
     @property
     def groups_confirmed(self) -> int:
@@ -65,6 +69,8 @@ class GoldenRecordCreation:
         fusion: FusionFn = majority.fuse,
         config: Config = DEFAULT_CONFIG,
         vocabulary: TermVocabulary = DEFAULT_VOCABULARY,
+        collect_models: bool = False,
+        dataset_name: str = "",
     ) -> None:
         self.table = table
         self.oracle_factory = oracle_factory
@@ -73,17 +79,37 @@ class GoldenRecordCreation:
         self.fusion = fusion
         self.config = config
         self.vocabulary = vocabulary
+        self.collect_models = collect_models
+        self.dataset_name = dataset_name
 
     def run(self) -> ConsolidationReport:
         logs: Dict[str, StandardizationLog] = {}
+        models: Dict[str, TransformationModel] = {}
         for column in self.columns:
             standardizer = Standardizer(
                 self.table, column, self.config, self.vocabulary
             )
             oracle = self.oracle_factory(standardizer)
             logs[column] = standardizer.run(oracle, self.budget_per_column)
+            if self.collect_models:
+                models[column] = build_model(
+                    logs[column],
+                    column,
+                    name=(
+                        f"{self.dataset_name}-{column}"
+                        if self.dataset_name
+                        else column
+                    ),
+                    config=self.config,
+                    vocabulary=self.vocabulary,
+                    provenance={
+                        "dataset": self.dataset_name,
+                        "budget": self.budget_per_column,
+                        "source": "GoldenRecordCreation",
+                    },
+                )
         golden = self._fuse_all()
-        return ConsolidationReport(golden, logs)
+        return ConsolidationReport(golden, logs, models)
 
     def _fuse_all(self) -> List[GoldenRecord]:
         per_column: Dict[str, Dict[int, Optional[str]]] = {

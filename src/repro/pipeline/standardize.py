@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol
+from typing import Callable, List, Optional, Protocol, Tuple
 
 from ..candidates.generate import generate_candidates
 from ..candidates.store import ReplacementStore
@@ -33,6 +33,23 @@ class GroupFeed(Protocol):
     def remove_replacements(self, dead) -> None: ...
 
 
+@dataclass(frozen=True)
+class AppliedReplacement:
+    """One direction-resolved replacement as it was applied.
+
+    ``whole`` / ``token`` record which provenance kinds the replacement
+    had *at apply time* — the information a persisted model needs to
+    compile value-level and token-level rewrite rules
+    (:mod:`repro.serve.engine`) and to replay the run exactly
+    (:mod:`repro.serve.replay`).
+    """
+
+    replacement: Replacement
+    whole: bool
+    token: bool
+    cells_changed: int
+
+
 @dataclass
 class StepRecord:
     """One presented group and what happened to it."""
@@ -41,6 +58,7 @@ class StepRecord:
     group: Group
     decision: Decision
     cells_changed: int
+    applied: List[AppliedReplacement] = field(default_factory=list)
 
 
 @dataclass
@@ -112,10 +130,11 @@ class Standardizer:
                 break
             decision = oracle.review(group)
             changed = 0
+            applied: List[AppliedReplacement] = []
             if decision.approved:
-                changed = self.apply_group(group, decision)
+                changed, applied = self._apply_group_recorded(group, decision)
                 feed.remove_replacements(self.store.drain_dead())
-            record = StepRecord(step_index, group, decision, changed)
+            record = StepRecord(step_index, group, decision, changed, applied)
             log.steps.append(record)
             if after_step is not None:
                 after_step(record)
@@ -124,12 +143,27 @@ class Standardizer:
     def apply_group(self, group: Group, decision: Decision) -> int:
         """Apply every member of an approved group in the chosen
         direction; returns the number of cells changed."""
+        changed, _ = self._apply_group_recorded(group, decision)
+        return changed
+
+    def _apply_group_recorded(
+        self, group: Group, decision: Decision
+    ) -> "Tuple[int, List[AppliedReplacement]]":
+        """Apply a group and record the direction-resolved replacement
+        sequence with its provenance kinds (model fodder)."""
         changed = 0
+        applied: List[AppliedReplacement] = []
         for replacement in group.replacements:
-            applied = (
+            resolved = (
                 replacement.reversed()
                 if decision.direction == REVERSE
                 else replacement
             )
-            changed += len(self.store.apply_replacement(applied))
-        return changed
+            whole = bool(self.store.cell_pairs(resolved))
+            token = bool(self.store.token_pairs(resolved))
+            cells = self.store.apply_replacement(resolved)
+            applied.append(
+                AppliedReplacement(resolved, whole, token, len(cells))
+            )
+            changed += len(cells)
+        return changed, applied

@@ -1,0 +1,36 @@
+"""Persistent transformation models and a high-throughput apply engine.
+
+The standardization loop is expensive — graphs, pivot searches, and
+above all *human confirmations*.  This package makes its output a
+reusable asset:
+
+* :mod:`repro.serve.model` — a versioned JSON schema for confirmed
+  replacement groups, their programs, and full provenance;
+* :mod:`repro.serve.registry` — a directory-backed model store with
+  monotonically increasing versions per model name;
+* :mod:`repro.serve.engine` — confirmed groups compiled into an
+  exact-match hash table plus a per-structure-signature program index,
+  applied column-at-a-time with an LRU cell cache and optional
+  multiprocessing sharding;
+* :mod:`repro.serve.replay` — provenance-aware re-application that
+  reproduces a learning run's cell edits exactly on an identical table;
+* :mod:`repro.serve.service` — a long-running JSON-lines worker
+  answering transform requests over stdin/stdout.
+"""
+
+from .engine import ApplyEngine, ApplyStats
+from .model import TransformationModel, build_model
+from .registry import ModelRegistry
+from .replay import ModelReplayer, ReplayReport
+from .service import serve_forever
+
+__all__ = [
+    "ApplyEngine",
+    "ApplyStats",
+    "ModelRegistry",
+    "ModelReplayer",
+    "ReplayReport",
+    "TransformationModel",
+    "build_model",
+    "serve_forever",
+]

@@ -1,0 +1,297 @@
+"""The compiled batch-apply engine: O(N) standardization of new data.
+
+Learning pays graphs, pivot searches, and human review; applying must
+not.  :class:`ApplyEngine` compiles a persisted
+:class:`~repro.serve.model.TransformationModel` into three lookup
+structures, so standardizing a table of N rows costs N hash probes plus
+the occasional program evaluation:
+
+1. **exact-match hash table** — every confirmed whole-value replacement,
+   chain-composed in confirmation order (``A -> B`` then ``B -> C``
+   compiles to ``A -> C``), first confirmation wins on conflicts;
+2. **per-structure-signature program index** — forward-confirmed
+   transformation programs keyed by the structure signature
+   (Section 7.2) of their input side.  A *new* value that no exact rule
+   covers is matched by signature and rewritten by the first confirmed
+   program that evaluates deterministically on it — the learned
+   programs generalize beyond the values they were mined from
+   (``"9th" -> "9"`` learned, ``"42nd" -> "42"`` applied).  Programs
+   whose output ignores the input (all-``ConstantStr``) are excluded:
+   they would stamp one group's target onto every same-shaped value;
+3. **token-level rules** — confirmed token-segment replacements
+   (Appendix A provenance), applied once each, in confirmation order,
+   token-boundary aware (``"St"`` never fires inside ``"Stone"``).
+
+Results are memoized in an LRU cell cache (dirty columns repeat values
+heavily), application is batched column-at-a-time with de-duplication,
+and large batches can shard across worker processes.
+
+Exactness note: value-level application generalizes beyond the cluster
+provenance the learner respected — by design.  When bit-exact
+reproduction of a learning run is required, use
+:class:`repro.serve.replay.ModelReplayer` instead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..candidates.store import _replace_token_segment
+from ..core.functions import ConstantStr
+from ..core.program import Program
+from ..core.structure import Signature, structure_signature
+from ..data.table import CellRef, ClusterTable
+from ..pipeline.oracle import FORWARD
+from .model import TransformationModel
+
+#: Unique-value count below which sharding never pays for itself.
+MIN_SHARD_VALUES = 4096
+
+
+class LRUCache:
+    """A small least-recently-used string cache (move-to-end on hit)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(0, int(capacity))
+        self._entries: "OrderedDict[str, str]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[str]:
+        found = self._entries.get(key)
+        if found is not None:
+            self._entries.move_to_end(key)
+        return found
+
+    def put(self, key: str, value: str) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class ApplyStats:
+    """Counters over everything an engine instance has applied."""
+
+    rows: int = 0
+    unique_values: int = 0
+    exact_hits: int = 0
+    program_hits: int = 0
+    token_hits: int = 0
+    misses: int = 0
+    cache_hits: int = 0
+    sharded_values: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "rows": self.rows,
+            "unique_values": self.unique_values,
+            "exact_hits": self.exact_hits,
+            "program_hits": self.program_hits,
+            "token_hits": self.token_hits,
+            "misses": self.misses,
+            "cache_hits": self.cache_hits,
+            "sharded_values": self.sharded_values,
+        }
+
+
+def _is_input_sensitive(program: Program) -> bool:
+    """False for all-constant programs: their output ignores the input,
+    so letting them generalize by structure would be destructive."""
+    return any(not isinstance(f, ConstantStr) for f in program.functions)
+
+
+class ApplyEngine:
+    """A transformation model compiled for high-throughput application."""
+
+    def __init__(
+        self,
+        model: TransformationModel,
+        use_programs: bool = True,
+        cache_size: int = 65536,
+    ) -> None:
+        self.model = model
+        self.use_programs = use_programs
+        self.vocabulary = model.vocabulary
+        self.stats = ApplyStats()
+        self._cache = LRUCache(cache_size)
+        self._max_program_len = model.config.max_string_length
+
+        self.exact: Dict[str, str] = {}
+        self.token_rules: List[Tuple[str, str]] = []
+        self.programs: Dict[Signature, List[Program]] = {}
+        self._compile()
+
+    # -- compilation -------------------------------------------------------
+
+    def _compile(self) -> None:
+        seen_token: set = set()
+        seen_programs: Dict[Signature, set] = {}
+        for group in self.model.groups:
+            for member in group.members:
+                if member.whole:
+                    self._add_exact(member.lhs, member.rhs)
+                if member.token and (member.lhs, member.rhs) not in seen_token:
+                    seen_token.add((member.lhs, member.rhs))
+                    self.token_rules.append((member.lhs, member.rhs))
+            if group.direction != FORWARD:
+                # The program maps learned-lhs -> learned-rhs; a reverse
+                # confirmation applied the opposite direction, which the
+                # program cannot express.  Exact/token rules still cover
+                # the confirmed members.
+                continue
+            if not _is_input_sensitive(group.program):
+                continue
+            signature = (
+                group.structure[0]
+                if group.structure is not None
+                else (
+                    structure_signature(group.members[0].lhs)
+                    if group.members
+                    else None
+                )
+            )
+            if signature is None:
+                continue
+            bucket = self.programs.setdefault(signature, [])
+            keys = seen_programs.setdefault(signature, set())
+            key = group.program.canonical()
+            if key not in keys:
+                keys.add(key)
+                bucket.append(group.program)
+
+    def _add_exact(self, lhs: str, rhs: str) -> None:
+        """Chain-compose one whole-value rule into the exact table."""
+        for key, value in self.exact.items():
+            if value == lhs:
+                self.exact[key] = rhs
+        self.exact.setdefault(lhs, rhs)
+
+    # -- single-value path -------------------------------------------------
+
+    def transform(self, value: str) -> str:
+        """Standardize one value (memoized)."""
+        cached = self._cache.get(value)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        out = self._compute(value)
+        self._cache.put(value, out)
+        return out
+
+    def _compute(self, value: str) -> str:
+        hit = self.exact.get(value)
+        if hit is not None:
+            self.stats.exact_hits += 1
+            return hit
+        if self.use_programs and len(value) <= self._max_program_len:
+            for program in self.programs.get(structure_signature(value), ()):
+                out = program.evaluate_unique(value, self.vocabulary)
+                if out is not None and out != value:
+                    self.stats.program_hits += 1
+                    return out
+        out = value
+        for lhs, rhs in self.token_rules:
+            updated = _replace_token_segment(out, lhs, rhs)
+            if updated is not None and updated != out:
+                out = updated
+        if out != value:
+            self.stats.token_hits += 1
+        else:
+            self.stats.misses += 1
+        return out
+
+    # -- batch path --------------------------------------------------------
+
+    def apply_values(
+        self,
+        values: Sequence[str],
+        workers: Optional[int] = None,
+        min_shard: int = MIN_SHARD_VALUES,
+    ) -> List[str]:
+        """Standardize a column of values.
+
+        Values are de-duplicated before computation (dirty columns are
+        repetitive), then the mapping is broadcast back in order.  With
+        ``workers > 1`` and enough distinct values, unique values are
+        sharded across a process pool; per-rule hit counters are then
+        tracked inside the workers and not merged back.
+        """
+        unique = list(dict.fromkeys(values))
+        self.stats.rows += len(values)
+        self.stats.unique_values += len(unique)
+        if workers and workers > 1 and len(unique) >= max(min_shard, 2):
+            mapping = self._apply_sharded(unique, workers)
+            self.stats.sharded_values += len(unique)
+        else:
+            mapping = {value: self.transform(value) for value in unique}
+        return [mapping[value] for value in values]
+
+    def _apply_sharded(
+        self, unique: List[str], workers: int
+    ) -> Dict[str, str]:
+        chunks = [unique[i::workers] for i in range(workers)]
+        chunks = [c for c in chunks if c]
+        # Serialized lazily: only the sharded path ships the model.
+        payload = self.model.to_dict()
+        with multiprocessing.Pool(
+            len(chunks),
+            initializer=_shard_init,
+            initargs=(payload, self.use_programs),
+        ) as pool:
+            results = pool.map(_shard_apply, chunks)
+        mapping: Dict[str, str] = {}
+        for chunk, outs in zip(chunks, results):
+            mapping.update(zip(chunk, outs))
+        for value, out in mapping.items():
+            self._cache.put(value, out)
+        return mapping
+
+    def apply_table(
+        self,
+        table: ClusterTable,
+        column: Optional[str] = None,
+        workers: Optional[int] = None,
+    ) -> List[CellRef]:
+        """Standardize one column of a clustered table in place.
+
+        Returns the cells whose value changed.
+        """
+        column = column or self.model.column
+        cells = list(table.cells(column))
+        before = [table.value(cell) for cell in cells]
+        after = self.apply_values(before, workers=workers)
+        changed: List[CellRef] = []
+        for cell, old, new in zip(cells, before, after):
+            if new != old:
+                table.set_value(cell, new)
+                changed.append(cell)
+        return changed
+
+
+# -- multiprocessing shard workers ----------------------------------------
+#
+# The pool initializer rebuilds the engine once per worker process from
+# the model's JSON payload (always picklable); chunks of unique values
+# then stream through the rebuilt engine.
+
+_WORKER_ENGINE: Optional[ApplyEngine] = None
+
+
+def _shard_init(payload: Dict, use_programs: bool) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = ApplyEngine(
+        TransformationModel.from_dict(payload), use_programs=use_programs
+    )
+
+
+def _shard_apply(values: List[str]) -> List[str]:
+    assert _WORKER_ENGINE is not None, "pool initializer did not run"
+    return [_WORKER_ENGINE.transform(value) for value in values]

@@ -1,0 +1,64 @@
+"""Exact re-application of a learned model to a clustered table.
+
+The learner applies approved replacements through the Section 7.1
+provenance machinery: a whole-value rule only rewrites cells that were
+actually paired with the rule's right-hand side inside their own
+cluster, and token rules only rewrite the cells their alignment came
+from ("not all 'St's are 'Street'" — footnote 1 of the paper).
+
+:class:`ModelReplayer` reproduces exactly that: it regenerates the
+candidate store on the target table (cheap — no graphs, no pivot
+searches, no human) and re-applies the model's confirmed replacement
+sequence in confirmation order.  On a table identical to the one the
+model was learned from, the resulting cell values are **equal to the
+learner's output, cell for cell** — the store evolves through the same
+deterministic states.  On a different table with the same clustering
+conventions, the replay applies the confirmed knowledge under the same
+safety rules the human approved it under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..candidates.generate import generate_candidates
+from ..data.table import CellRef, ClusterTable
+from .model import TransformationModel
+
+
+@dataclass
+class ReplayReport:
+    """What one replay run did."""
+
+    groups_applied: int = 0
+    replacements_applied: int = 0
+    cells_changed: int = 0
+    changed_cells: List[CellRef] = field(default_factory=list)
+
+
+class ModelReplayer:
+    """Provenance-aware application of a model to clustered tables."""
+
+    def __init__(self, model: TransformationModel) -> None:
+        self.model = model
+
+    def apply(
+        self, table: ClusterTable, column: Optional[str] = None
+    ) -> ReplayReport:
+        """Re-apply the confirmed sequence to ``table`` in place."""
+        column = column or self.model.column
+        store = generate_candidates(table, column, self.model.config)
+        report = ReplayReport()
+        for group in self.model.groups:
+            report.groups_applied += 1
+            for member in group.members:
+                report.replacements_applied += 1
+                changed = store.apply_replacement(member.replacement)
+                report.cells_changed += len(changed)
+                report.changed_cells.extend(changed)
+            # Matches the learning loop: invalidated candidates are
+            # collected after each group (the feed is absent here, but
+            # draining keeps the store's key set in the same state).
+            store.drain_dead()
+        return report

@@ -1,0 +1,42 @@
+"""Shared fixtures for the serve subsystem tests: one small learned
+model per session, built from a real standardization run."""
+
+import pytest
+
+from repro.datagen import DATASETS
+from repro.pipeline.oracle import GroundTruthOracle
+from repro.pipeline.standardize import Standardizer
+from repro.serve import build_model
+
+SCALE = 0.05
+SEED = 3
+BUDGET = 25
+
+
+@pytest.fixture(scope="session")
+def address_dataset():
+    return DATASETS["Address"](scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def learned(address_dataset):
+    """(standardized table, log, model) of one deterministic learn run."""
+    dataset = address_dataset
+    table = dataset.fresh_table()
+    standardizer = Standardizer(table, dataset.column)
+    oracle = GroundTruthOracle(dataset.canonical, standardizer.store, seed=SEED)
+    log = standardizer.run(oracle, BUDGET)
+    model = build_model(
+        log,
+        dataset.column,
+        name="address",
+        config=standardizer.config,
+        vocabulary=standardizer.vocabulary,
+        provenance={"dataset": dataset.name, "scale": SCALE, "seed": SEED},
+    )
+    return table, log, model
+
+
+@pytest.fixture(scope="session")
+def learned_model(learned):
+    return learned[2]

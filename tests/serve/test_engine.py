@@ -1,0 +1,185 @@
+"""Compiled apply-engine tests on a hand-built model: exact table,
+chain composition, program generalization, token rules, LRU cache,
+batching, and multiprocessing sharding."""
+
+import pytest
+
+from repro.core.functions import ConstantStr, SubStr
+from repro.core.positions import BEGIN, END, MatchPos
+from repro.core.program import Program
+from repro.core.terms import DIGITS
+from repro.pipeline.oracle import FORWARD, REVERSE
+from repro.serve import ApplyEngine
+from repro.serve.engine import LRUCache
+from repro.serve.model import (
+    ConfirmedGroup,
+    ConfirmedMember,
+    TransformationModel,
+)
+
+#: SubStr(first digit-run begin .. end): "9th" -> "9", "42nd" -> "42".
+DIGIT_PROGRAM = Program(
+    (SubStr(MatchPos(DIGITS, 1, BEGIN), MatchPos(DIGITS, 1, END)),)
+)
+
+
+def member(lhs, rhs, whole=True, token=False):
+    return ConfirmedMember(lhs, rhs, whole, token, cells_changed=1)
+
+
+@pytest.fixture
+def model():
+    groups = [
+        # Forward group with a real program: generalizes by structure.
+        ConfirmedGroup(
+            DIGIT_PROGRAM,
+            FORWARD,
+            (member("9th", "9"), member("3rd", "3")),
+            structure=(("d", "l"), ("d",)),
+        ),
+        # Token-level rule; its all-constant program must NOT be indexed.
+        ConfirmedGroup(
+            Program((ConstantStr("Street"),)),
+            FORWARD,
+            (member("St", "Street", whole=False, token=True),),
+            structure=(("C", "l"), ("C", "l")),
+        ),
+        # Chain: A -> B now ...
+        ConfirmedGroup(
+            Program((ConstantStr("B"),)),
+            FORWARD,
+            (member("A", "B"),),
+            structure=(("C",), ("C",)),
+        ),
+        # ... and B -> C later: exact table must compose to A -> C.
+        ConfirmedGroup(
+            Program((ConstantStr("C"),)),
+            FORWARD,
+            (member("B", "C"),),
+            structure=(("C",), ("C",)),
+        ),
+        # Reverse-approved group: members count, program must not.
+        ConfirmedGroup(
+            DIGIT_PROGRAM,
+            REVERSE,
+            (member("7", "7th"),),
+            structure=(("d", "l"), ("d",)),
+        ),
+    ]
+    return TransformationModel("test", "col", groups=groups)
+
+
+@pytest.fixture
+def engine(model):
+    return ApplyEngine(model)
+
+
+class TestCompile:
+    def test_exact_table_chains(self, engine):
+        assert engine.exact["A"] == "C"
+        assert engine.exact["B"] == "C"
+
+    def test_all_constant_program_excluded(self, engine):
+        assert ("C", "l") not in engine.programs
+
+    def test_reverse_program_excluded(self, engine):
+        # Only the forward digit group's program is indexed under d,l.
+        assert engine.programs[("d", "l")] == [DIGIT_PROGRAM]
+
+    def test_token_rules_in_order(self, engine):
+        assert engine.token_rules == [("St", "Street")]
+
+
+class TestTransform:
+    def test_exact_hit(self, engine):
+        assert engine.transform("9th") == "9"
+        assert engine.stats.exact_hits == 1
+
+    def test_program_generalizes_to_unseen_value(self, engine):
+        assert engine.transform("42nd") == "42"
+        assert engine.stats.program_hits == 1
+
+    def test_constant_stamp_does_not_fire(self, engine):
+        # Same structure as "St" -> "Street", but the all-constant
+        # program was excluded, and "Rd" is no token rule's lhs.
+        assert engine.transform("Rd") == "Rd"
+
+    def test_token_rule_is_boundary_aware(self, engine):
+        assert engine.transform("5 St") == "5 Street"
+        assert engine.transform("5 Stone") == "5 Stone"
+
+    def test_untouched_value_counts_as_miss(self, engine):
+        engine.transform("zzz")
+        assert engine.stats.misses == 1
+
+    def test_cache_hit_on_second_call(self, engine):
+        engine.transform("42nd")
+        engine.transform("42nd")
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.program_hits == 1
+
+    def test_programs_can_be_disabled(self, model):
+        engine = ApplyEngine(model, use_programs=False)
+        assert engine.transform("42nd") == "42nd"
+
+
+class TestBatch:
+    def test_apply_values_broadcasts_and_dedupes(self, engine):
+        values = ["9th", "42nd", "9th", "zzz", "42nd"]
+        assert engine.apply_values(values) == ["9", "42", "9", "zzz", "42"]
+        assert engine.stats.rows == 5
+        assert engine.stats.unique_values == 3
+
+    def test_sharded_matches_serial(self, model):
+        values = [f"{i}th" for i in range(40)] + ["A", "5 St"] * 5
+        serial = ApplyEngine(model).apply_values(values)
+        sharded_engine = ApplyEngine(model)
+        sharded = sharded_engine.apply_values(
+            values, workers=2, min_shard=2
+        )
+        assert sharded == serial
+        assert sharded_engine.stats.sharded_values > 0
+
+    def test_small_batches_never_shard(self, engine):
+        engine.apply_values(["9th"], workers=4)
+        assert engine.stats.sharded_values == 0
+
+    def test_apply_table(self, engine):
+        from repro.data.table import ClusterTable, Record
+
+        table = ClusterTable(["col"])
+        table.add_cluster(
+            "k",
+            [
+                Record("r0", {"col": "9th"}),
+                Record("r1", {"col": "zzz"}),
+            ],
+        )
+        changed = engine.apply_table(table, "col")
+        assert len(changed) == 1
+        assert table.cluster_values(0, "col") == ["9", "zzz"]
+
+
+class TestLRUCache:
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", "1")
+        cache.put("b", "2")
+        assert cache.get("a") == "1"  # refreshes "a"
+        cache.put("c", "3")  # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == "1"
+        assert len(cache) == 2
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", "1")
+        assert cache.get("a") is None
+
+    def test_engine_respects_capacity(self, model):
+        engine = ApplyEngine(model, cache_size=1)
+        engine.transform("42nd")
+        engine.transform("13th")
+        engine.transform("42nd")
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.program_hits == 3

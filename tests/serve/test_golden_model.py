@@ -1,0 +1,65 @@
+"""Golden-file test: a model saved by schema version 1 must keep
+loading and behaving identically in every future build.
+
+``data/golden_model.json`` is a checked-in artifact — if this test
+breaks, the change broke compatibility with already-saved models and
+needs a schema-version bump plus a migration path, not a test edit.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.functions import SubStr
+from repro.pipeline.oracle import FORWARD
+from repro.serve import ApplyEngine, TransformationModel
+
+GOLDEN = Path(__file__).parent / "data" / "golden_model.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return TransformationModel.load(GOLDEN)
+
+
+class TestGoldenLoads:
+    def test_identity(self, golden):
+        assert golden.name == "golden-address"
+        assert golden.column == "address"
+        assert golden.schema_version == 1
+
+    def test_counts(self, golden):
+        assert golden.groups_confirmed == 2
+        assert golden.replacements_confirmed == 3
+        assert golden.cells_changed == 3
+
+    def test_program_reconstruction(self, golden):
+        program = golden.groups[0].program
+        assert len(program) == 1
+        assert isinstance(program.functions[0], SubStr)
+        assert golden.groups[0].direction == FORWARD
+        assert golden.groups[0].structure == (("d", "l"), ("d",))
+
+    def test_config_and_vocabulary(self, golden):
+        assert golden.config.max_path_length == 6
+        assert golden.config.seed == 3
+        assert [t.name for t in golden.vocabulary.regex_terms] == [
+            "C",
+            "l",
+            "d",
+            "b",
+        ]
+
+    def test_round_trip_preserves_file_payload(self, golden):
+        original = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        assert golden.to_dict() == original
+
+
+class TestGoldenBehaviour:
+    def test_engine_applies_golden_rules(self, golden):
+        engine = ApplyEngine(golden)
+        assert engine.transform("9th") == "9"
+        assert engine.transform("42nd") == "42"  # program generalization
+        assert engine.transform("5 St") == "5 Street"  # token rule
+        assert engine.transform("untouched") == "untouched"

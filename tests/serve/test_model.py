@@ -1,0 +1,105 @@
+"""Model schema tests: building from a run, JSON round-trips, errors."""
+
+import json
+
+import pytest
+
+from repro.core.program import Program
+from repro.core.functions import ConstantStr
+from repro.pipeline.oracle import FORWARD, REVERSE
+from repro.serve.model import (
+    MODEL_KIND,
+    SCHEMA_VERSION,
+    ConfirmedGroup,
+    ConfirmedMember,
+    TransformationModel,
+)
+
+
+class TestBuildModel:
+    def test_only_approved_groups_kept(self, learned):
+        _, log, model = learned
+        assert model.groups_confirmed == log.groups_approved
+        assert model.groups_confirmed > 0
+
+    def test_cells_changed_matches_log(self, learned):
+        _, log, model = learned
+        assert model.cells_changed == log.cells_changed
+
+    def test_decisions_audited_for_every_step(self, learned):
+        _, log, model = learned
+        decisions = model.provenance["decisions"]
+        assert len(decisions) == log.groups_confirmed
+        assert sum(1 for d in decisions if d["approved"]) == (
+            log.groups_approved
+        )
+
+    def test_members_are_direction_resolved(self, learned):
+        _, log, model = learned
+        for step, group in zip(
+            (s for s in log.steps if s.decision.approved), model.groups
+        ):
+            expected = [
+                (
+                    r.reversed()
+                    if step.decision.direction == REVERSE
+                    else r
+                )
+                for r in step.group.replacements
+            ]
+            assert [m.replacement for m in group.members] == expected
+
+    def test_provenance_passthrough(self, learned_model):
+        assert learned_model.provenance["dataset"] == "Address"
+        assert learned_model.provenance["seed"] == 3
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self, learned_model):
+        payload = json.loads(json.dumps(learned_model.to_dict()))
+        again = TransformationModel.from_dict(payload)
+        assert again.to_dict() == learned_model.to_dict()
+
+    def test_save_load(self, learned_model, tmp_path):
+        path = learned_model.save(tmp_path / "m.json")
+        loaded = TransformationModel.load(path)
+        assert loaded.to_dict() == learned_model.to_dict()
+        assert loaded.column == learned_model.column
+
+    def test_programs_survive_round_trip(self, learned_model):
+        again = TransformationModel.from_dict(learned_model.to_dict())
+        for before, after in zip(learned_model.groups, again.groups):
+            assert before.program == after.program
+            assert before.structure == after.structure
+
+
+class TestValidation:
+    def test_rejects_foreign_json(self):
+        with pytest.raises(ValueError, match="not a transformation model"):
+            TransformationModel.from_dict({"kind": "something-else"})
+
+    def test_rejects_future_schema(self):
+        with pytest.raises(ValueError, match="schema version"):
+            TransformationModel.from_dict(
+                {"kind": MODEL_KIND, "schema_version": SCHEMA_VERSION + 1}
+            )
+
+    def test_rejects_bad_direction(self):
+        group = {
+            "program": Program((ConstantStr("x"),)).to_dict(),
+            "direction": "sideways",
+            "members": [],
+        }
+        with pytest.raises(ValueError, match="direction"):
+            ConfirmedGroup.from_dict(group)
+
+    def test_member_defaults(self):
+        member = ConfirmedMember.from_dict({"lhs": "a", "rhs": "b"})
+        assert member.whole and not member.token
+        assert member.cells_changed == 0
+
+    def test_group_direction_default_is_forward(self):
+        group = ConfirmedGroup.from_dict(
+            {"program": {"functions": []}, "members": []}
+        )
+        assert group.direction == FORWARD

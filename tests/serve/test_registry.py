@@ -1,0 +1,60 @@
+"""Registry tests: versioning, naming, lookup errors."""
+
+import pytest
+
+from repro.serve import ModelRegistry
+from repro.serve.registry import slugify
+
+
+class TestSlugify:
+    def test_lowercases_and_collapses(self):
+        assert slugify("Journal Title!") == "journal-title"
+
+    def test_safe_chars_kept(self):
+        assert slugify("addr_v2.base") == "addr_v2.base"
+
+    def test_empty_falls_back(self):
+        assert slugify("??") == "model"
+
+
+class TestRegistry:
+    def test_versions_increase(self, learned_model, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        first = registry.save(learned_model)
+        second = registry.save(learned_model)
+        assert first.name == "v1.json"
+        assert second.name == "v2.json"
+        assert registry.versions("address") == [1, 2]
+
+    def test_load_latest_and_pinned(self, learned_model, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.save(learned_model)
+        registry.save(learned_model)
+        assert registry.load("address").to_dict() == (
+            learned_model.to_dict()
+        )
+        assert registry.path("address").name == "v2.json"
+        assert registry.path("address", 1).name == "v1.json"
+
+    def test_catalog_lists_everything(self, learned_model, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.save(learned_model)
+        registry.save(learned_model, name="Other Name")
+        assert registry.catalog() == {
+            "address": [1],
+            "other-name": [1],
+        }
+
+    def test_missing_name_raises(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(FileNotFoundError, match="no model named"):
+            registry.load("nope")
+
+    def test_missing_version_raises(self, learned_model, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.save(learned_model)
+        with pytest.raises(FileNotFoundError, match="no version 9"):
+            registry.load("address", 9)
+
+    def test_empty_root_is_empty(self, tmp_path):
+        assert ModelRegistry(tmp_path / "missing").names() == []

@@ -1,0 +1,36 @@
+"""The acceptance property of the serve subsystem: applying a saved
+model to a fresh sample of the same dataset reproduces the learner's
+cell changes exactly — learn once, reuse forever."""
+
+from repro.serve import ModelReplayer, TransformationModel
+
+
+class TestExactReplay:
+    def test_replay_reproduces_learner_cell_for_cell(
+        self, learned, address_dataset
+    ):
+        learned_table, _, model = learned
+        fresh = address_dataset.fresh_table()
+        report = ModelReplayer(model).apply(fresh)
+        assert fresh.column_values(address_dataset.column) == (
+            learned_table.column_values(address_dataset.column)
+        )
+        assert report.cells_changed == model.cells_changed
+
+    def test_replay_after_json_round_trip(self, learned, address_dataset):
+        learned_table, _, model = learned
+        revived = TransformationModel.from_dict(model.to_dict())
+        fresh = address_dataset.fresh_table()
+        ModelReplayer(revived).apply(fresh)
+        assert fresh.column_values(address_dataset.column) == (
+            learned_table.column_values(address_dataset.column)
+        )
+
+    def test_report_counts(self, learned, address_dataset):
+        _, _, model = learned
+        fresh = address_dataset.fresh_table()
+        report = ModelReplayer(model).apply(fresh)
+        assert report.groups_applied == model.groups_confirmed
+        assert report.replacements_applied == (
+            model.replacements_confirmed
+        )

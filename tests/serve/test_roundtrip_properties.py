@@ -1,0 +1,123 @@
+"""Property-style serialization tests: random ``Program``s and
+``StringFunction``s survive ``to_dict`` -> JSON -> ``from_dict``
+unchanged (dataclass equality, canonical keys, and evaluation
+behaviour)."""
+
+import json
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import Config
+from repro.core.functions import (
+    ConstantStr,
+    Prefix,
+    SubStr,
+    Suffix,
+    function_from_dict,
+)
+from repro.core.positions import (
+    BEGIN,
+    END,
+    ConstPos,
+    MatchPos,
+    position_from_dict,
+)
+from repro.core.program import Program
+from repro.core.terms import (
+    DEFAULT_REGEX_TERMS,
+    ConstTerm,
+    TermVocabulary,
+    term_from_dict,
+)
+
+SMALL = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+text = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,-", max_size=12
+)
+nonzero_k = st.integers(min_value=-4, max_value=4).filter(lambda k: k != 0)
+
+terms = st.one_of(
+    st.sampled_from(DEFAULT_REGEX_TERMS),
+    text.filter(bool).map(ConstTerm),
+)
+
+positions = st.one_of(
+    nonzero_k.map(ConstPos),
+    st.builds(MatchPos, terms, nonzero_k, st.sampled_from([BEGIN, END])),
+)
+
+functions = st.one_of(
+    text.map(ConstantStr),
+    st.builds(SubStr, positions, positions),
+    st.builds(Prefix, terms, nonzero_k),
+    st.builds(Suffix, terms, nonzero_k),
+)
+
+programs = st.lists(functions, min_size=1, max_size=5).map(
+    lambda fs: Program(tuple(fs))
+)
+
+
+def through_json(payload):
+    return json.loads(json.dumps(payload))
+
+
+class TestRoundTrips:
+    @SMALL
+    @given(terms)
+    def test_term(self, term):
+        assert term_from_dict(through_json(term.to_dict())) == term
+
+    @SMALL
+    @given(positions)
+    def test_position(self, position):
+        again = position_from_dict(through_json(position.to_dict()))
+        assert again == position
+        assert again.canonical() == position.canonical()
+
+    @SMALL
+    @given(functions)
+    def test_function(self, fn):
+        again = function_from_dict(through_json(fn.to_dict()))
+        assert again == fn
+        assert again.canonical() == fn.canonical()
+
+    @SMALL
+    @given(programs)
+    def test_program(self, program):
+        again = Program.from_dict(through_json(program.to_dict()))
+        assert again == program
+        assert again.canonical() == program.canonical()
+        assert again.sort_key() == program.sort_key()
+
+    @SMALL
+    @given(programs, text)
+    def test_program_evaluates_identically(self, program, value):
+        again = Program.from_dict(through_json(program.to_dict()))
+        assert again.evaluate(value) == program.evaluate(value)
+
+    @SMALL
+    @given(
+        st.lists(text.filter(bool), max_size=4),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_config(self, extra_terms, seed):
+        config = Config(
+            seed=seed, extra_constant_terms=tuple(extra_terms)
+        )
+        assert Config.from_dict(through_json(config.to_dict())) == config
+
+    @SMALL
+    @given(st.lists(text.filter(bool), max_size=4))
+    def test_vocabulary(self, literals):
+        vocab = TermVocabulary().with_constant_terms(literals)
+        again = TermVocabulary.from_dict(through_json(vocab.to_dict()))
+        assert again.regex_terms == vocab.regex_terms
+        assert again.constant_terms == vocab.constant_terms

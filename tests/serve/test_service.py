@@ -1,0 +1,95 @@
+"""JSON-lines worker protocol tests (in-memory streams)."""
+
+import io
+import json
+
+import pytest
+
+from repro.serve import ApplyEngine, serve_forever
+from repro.serve.service import handle_request
+
+
+@pytest.fixture
+def engine(learned_model):
+    return ApplyEngine(learned_model)
+
+
+def run_session(engine, *requests):
+    lines = "\n".join(
+        r if isinstance(r, str) else json.dumps(r) for r in requests
+    )
+    out = io.StringIO()
+    served = serve_forever(engine, io.StringIO(lines + "\n"), out)
+    responses = [
+        json.loads(line) for line in out.getvalue().splitlines()
+    ]
+    return served, responses
+
+
+class TestProtocol:
+    def test_ping(self, engine):
+        _, (response,) = run_session(engine, {"op": "ping"})
+        assert response == {"ok": True, "pong": True}
+
+    def test_apply_single_value(self, engine):
+        _, (response,) = run_session(
+            engine, {"op": "apply", "value": "anything"}
+        )
+        assert response["ok"] is True
+        assert isinstance(response["value"], str)
+
+    def test_apply_batch_counts_changes(self, engine):
+        _, (response,) = run_session(
+            engine, {"op": "apply", "values": ["zzz", "zzz"]}
+        )
+        assert response["ok"] is True
+        assert response["values"] == ["zzz", "zzz"]
+        assert response["changed"] == 0
+
+    def test_stats_reports_model_identity(self, engine, learned_model):
+        _, (response,) = run_session(engine, {"op": "stats"})
+        assert response["model"] == learned_model.name
+        assert response["groups"] == learned_model.groups_confirmed
+        assert "rows" in response["stats"]
+
+    def test_shutdown_stops_the_loop(self, engine):
+        served, responses = run_session(
+            engine, {"op": "shutdown"}, {"op": "ping"}
+        )
+        assert served == 1
+        assert responses == [{"ok": True, "bye": True}]
+
+    def test_default_op_is_apply(self, engine):
+        _, (response,) = run_session(engine, {"value": "x"})
+        assert response["ok"] is True
+
+
+class TestRobustness:
+    def test_bad_json_keeps_serving(self, engine):
+        served, responses = run_session(
+            engine, "this is not json", {"op": "ping"}
+        )
+        assert served == 2
+        assert responses[0]["ok"] is False
+        assert responses[1] == {"ok": True, "pong": True}
+
+    def test_non_object_request_rejected(self, engine):
+        _, (response,) = run_session(engine, json.dumps([1, 2]))
+        assert response["ok"] is False
+
+    def test_unknown_op_rejected(self, engine):
+        assert handle_request(engine, {"op": "explode"})["ok"] is False
+
+    def test_apply_without_payload_rejected(self, engine):
+        assert handle_request(engine, {"op": "apply"})["ok"] is False
+
+    def test_non_string_values_rejected(self, engine):
+        response = handle_request(
+            engine, {"op": "apply", "values": ["ok", 7]}
+        )
+        assert response["ok"] is False
+
+    def test_blank_lines_skipped(self, engine):
+        served, responses = run_session(engine, "", {"op": "ping"}, "")
+        assert served == 1
+        assert len(responses) == 1

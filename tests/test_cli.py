@@ -19,6 +19,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["stats", "--dataset", "Nope"])
 
+    def test_seed_defaults_to_unset(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.seed is None
+
+    def test_learn_defaults(self):
+        args = build_parser().parse_args(["learn"])
+        assert args.budget == 100
+        assert args.out is None and args.registry is None
+
+    def test_apply_accepts_model_sources(self):
+        args = build_parser().parse_args(["apply", "--model", "m.json"])
+        assert args.model == "m.json"
+        args = build_parser().parse_args(
+            ["apply", "--registry", "r", "--name", "n", "--model-version", "2"]
+        )
+        assert (args.registry, args.name, args.model_version) == ("r", "n", 2)
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--model", "m.json"])
+        assert args.cache_size == 65536
+        assert not args.no_programs
+
 
 class TestCommands:
     def test_stats_runs(self, capsys):
