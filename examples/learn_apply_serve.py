@@ -46,7 +46,7 @@ def main(scale: float = 0.08) -> None:
     engine = ApplyEngine(registry.load("address"))
     fresh = dataset.fresh_table()
     changed = engine.apply_table(fresh)
-    stats = engine.stats
+    stats = engine.stats()
     print(
         f"applied:  {stats.rows} rows, {len(changed)} cells changed "
         f"(exact={stats.exact_hits} program={stats.program_hits} "

@@ -1,0 +1,76 @@
+"""Streaming consolidation: batches in, model versions out.
+
+Records arrive in batches; each batch is folded into persistent
+consolidation state instead of re-clustering and re-learning from
+scratch.  The current model standardizes arrivals first (the serve fast
+path), cached oracle decisions absorb repeated variation for free, only
+genuinely novel variation is reviewed, and every batch of new
+confirmations publishes the next model version into a registry with the
+serving engine hot-reloaded in place.
+
+Run::
+
+    python examples/streaming_consolidation.py [scale]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.datagen import address_dataset, dataset_stream
+from repro.serve import ModelRegistry
+from repro.stream import (
+    DriftMonitor,
+    StreamConsolidator,
+    ground_truth_oracle_factory,
+)
+
+
+def main(scale: float = 0.08) -> None:
+    seed = 11
+    dataset = address_dataset(scale=scale, seed=seed)
+    stream = dataset_stream(dataset, batches=4, seed=seed)
+    print(
+        f"stream: {stream.num_records} records arriving in "
+        f"{len(stream.batches)} batches ({dataset.name})"
+    )
+
+    registry_root = Path(tempfile.mkdtemp(prefix="repro-stream-"))
+    consolidator = StreamConsolidator(
+        column=stream.column,
+        oracle_factory=ground_truth_oracle_factory(
+            stream.canonical_by_rid, seed=seed
+        ),
+        key_attribute=stream.key_column,
+        budget_per_batch=60,
+        registry=ModelRegistry(registry_root),
+        model_name="address-stream",
+        monitor=DriftMonitor(window=3, miss_rate_threshold=0.8),
+    )
+
+    for batch in stream.batches:
+        report = consolidator.process_batch(batch)
+        print("  " + report.describe())
+
+    print(
+        f"done: {consolidator.questions_asked} oracle questions asked, "
+        f"{consolidator.questions_saved} saved by reusing prior "
+        f"decisions"
+    )
+    registry = ModelRegistry(registry_root)
+    print(
+        f"published versions: {registry.catalog()} "
+        f"(under {registry_root})"
+    )
+    engine = consolidator.engine
+    if engine is not None and engine.exact:
+        example = next(iter(engine.exact))
+        print(
+            f"serving engine is live at "
+            f"{engine.model.groups_confirmed} groups; "
+            f"{example!r} -> {engine.transform(example)!r}"
+        )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.08)

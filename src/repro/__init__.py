@@ -42,13 +42,25 @@ from .serve import (
     TransformationModel,
     build_model,
 )
+from .stream import (
+    DriftMonitor,
+    IncrementalResolver,
+    IncrementalStandardizer,
+    ModelPublisher,
+    StreamConsolidator,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ApplyEngine",
+    "DriftMonitor",
+    "IncrementalResolver",
+    "IncrementalStandardizer",
+    "ModelPublisher",
     "ModelRegistry",
     "ModelReplayer",
+    "StreamConsolidator",
     "TransformationModel",
     "build_model",
     "CellRef",

@@ -48,6 +48,9 @@ class ReplacementStore:
         self.token_entries: Dict[Replacement, Set[CellPair]] = {}
         #: reverse index: cell -> replacement keys it participates in
         self._by_cell: Dict[CellRef, Set[Replacement]] = {}
+        #: cells whose pairings have been derived (delta-generation
+        #: bookkeeping for the streaming path)
+        self._indexed: Set[CellRef] = set()
         self._dead: Set[Replacement] = set()
 
     # -- generation (Section 3 Step 1, Appendix A) --------------------------
@@ -59,7 +62,44 @@ class ReplacementStore:
             for ai in range(len(cells)):
                 for bi in range(ai + 1, len(cells)):
                     self._generate_for_pair(cells[ai], cells[bi], allow_new=True)
+            self._indexed.update(cells)
         return self
+
+    # -- incremental generation (stream path) --------------------------------
+
+    def add_cell(self, cell: CellRef) -> int:
+        """Index one new cell: pair it against the already-indexed cells
+        of its cluster, allowing new candidate keys.
+
+        This is the delta form of :meth:`generate`: calling it for every
+        cell of a table (in any order) derives exactly the pairs the
+        batch form derives, but a record batch arriving later only pays
+        for pairs touching its own cells.
+
+        Returns the number of candidate keys the cell *created* — zero
+        means every variation the cell introduced was already known, the
+        signal the stream's drift monitor feeds on.
+        """
+        if cell in self._indexed:
+            return 0
+        before = len(self.pair_entries) + len(self.token_entries)
+        for mate in self.table.cluster_cells(cell.cluster, cell.column):
+            if mate == cell or mate not in self._indexed:
+                continue
+            self._generate_for_pair(mate, cell, allow_new=True)
+        self._indexed.add(cell)
+        return len(self.pair_entries) + len(self.token_entries) - before
+
+    def purge_cell(self, cell: CellRef) -> None:
+        """Forget a cell entirely (it moved during a cluster merge).
+
+        All entries referencing the cell are removed and the cell is
+        un-indexed; re-add it at its new position via :meth:`add_cell`.
+        """
+        for r in list(self._by_cell.get(cell, ())):
+            self._remove_cell_from(r, cell)
+        self._by_cell.pop(cell, None)
+        self._indexed.discard(cell)
 
     def _generate_for_pair(
         self, cell_a: CellRef, cell_b: CellRef, allow_new: bool

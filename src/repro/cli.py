@@ -14,7 +14,11 @@ Commands:
 * ``apply`` — load a model and standardize a fresh table or CSV with
   the compiled engine / exact replayer — no re-learning, no human;
 * ``serve`` — a long-running JSON-lines worker answering transform
-  requests on stdin (one JSON request per line).
+  requests on stdin (one JSON request per line);
+* ``stream`` — incremental consolidation over a record stream: batches
+  are folded into persistent cluster / candidate / decision state, new
+  confirmations publish fresh model versions with hot engine reload,
+  and repeated variation never costs a second oracle question.
 
 Synthetic-data commands operate on the built-in datasets (``--dataset``
 one of ``Address``, ``AuthorList``, ``JournalTitle``); ``--scale``
@@ -26,6 +30,7 @@ reproduced by passing the printed value back.
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import re
 import sys
@@ -154,6 +159,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable program generalization to unseen values",
     )
+    apply_p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the engine's path counters as JSON "
+        "(cache hits, exact / program / token hits, misses)",
+    )
 
     serve_p = sub.add_parser(
         "serve", help="JSON-lines transform worker on stdin/stdout"
@@ -161,6 +172,46 @@ def build_parser() -> argparse.ArgumentParser:
     add_model_source(serve_p)
     serve_p.add_argument("--cache-size", type=int, default=65536)
     serve_p.add_argument("--no-programs", action="store_true")
+
+    stream_p = sub.add_parser(
+        "stream",
+        help="incremental consolidation over record batches "
+        "(no full relearn per batch)",
+    )
+    add_common(stream_p)
+    stream_p.add_argument(
+        "--batches", type=int, default=5, help="number of arrival batches"
+    )
+    stream_p.add_argument(
+        "--budget",
+        type=int,
+        default=50,
+        help="oracle questions allowed per batch (novel groups only)",
+    )
+    stream_p.add_argument("--error-rate", type=float, default=0.0)
+    stream_p.add_argument(
+        "--registry",
+        help="publish model versions into this registry directory",
+    )
+    stream_p.add_argument("--name", help="model name (default: dataset)")
+    stream_p.add_argument(
+        "--no-engine",
+        action="store_true",
+        help="disable the serve fast path (provenance-exact mode)",
+    )
+    stream_p.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=None,
+        help="unmatched-rate above which a deeper relearn triggers "
+        "(default: drift monitoring off)",
+    )
+    stream_p.add_argument(
+        "--drift-window",
+        type=int,
+        default=5,
+        help="batches in the drift monitor's sliding window",
+    )
     return parser
 
 
@@ -327,7 +378,7 @@ def cmd_apply(args) -> int:
         if args.out:
             write_csv_records(records, args.out)
             print(f"standardized CSV written: {args.out}")
-        hits = engine.stats
+        hits = engine.stats()
         if hits.sharded_values:
             # Per-rule counters live in the worker processes and are
             # not merged back; don't print misleading zeros.
@@ -341,8 +392,29 @@ def cmd_apply(args) -> int:
                 f"program={hits.program_hits} "
                 f"token={hits.token_hits} untouched={hits.misses}"
             )
+        if args.stats:
+            payload = hits.as_dict()
+            if hits.sharded_values:
+                # Per-path counters live in the worker processes and
+                # are not merged back; null them rather than emitting
+                # false zeros for a run that had hits.
+                for key in (
+                    "exact_hits",
+                    "program_hits",
+                    "token_hits",
+                    "misses",
+                    "cache_hits",
+                ):
+                    payload[key] = None
+            print("stats: " + json.dumps(payload, sort_keys=True))
     else:
         # Clustered input: provenance-aware replay (exact semantics).
+        if args.stats:
+            print(
+                "note: --stats reports value-engine counters; clustered "
+                "input replays with provenance semantics instead",
+                file=sys.stderr,
+            )
         if args.workers or args.no_programs:
             print(
                 "note: --workers/--no-programs only affect the value "
@@ -387,6 +459,56 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_stream(args) -> int:
+    from .datagen.stream import dataset_stream
+    from .stream import (
+        DriftMonitor,
+        StreamConsolidator,
+        ground_truth_oracle_factory,
+    )
+
+    dataset = _make_dataset(args)
+    stream = dataset_stream(dataset, batches=args.batches, seed=args.seed)
+    monitor = None
+    if args.drift_threshold is not None:
+        monitor = DriftMonitor(
+            window=args.drift_window,
+            miss_rate_threshold=args.drift_threshold,
+        )
+    consolidator = StreamConsolidator(
+        column=stream.column,
+        oracle_factory=ground_truth_oracle_factory(
+            stream.canonical_by_rid,
+            seed=args.seed,
+            error_rate=args.error_rate,
+        ),
+        key_attribute=stream.key_column,
+        budget_per_batch=args.budget,
+        registry=ModelRegistry(args.registry) if args.registry else None,
+        model_name=args.name or args.dataset.lower(),
+        use_engine=not args.no_engine,
+        monitor=monitor,
+    )
+    print(
+        f"streaming {stream.num_records} records in "
+        f"{len(stream.batches)} batches ({dataset.name})"
+    )
+    start = time.perf_counter()
+    for batch in stream.batches:
+        report = consolidator.process_batch(batch)
+        print(f"{report.describe()}  [{report.seconds:.3f}s]")
+    elapsed = time.perf_counter() - start
+    print(
+        f"stream done in {elapsed:.2f}s: "
+        f"{consolidator.questions_asked} oracle questions asked, "
+        f"{consolidator.questions_saved} saved by reuse, "
+        f"model at v{consolidator.model_version}"
+    )
+    if args.registry:
+        print(f"model versions published under: {args.registry}")
+    return 0
+
+
 COMMANDS = {
     "stats": cmd_stats,
     "groups": cmd_groups,
@@ -395,6 +517,7 @@ COMMANDS = {
     "learn": cmd_learn,
     "apply": cmd_apply,
     "serve": cmd_serve,
+    "stream": cmd_stream,
 }
 
 

@@ -4,6 +4,7 @@ from .address import address_dataset
 from .authorlist import authorlist_dataset
 from .base import GeneratedDataset, GeneratorSpec
 from .journaltitle import journaltitle_dataset
+from .stream import RecordStream, dataset_stream
 
 DATASETS = {
     "Address": address_dataset,

@@ -1,0 +1,121 @@
+"""Batch-emitting views of the synthetic datasets (stream workloads).
+
+A :class:`RecordStream` re-cuts a generated clustered dataset into N
+record batches, as if the same dirty records arrived over time from
+many sources: each record carries its entity key as an extra attribute
+(the ISBN / ISSN / EIN pattern), so clusters *span batches* and the
+same entities keep re-appearing with old and new variant renderings —
+exactly the workload where incremental consolidation should beat a full
+relearn.
+
+Ground truth moves to record-id keying (cells of a growing table are
+not stable identifiers): ``canonical_by_rid`` for the oracle and
+``golden_by_key`` for end-state checks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..data.table import CellRef, ClusterTable, Record
+from ..resolution.matcher import cluster_by_key
+from .base import GeneratedDataset
+
+#: Default name of the synthesized entity-key attribute.
+KEY_COLUMN = "entity_key"
+
+
+@dataclass
+class RecordStream:
+    """A generated dataset re-cut as an arriving record stream."""
+
+    name: str
+    column: str
+    key_column: str
+    batches: List[List[Record]]
+    #: record id -> canonical string of the entity the record denotes
+    canonical_by_rid: Dict[str, str]
+    #: cluster key -> the cluster's golden value
+    golden_by_key: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def records(self) -> List[Record]:
+        """All records in arrival order."""
+        return [record for batch in self.batches for record in batch]
+
+    @property
+    def num_records(self) -> int:
+        return sum(len(batch) for batch in self.batches)
+
+    def table(self) -> ClusterTable:
+        """One-shot clustering of the whole stream (the baseline an
+        incremental run is compared against)."""
+        return cluster_by_key(
+            [
+                Record(r.rid, dict(r.values), r.source)
+                for r in self.records
+            ],
+            self.key_column,
+        )
+
+    def canonical_cells(self, table: ClusterTable) -> Dict[CellRef, str]:
+        """Cell-keyed ground truth for ``table`` (one-shot harness)."""
+        canonical: Dict[CellRef, str] = {}
+        for ci, cluster in enumerate(table.clusters):
+            for ri, record in enumerate(cluster.records):
+                canon = self.canonical_by_rid.get(record.rid)
+                if canon is not None:
+                    canonical[CellRef(ci, ri, self.column)] = canon
+        return canonical
+
+
+def dataset_stream(
+    dataset: GeneratedDataset,
+    batches: int,
+    key_column: str = KEY_COLUMN,
+    seed: int = 0,
+    shuffle: bool = True,
+) -> RecordStream:
+    """Re-cut ``dataset`` into ``batches`` record batches.
+
+    Records are (optionally) shuffled with ``seed`` before slicing so
+    every batch mixes entities — each cluster's variants trickle in
+    across the whole stream rather than arriving together.
+    """
+    if batches < 1:
+        raise ValueError("batches must be >= 1")
+    flat: List[Record] = []
+    canonical_by_rid: Dict[str, str] = {}
+    for ci, cluster in enumerate(dataset.table.clusters):
+        for ri, record in enumerate(cluster.records):
+            values = dict(record.values)
+            values[key_column] = cluster.key
+            flat.append(Record(record.rid, values, record.source))
+            canon = dataset.canonical.get(CellRef(ci, ri, dataset.column))
+            if canon is not None:
+                canonical_by_rid[record.rid] = canon
+    if shuffle:
+        random.Random(seed).shuffle(flat)
+    base, extra = divmod(len(flat), batches)
+    cut: List[List[Record]] = []
+    start = 0
+    for i in range(batches):
+        size = base + (1 if i < extra else 0)
+        if size:
+            cut.append(flat[start : start + size])
+        start += size
+    golden_by_key = {
+        dataset.table.clusters[ci].key: value
+        for ci, value in dataset.golden.items()
+        if ci < len(dataset.table.clusters)
+    }
+    return RecordStream(
+        name=f"{dataset.name}-stream",
+        column=dataset.column,
+        key_column=key_column,
+        batches=cut,
+        canonical_by_rid=canonical_by_rid,
+        golden_by_key=golden_by_key,
+    )

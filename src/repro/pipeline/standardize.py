@@ -149,21 +149,32 @@ class Standardizer:
     def _apply_group_recorded(
         self, group: Group, decision: Decision
     ) -> "Tuple[int, List[AppliedReplacement]]":
-        """Apply a group and record the direction-resolved replacement
-        sequence with its provenance kinds (model fodder)."""
-        changed = 0
-        applied: List[AppliedReplacement] = []
-        for replacement in group.replacements:
-            resolved = (
-                replacement.reversed()
-                if decision.direction == REVERSE
-                else replacement
-            )
-            whole = bool(self.store.cell_pairs(resolved))
-            token = bool(self.store.token_pairs(resolved))
-            cells = self.store.apply_replacement(resolved)
-            applied.append(
-                AppliedReplacement(resolved, whole, token, len(cells))
-            )
-            changed += len(cells)
-        return changed, applied
+        return apply_group_recorded(self.store, group, decision)
+
+
+def apply_group_recorded(
+    store: ReplacementStore, group: Group, decision: Decision
+) -> "Tuple[int, List[AppliedReplacement]]":
+    """Apply a group against a store and record the direction-resolved
+    replacement sequence with its provenance kinds (model fodder).
+
+    Shared by the one-shot :class:`Standardizer` and the streaming
+    :class:`repro.stream.standardizer.IncrementalStandardizer` so both
+    paths produce byte-identical :class:`AppliedReplacement` traces.
+    """
+    changed = 0
+    applied: List[AppliedReplacement] = []
+    for replacement in group.replacements:
+        resolved = (
+            replacement.reversed()
+            if decision.direction == REVERSE
+            else replacement
+        )
+        whole = bool(store.cell_pairs(resolved))
+        token = bool(store.token_pairs(resolved))
+        cells = store.apply_replacement(resolved)
+        applied.append(
+            AppliedReplacement(resolved, whole, token, len(cells))
+        )
+        changed += len(cells)
+    return changed, applied

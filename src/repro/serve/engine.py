@@ -120,21 +120,37 @@ class ApplyEngine:
         self.model = model
         self.use_programs = use_programs
         self.vocabulary = model.vocabulary
-        self.stats = ApplyStats()
+        self._stats = ApplyStats()
         self._cache = LRUCache(cache_size)
         self._max_program_len = model.config.max_string_length
 
         self.exact: Dict[str, str] = {}
         self.token_rules: List[Tuple[str, str]] = []
         self.programs: Dict[Signature, List[Program]] = {}
-        self._compile()
+        self._seen_token: set = set()
+        self._seen_programs: Dict[Signature, set] = {}
+        self._compile_groups(model.groups)
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> ApplyStats:
+        """Counters over everything this engine has applied: cache
+        hits, and exact / program / token-rule path counts vs misses."""
+        return self._stats
 
     # -- compilation -------------------------------------------------------
 
-    def _compile(self) -> None:
-        seen_token: set = set()
-        seen_programs: Dict[Signature, set] = {}
-        for group in self.model.groups:
+    def _compile_groups(self, groups) -> None:
+        """Fold confirmed groups into the compiled lookup structures.
+
+        Called with the full group list at construction and with just
+        the *new* suffix on an incremental :meth:`reload` — the dedup
+        state (`_seen_token` / `_seen_programs`) persists across calls
+        so both paths compile identically.
+        """
+        seen_token = self._seen_token
+        seen_programs = self._seen_programs
+        for group in groups:
             for member in group.members:
                 if member.whole:
                     self._add_exact(member.lhs, member.rhs)
@@ -174,13 +190,53 @@ class ApplyEngine:
                 self.exact[key] = rhs
         self.exact.setdefault(lhs, rhs)
 
+    # -- hot reload --------------------------------------------------------
+
+    def reload(self, model: TransformationModel) -> bool:
+        """Swap in a newly published model without rebuilding the engine.
+
+        Published models are append-only (a new version extends the
+        confirmed-group sequence); when ``model`` extends the current
+        one under the same column / config / vocabulary, only the *new*
+        groups are compiled into the existing lookup structures — the
+        compiled tables, accumulated stats, and engine identity survive,
+        so a live stream can pick up fresh confirmations mid-flight with
+        no process restart and no recompilation of unrelated state.
+
+        A model that does not extend the current one triggers a full
+        recompile (still in place).  The memoization cache is cleared
+        either way: cached outputs may be stale under the new rules.
+        Returns True when the fast incremental path was taken.
+        """
+        n = len(self.model.groups)
+        incremental = (
+            model.column == self.model.column
+            and len(model.groups) >= n
+            and model.groups[:n] == self.model.groups
+            and model.config == self.model.config
+            and model.vocabulary.to_dict() == self.model.vocabulary.to_dict()
+        )
+        if not incremental:
+            self.exact.clear()
+            self.token_rules.clear()
+            self.programs.clear()
+            self._seen_token.clear()
+            self._seen_programs.clear()
+        new_groups = model.groups[n:] if incremental else model.groups
+        self.model = model
+        self.vocabulary = model.vocabulary
+        self._max_program_len = model.config.max_string_length
+        self._compile_groups(new_groups)
+        self._cache = LRUCache(self._cache.capacity)
+        return incremental
+
     # -- single-value path -------------------------------------------------
 
     def transform(self, value: str) -> str:
         """Standardize one value (memoized)."""
         cached = self._cache.get(value)
         if cached is not None:
-            self.stats.cache_hits += 1
+            self._stats.cache_hits += 1
             return cached
         out = self._compute(value)
         self._cache.put(value, out)
@@ -189,13 +245,13 @@ class ApplyEngine:
     def _compute(self, value: str) -> str:
         hit = self.exact.get(value)
         if hit is not None:
-            self.stats.exact_hits += 1
+            self._stats.exact_hits += 1
             return hit
         if self.use_programs and len(value) <= self._max_program_len:
             for program in self.programs.get(structure_signature(value), ()):
                 out = program.evaluate_unique(value, self.vocabulary)
                 if out is not None and out != value:
-                    self.stats.program_hits += 1
+                    self._stats.program_hits += 1
                     return out
         out = value
         for lhs, rhs in self.token_rules:
@@ -203,9 +259,9 @@ class ApplyEngine:
             if updated is not None and updated != out:
                 out = updated
         if out != value:
-            self.stats.token_hits += 1
+            self._stats.token_hits += 1
         else:
-            self.stats.misses += 1
+            self._stats.misses += 1
         return out
 
     # -- batch path --------------------------------------------------------
@@ -225,11 +281,11 @@ class ApplyEngine:
         tracked inside the workers and not merged back.
         """
         unique = list(dict.fromkeys(values))
-        self.stats.rows += len(values)
-        self.stats.unique_values += len(unique)
+        self._stats.rows += len(values)
+        self._stats.unique_values += len(unique)
         if workers and workers > 1 and len(unique) >= max(min_shard, 2):
             mapping = self._apply_sharded(unique, workers)
-            self.stats.sharded_values += len(unique)
+            self._stats.sharded_values += len(unique)
         else:
             mapping = {value: self.transform(value) for value in unique}
         return [mapping[value] for value in values]

@@ -21,6 +21,7 @@ The confirmed sequence is sufficient for two distinct consumers:
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -214,12 +215,29 @@ class TransformationModel:
         )
 
     def save(self, path: PathLike) -> Path:
-        """Write the model as indented JSON; returns the path."""
+        """Write the model as indented JSON; returns the path.
+
+        The write is atomic: the JSON lands in a same-directory temp
+        file first and is renamed into place only once fully flushed, so
+        a crash mid-save (or mid registry publish) can never leave a
+        truncated model file behind — readers see the old version or the
+        new one, nothing in between.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2, ensure_ascii=False)
-            handle.write("\n")
+        tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(
+                    self.to_dict(), handle, indent=2, ensure_ascii=False
+                )
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         return path
 
     @classmethod

@@ -13,6 +13,12 @@ Versions are monotonically increasing integers assigned at save time;
 ``load`` without a version returns the latest.  The registry never
 mutates or deletes existing versions — a saved model is an immutable,
 human-curated asset.
+
+Publishes are atomic (write-to-temp + rename inside
+:meth:`TransformationModel.save`): a crash mid-publish can never leave
+a truncated version file, so hot-reloading consumers
+(:meth:`repro.serve.engine.ApplyEngine.reload`) may poll ``versions``
+and load concurrently with a publisher.
 """
 
 from __future__ import annotations

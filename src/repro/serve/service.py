@@ -46,7 +46,7 @@ def handle_request(engine: ApplyEngine, request: Dict) -> Dict:
             "model": engine.model.name,
             "column": engine.model.column,
             "groups": engine.model.groups_confirmed,
-            "stats": engine.stats.as_dict(),
+            "stats": engine.stats().as_dict(),
         }
     if op == "shutdown":
         return {"ok": True, "bye": True}

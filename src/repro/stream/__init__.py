@@ -1,0 +1,59 @@
+"""Incremental consolidation over record streams (``repro stream``).
+
+The paper learns from a static clustered table and ``repro.serve``
+makes the result persistent — this package closes the loop for data
+that *keeps arriving*.  Each record batch is folded into long-lived
+consolidation state instead of triggering a full re-cluster and
+re-learn:
+
+* :mod:`repro.stream.resolver` — an incremental blocking index plus
+  union-find cluster maintenance; only pairs touching new records are
+  ever compared, and the cumulative :class:`~repro.data.table.ClusterTable`
+  grows in place with stable cell references;
+* :mod:`repro.stream.standardizer` — delta candidate generation into a
+  persistent :class:`~repro.candidates.store.ReplacementStore`, a
+  decision cache that re-applies prior oracle verdicts for free, and
+  budgeted learning over only the genuinely novel variation;
+* :mod:`repro.stream.publisher` — confirmed knowledge republished as
+  new model versions through :class:`~repro.serve.registry.ModelRegistry`
+  with in-place :meth:`~repro.serve.engine.ApplyEngine.reload`;
+* :mod:`repro.stream.monitor` — unmatched-rate drift detection that
+  triggers deeper relearning when the serve model stops explaining the
+  traffic;
+* :mod:`repro.stream.consolidator` — the orchestrator gluing the above
+  into one ``process_batch`` call;
+* :mod:`repro.stream.batches` — batch sources (in-memory iterators and
+  JSON-lines files).
+"""
+
+from .batches import (
+    batches_from_records,
+    iter_jsonl_batches,
+    read_jsonl_records,
+    write_jsonl_records,
+)
+from .consolidator import (
+    BatchReport,
+    StreamConsolidator,
+    ground_truth_oracle_factory,
+)
+from .monitor import DriftMonitor, DriftReport
+from .publisher import ModelPublisher
+from .resolver import BatchResolution, IncrementalResolver
+from .standardizer import IncrementalStandardizer
+
+__all__ = [
+    "BatchReport",
+    "BatchResolution",
+    "DriftMonitor",
+    "DriftReport",
+    "IncrementalResolver",
+    "IncrementalStandardizer",
+    "ModelPublisher",
+    "StreamConsolidator",
+    "batches_from_records",
+    "ground_truth_oracle_factory",
+    "iter_jsonl_batches",
+    "read_jsonl_records",
+    "write_jsonl_records",
+]

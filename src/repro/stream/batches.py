@@ -1,0 +1,86 @@
+"""Record-batch sources for the streaming consolidator.
+
+A batch is simply a list of :class:`~repro.data.table.Record`; the
+consolidator does not care where batches come from.  Provided sources:
+
+* :func:`batches_from_records` — slice any record iterable into
+  fixed-size batches (the in-memory path);
+* :func:`read_jsonl_records` / :func:`iter_jsonl_batches` — JSON-lines
+  files, one record object per line, reusing the reserved
+  ``__rid__`` / ``__source__`` keys of :mod:`repro.data.io` so files
+  written by the batch tooling stream back unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, Union
+
+from ..data.io import RID_COLUMN, SOURCE_COLUMN
+from ..data.table import Record
+
+PathLike = Union[str, Path]
+
+
+def batches_from_records(
+    records: Iterable[Record], batch_size: int
+) -> Iterator[List[Record]]:
+    """Slice an iterable of records into batches of ``batch_size``."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    batch: List[Record] = []
+    for record in records:
+        batch.append(record)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def read_jsonl_records(path: PathLike) -> List[Record]:
+    """Load records from a JSON-lines file (one object per line).
+
+    Reserved keys ``__rid__`` / ``__source__`` populate the record id
+    and provenance; everything else becomes attribute values.  Blank
+    lines are skipped so hand-edited files keep loading.
+    """
+    records: List[Record] = []
+    with open(path, encoding="utf-8") as handle:
+        for idx, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if not isinstance(row, dict):
+                raise ValueError(
+                    f"{path}:{idx + 1}: each line must be a JSON object"
+                )
+            rid = str(row.get(RID_COLUMN, "")) or f"r{idx}"
+            source = str(row.get(SOURCE_COLUMN, ""))
+            values = {
+                str(k): str(v)
+                for k, v in row.items()
+                if k not in (RID_COLUMN, SOURCE_COLUMN)
+            }
+            records.append(Record(rid, values, source))
+    return records
+
+
+def iter_jsonl_batches(
+    path: PathLike, batch_size: int
+) -> Iterator[List[Record]]:
+    """Stream a JSON-lines file as fixed-size record batches."""
+    return batches_from_records(read_jsonl_records(path), batch_size)
+
+
+def write_jsonl_records(records: Iterable[Record], path: PathLike) -> None:
+    """Persist records as JSON-lines (inverse of
+    :func:`read_jsonl_records`); ids and sources ride along in the
+    reserved keys."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            row = {RID_COLUMN: record.rid, SOURCE_COLUMN: record.source}
+            row.update(record.values)
+            handle.write(json.dumps(row, ensure_ascii=False) + "\n")

@@ -1,0 +1,214 @@
+"""Incremental standardization: learn only from novel variation.
+
+The one-shot :class:`~repro.pipeline.standardize.Standardizer` generates
+all candidates, groups them, and asks the oracle about every group —
+every run pays the full human budget again.  The streaming
+:class:`IncrementalStandardizer` keeps three things alive across
+batches:
+
+* the **candidate store** — new cells are delta-indexed with
+  :meth:`~repro.candidates.store.ReplacementStore.add_cell`, so
+  replacement groups grow in place instead of being regenerated;
+* the **decision cache** — every oracle verdict is remembered per
+  member replacement (in its learned orientation).  When later batches
+  re-introduce already-judged variation, approved replacements are
+  re-applied and rejected ones skipped *without asking again*: repeated
+  variation costs zero new oracle questions;
+* the **cumulative log** — an append-only
+  :class:`~repro.pipeline.standardize.StandardizationLog` of the novel
+  confirmations, the exact shape :func:`repro.serve.model.build_model`
+  consumes, so each publish extends the previous model version.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..candidates.store import ReplacementStore
+from ..config import DEFAULT_CONFIG, Config
+from ..core.incremental import IncrementalGrouper
+from ..core.replacement import Replacement
+from ..core.scoring import global_frequencies
+from ..core.terms import DEFAULT_VOCABULARY, TermVocabulary
+from ..data.table import CellRef, ClusterTable
+from ..pipeline.oracle import Decision, Oracle, REVERSE
+from ..pipeline.standardize import (
+    StandardizationLog,
+    StepRecord,
+    apply_group_recorded,
+)
+
+
+class IncrementalStandardizer:
+    """Standardizes one column of a *growing* clustered table."""
+
+    def __init__(
+        self,
+        table: ClusterTable,
+        column: str,
+        config: Config = DEFAULT_CONFIG,
+        vocabulary: TermVocabulary = DEFAULT_VOCABULARY,
+    ) -> None:
+        self.table = table
+        self.column = column
+        self.config = config
+        self.vocabulary = vocabulary
+        #: starts empty; cells are delta-indexed as batches arrive
+        self.store = ReplacementStore(table, column, config)
+        #: learned-orientation member replacement -> oracle verdict
+        self.decisions: Dict[Replacement, Decision] = {}
+        self.log = StandardizationLog()
+        self.questions_asked = 0
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest(self, cells: Iterable[CellRef]) -> Tuple[int, int]:
+        """Delta-index new cells into the candidate store.
+
+        Returns ``(cells indexed, cells unexplained)`` — a cell is
+        *unexplained* when indexing it created at least one candidate
+        key nothing in the current state had seen before (the drift
+        monitor's unmatched signal).
+        """
+        indexed = unexplained = 0
+        for cell in cells:
+            indexed += 1
+            if self.store.add_cell(cell) > 0:
+                unexplained += 1
+        return indexed, unexplained
+
+    def move_cells(
+        self, moves: Iterable[Tuple[CellRef, CellRef]]
+    ) -> None:
+        """Re-home cells displaced by a cluster merge.
+
+        Old positions are purged first, then every cell is re-indexed at
+        its new position — pairings among the moved cells themselves are
+        derived exactly once because re-indexing is sequential.
+        """
+        moves = list(moves)
+        for old, _new in moves:
+            self.store.purge_cell(old)
+        for _old, new in moves:
+            self.store.add_cell(new)
+
+    # -- decision-cache replay ---------------------------------------------
+
+    def partition_live(
+        self,
+    ) -> Tuple[List[Replacement], int, List[Replacement]]:
+        """One pass over the live candidates, split by cached verdict:
+        ``(approved, rejected count, undecided)``."""
+        approved: List[Replacement] = []
+        rejected = 0
+        undecided: List[Replacement] = []
+        for replacement in self.store.replacements():
+            decision = self.decisions.get(replacement)
+            if decision is None:
+                undecided.append(replacement)
+            elif decision.approved:
+                approved.append(replacement)
+            else:
+                rejected += 1
+        return approved, rejected, undecided
+
+    def reuse_confirmed(
+        self, approved: Optional[List[Replacement]] = None
+    ) -> Tuple[int, int]:
+        """Re-apply cached verdicts to the current candidate set.
+
+        Returns ``(replacements reused, cells changed)``.  Approved
+        replacements are applied in their confirmed direction wherever
+        the new provenance supports them; rejected ones are left alone
+        (their cached verdict keeps them out of the question feed).
+        Iterates to a fixed point: applying one cached replacement can
+        re-derive provenance that another cached replacement covers.
+        ``approved`` seeds the first round when the caller already
+        partitioned the live set (saves one full scan).
+        """
+        reused = 0
+        changed = 0
+        worklist = (
+            approved
+            if approved is not None
+            else self.partition_live()[0]
+        )
+        while True:
+            progress = False
+            for replacement in worklist:
+                decision = self.decisions.get(replacement)
+                if decision is None or not decision.approved:
+                    continue
+                resolved = (
+                    replacement.reversed()
+                    if decision.direction == REVERSE
+                    else replacement
+                )
+                cells = self.store.apply_replacement(resolved)
+                self.store.drain_dead()
+                if cells:
+                    reused += 1
+                    changed += len(cells)
+                    progress = True
+            if not progress:
+                return reused, changed
+            worklist = self.partition_live()[0]
+
+    # -- learning ----------------------------------------------------------
+
+    def undecided(self) -> List[Replacement]:
+        """Live candidates the oracle has never been asked about."""
+        return self.partition_live()[2]
+
+    def skipped_rejected(self) -> int:
+        """Live candidates silenced by a cached rejection (saved work)."""
+        return self.partition_live()[1]
+
+    def learn(
+        self,
+        oracle: Oracle,
+        budget: int,
+        novel: Optional[List[Replacement]] = None,
+    ) -> List[StepRecord]:
+        """Present up to ``budget`` groups of *novel* candidates.
+
+        Mirrors :meth:`repro.pipeline.standardize.Standardizer.run` —
+        same grouping feed, same application and Section 7.1
+        maintenance — but the feed only sees undecided candidates, and
+        every verdict lands in the decision cache so no future batch
+        asks about these members again.  ``novel`` supplies the
+        undecided list when the caller already partitioned the live set
+        (saves one full scan); it must reflect the *current* store
+        state.
+        """
+        if novel is None:
+            novel = self.undecided()
+        if not novel or budget <= 0:
+            return []
+        counts: Optional[Counter] = None
+        if self.config.constant_match_terms > 0:
+            counts = global_frequencies(self.table.column_values(self.column))
+        feed = IncrementalGrouper(novel, self.vocabulary, self.config, counts)
+        steps: List[StepRecord] = []
+        for _ in range(budget):
+            group = feed.next_group()
+            if group is None:
+                break
+            decision = oracle.review(group)
+            self.questions_asked += 1
+            changed = 0
+            applied = []
+            if decision.approved:
+                changed, applied = apply_group_recorded(
+                    self.store, group, decision
+                )
+                feed.remove_replacements(self.store.drain_dead())
+            for member in group.replacements:
+                self.decisions.setdefault(member, decision)
+            record = StepRecord(
+                len(self.log.steps), group, decision, changed, applied
+            )
+            self.log.steps.append(record)
+            steps.append(record)
+        return steps

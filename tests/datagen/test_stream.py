@@ -1,0 +1,79 @@
+"""Tests for the batch-emitting dataset views."""
+
+from collections import Counter
+
+import pytest
+
+from repro.datagen import dataset_stream
+from repro.datagen.address import address_dataset
+from repro.datagen.journaltitle import journaltitle_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return address_dataset(scale=0.05, seed=9)
+
+
+class TestDatasetStream:
+    def test_batch_count_and_coverage(self, dataset):
+        stream = dataset_stream(dataset, batches=4, seed=1)
+        assert len(stream.batches) == 4
+        assert stream.num_records == dataset.table.num_records
+        sizes = [len(b) for b in stream.batches]
+        assert max(sizes) - min(sizes) <= 1  # near-even slicing
+
+    def test_rids_unique_and_keyed(self, dataset):
+        stream = dataset_stream(dataset, batches=3, seed=1)
+        rids = [r.rid for r in stream.records]
+        assert len(rids) == len(set(rids))
+        assert all(stream.key_column in r.values for r in stream.records)
+
+    def test_ground_truth_complete(self, dataset):
+        stream = dataset_stream(dataset, batches=3, seed=1)
+        assert set(stream.canonical_by_rid) == {
+            r.rid for r in stream.records
+        }
+        assert stream.golden_by_key  # golden value per entity key
+
+    def test_one_shot_table_reassembles_clusters(self, dataset):
+        stream = dataset_stream(dataset, batches=3, seed=1)
+        table = stream.table()
+
+        def by_key(t):
+            return {
+                c.key: Counter(r.values[dataset.column] for r in c.records)
+                for c in t.clusters
+                if c.records
+            }
+
+        assert by_key(table) == by_key(dataset.table)
+
+    def test_canonical_cells_map_onto_table(self, dataset):
+        stream = dataset_stream(dataset, batches=3, seed=1)
+        table = stream.table()
+        canonical = stream.canonical_cells(table)
+        assert len(canonical) == table.num_records
+
+    def test_shuffle_determinism(self, dataset):
+        a = dataset_stream(dataset, batches=3, seed=5)
+        b = dataset_stream(dataset, batches=3, seed=5)
+        c = dataset_stream(dataset, batches=3, seed=6)
+        assert [r.rid for r in a.records] == [r.rid for r in b.records]
+        assert [r.rid for r in a.records] != [r.rid for r in c.records]
+
+    def test_no_shuffle_keeps_generation_order(self, dataset):
+        stream = dataset_stream(dataset, batches=2, shuffle=False)
+        rids = [r.rid for r in stream.records]
+        expected = [
+            r.rid for c in dataset.table.clusters for r in c.records
+        ]
+        assert rids == expected
+
+    def test_works_for_other_generators(self):
+        dataset = journaltitle_dataset(scale=0.05, seed=2)
+        stream = dataset_stream(dataset, batches=2, seed=2)
+        assert stream.num_records == dataset.table.num_records
+
+    def test_batches_validated(self, dataset):
+        with pytest.raises(ValueError):
+            dataset_stream(dataset, batches=0)

@@ -1,0 +1,111 @@
+"""Property-based tests for the union-find clustering backbone.
+
+The incremental resolver leans on :class:`UnionFind` for cross-batch
+cluster maintenance, so its invariants are load-bearing: the final
+partition must not depend on union order, repeating history must be a
+no-op, and find must agree with union transitively.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resolution.unionfind import UnionFind
+
+SMALL = settings(max_examples=80, deadline=None)
+
+items = st.integers(min_value=0, max_value=24)
+pairs = st.lists(st.tuples(items, items), max_size=40)
+
+
+def build(union_sequence):
+    uf = UnionFind()
+    for a, b in union_sequence:
+        uf.union(a, b)
+    return uf
+
+
+def canonical_groups(uf):
+    return {frozenset(group) for group in uf.groups()}
+
+
+class TestUnionOrderInvariance:
+    @SMALL
+    @given(pairs, st.randoms(use_true_random=False))
+    def test_shuffled_unions_same_partition(self, sequence, rng):
+        shuffled = list(sequence)
+        rng.shuffle(shuffled)
+        assert canonical_groups(build(sequence)) == canonical_groups(
+            build(shuffled)
+        )
+
+    @SMALL
+    @given(pairs)
+    def test_reversed_pairs_same_partition(self, sequence):
+        flipped = [(b, a) for a, b in sequence]
+        assert canonical_groups(build(sequence)) == canonical_groups(
+            build(flipped)
+        )
+
+
+class TestIdempotence:
+    @SMALL
+    @given(pairs)
+    def test_replaying_history_changes_nothing(self, sequence):
+        uf = build(sequence)
+        before = canonical_groups(uf)
+        for a, b in sequence:
+            assert uf.union(a, b) is False  # nothing new to merge
+        assert canonical_groups(uf) == before
+
+    @SMALL
+    @given(items, items)
+    def test_second_union_reports_already_merged(self, a, b):
+        uf = UnionFind()
+        first = uf.union(a, b)
+        assert first is (a != b)
+        assert uf.union(a, b) is False
+
+    @SMALL
+    @given(pairs)
+    def test_find_is_stable_under_repetition(self, sequence):
+        uf = build(sequence)
+        for item in list(uf._parent):
+            root = uf.find(item)
+            assert uf.find(item) == root
+            assert uf.find(root) == root  # roots are fixed points
+
+
+class TestFindAfterUnion:
+    @SMALL
+    @given(pairs, items, items)
+    def test_union_connects_immediately(self, sequence, a, b):
+        uf = build(sequence)
+        uf.union(a, b)
+        assert uf.connected(a, b)
+        assert uf.find(a) == uf.find(b)
+
+    @SMALL
+    @given(pairs)
+    def test_connectivity_matches_reference_partition(self, sequence):
+        """find() agrees with a naive set-merging reference."""
+        uf = build(sequence)
+        reference = {}
+        for a, b in sequence:
+            sa = reference.setdefault(a, {a})
+            sb = reference.setdefault(b, {b})
+            if sa is not sb:
+                sa |= sb
+                for member in sb:
+                    reference[member] = sa
+        for a in reference:
+            for b in reference:
+                assert uf.connected(a, b) == (b in reference[a])
+
+    @SMALL
+    @given(pairs)
+    def test_groups_partition_all_items(self, sequence):
+        uf = build(sequence)
+        seen = [item for group in uf.groups() for item in group]
+        assert len(seen) == len(set(seen)) == len(uf)

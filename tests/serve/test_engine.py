@@ -93,11 +93,11 @@ class TestCompile:
 class TestTransform:
     def test_exact_hit(self, engine):
         assert engine.transform("9th") == "9"
-        assert engine.stats.exact_hits == 1
+        assert engine.stats().exact_hits == 1
 
     def test_program_generalizes_to_unseen_value(self, engine):
         assert engine.transform("42nd") == "42"
-        assert engine.stats.program_hits == 1
+        assert engine.stats().program_hits == 1
 
     def test_constant_stamp_does_not_fire(self, engine):
         # Same structure as "St" -> "Street", but the all-constant
@@ -110,13 +110,13 @@ class TestTransform:
 
     def test_untouched_value_counts_as_miss(self, engine):
         engine.transform("zzz")
-        assert engine.stats.misses == 1
+        assert engine.stats().misses == 1
 
     def test_cache_hit_on_second_call(self, engine):
         engine.transform("42nd")
         engine.transform("42nd")
-        assert engine.stats.cache_hits == 1
-        assert engine.stats.program_hits == 1
+        assert engine.stats().cache_hits == 1
+        assert engine.stats().program_hits == 1
 
     def test_programs_can_be_disabled(self, model):
         engine = ApplyEngine(model, use_programs=False)
@@ -127,8 +127,8 @@ class TestBatch:
     def test_apply_values_broadcasts_and_dedupes(self, engine):
         values = ["9th", "42nd", "9th", "zzz", "42nd"]
         assert engine.apply_values(values) == ["9", "42", "9", "zzz", "42"]
-        assert engine.stats.rows == 5
-        assert engine.stats.unique_values == 3
+        assert engine.stats().rows == 5
+        assert engine.stats().unique_values == 3
 
     def test_sharded_matches_serial(self, model):
         values = [f"{i}th" for i in range(40)] + ["A", "5 St"] * 5
@@ -138,11 +138,11 @@ class TestBatch:
             values, workers=2, min_shard=2
         )
         assert sharded == serial
-        assert sharded_engine.stats.sharded_values > 0
+        assert sharded_engine.stats().sharded_values > 0
 
     def test_small_batches_never_shard(self, engine):
         engine.apply_values(["9th"], workers=4)
-        assert engine.stats.sharded_values == 0
+        assert engine.stats().sharded_values == 0
 
     def test_apply_table(self, engine):
         from repro.data.table import ClusterTable, Record
@@ -181,5 +181,5 @@ class TestLRUCache:
         engine.transform("42nd")
         engine.transform("13th")
         engine.transform("42nd")
-        assert engine.stats.cache_hits == 0
-        assert engine.stats.program_hits == 3
+        assert engine.stats().cache_hits == 0
+        assert engine.stats().program_hits == 3

@@ -1,8 +1,10 @@
-"""Registry tests: versioning, naming, lookup errors."""
+"""Registry tests: versioning, naming, lookup errors, atomic publish."""
+
+import json
 
 import pytest
 
-from repro.serve import ModelRegistry
+from repro.serve import ModelRegistry, TransformationModel
 from repro.serve.registry import slugify
 
 
@@ -58,3 +60,82 @@ class TestRegistry:
 
     def test_empty_root_is_empty(self, tmp_path):
         assert ModelRegistry(tmp_path / "missing").names() == []
+
+
+class _CrashMidWrite(RuntimeError):
+    pass
+
+
+class TestAtomicPublish:
+    """A crash mid-publish can never leave a truncated version file."""
+
+    @pytest.fixture
+    def crashing_dump(self, monkeypatch):
+        """json.dump that writes half the payload, then dies — the
+        worst-case interruption for a naive direct write."""
+
+        def crash(obj, handle, **kwargs):
+            handle.write(json.dumps(obj, **kwargs)[: 40])
+            handle.flush()
+            raise _CrashMidWrite("disk full / SIGKILL / power loss")
+
+        monkeypatch.setattr("repro.serve.model.json.dump", crash)
+
+    def test_interrupted_first_publish_leaves_nothing(
+        self, learned_model, tmp_path, crashing_dump
+    ):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(_CrashMidWrite):
+            registry.save(learned_model)
+        assert registry.versions("address") == []
+        assert list((tmp_path / "address").glob("*")) == []  # no temp junk
+
+    def test_interrupted_republish_preserves_previous_version(
+        self, learned_model, tmp_path, monkeypatch
+    ):
+        registry = ModelRegistry(tmp_path)
+        registry.save(learned_model)
+
+        def crash(obj, handle, **kwargs):
+            handle.write(json.dumps(obj, **kwargs)[: 40])
+            raise _CrashMidWrite()
+
+        monkeypatch.setattr("repro.serve.model.json.dump", crash)
+        with pytest.raises(_CrashMidWrite):
+            registry.save(learned_model)
+        monkeypatch.undo()
+
+        # v1 is intact and fully loadable; no v2, no leftovers.
+        assert registry.versions("address") == [1]
+        loaded = registry.load("address")
+        assert loaded.to_dict() == learned_model.to_dict()
+        assert sorted(p.name for p in (tmp_path / "address").glob("*")) == [
+            "v1.json"
+        ]
+
+    def test_retry_after_interruption_succeeds(
+        self, learned_model, tmp_path, monkeypatch
+    ):
+        registry = ModelRegistry(tmp_path)
+
+        def crash(obj, handle, **kwargs):
+            raise _CrashMidWrite()
+
+        monkeypatch.setattr("repro.serve.model.json.dump", crash)
+        with pytest.raises(_CrashMidWrite):
+            registry.save(learned_model)
+        monkeypatch.undo()
+        registry.save(learned_model)
+        assert registry.versions("address") == [1]
+
+    def test_save_writes_through_temp_then_rename(
+        self, learned_model, tmp_path
+    ):
+        """Direct-save sanity: the final artifact is complete JSON."""
+        path = TransformationModel.save(learned_model, tmp_path / "m.json")
+        assert path.name == "m.json"
+        assert (
+            TransformationModel.load(path).to_dict()
+            == learned_model.to_dict()
+        )
+        assert list(tmp_path.glob(".m.json.tmp.*")) == []

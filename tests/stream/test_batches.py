@@ -1,0 +1,66 @@
+"""Tests for the record-batch sources."""
+
+import pytest
+
+from repro.data.table import Record
+from repro.stream import (
+    batches_from_records,
+    iter_jsonl_batches,
+    read_jsonl_records,
+    write_jsonl_records,
+)
+
+
+def records(n):
+    return [Record(f"r{i}", {"name": f"value {i}"}, f"src{i % 3}") for i in range(n)]
+
+
+class TestBatchesFromRecords:
+    def test_even_slicing(self):
+        batches = list(batches_from_records(records(6), 2))
+        assert [len(b) for b in batches] == [2, 2, 2]
+
+    def test_trailing_partial_batch(self):
+        batches = list(batches_from_records(records(7), 3))
+        assert [len(b) for b in batches] == [3, 3, 1]
+
+    def test_order_preserved(self):
+        flat = [r for b in batches_from_records(records(9), 4) for r in b]
+        assert [r.rid for r in flat] == [r.rid for r in records(9)]
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            list(batches_from_records(records(3), 0))
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        original = records(5)
+        write_jsonl_records(original, path)
+        loaded = read_jsonl_records(path)
+        assert [(r.rid, r.values, r.source) for r in loaded] == [
+            (r.rid, r.values, r.source) for r in original
+        ]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text(
+            '{"__rid__": "a", "name": "x"}\n\n{"name": "y"}\n',
+            encoding="utf-8",
+        )
+        loaded = read_jsonl_records(path)
+        assert [r.rid for r in loaded] == ["a", "r2"]
+        assert loaded[1].values == {"name": "y"}
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        path.write_text('["not", "an", "object"]\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="JSON object"):
+            read_jsonl_records(path)
+
+    def test_iter_jsonl_batches(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        write_jsonl_records(records(5), path)
+        batches = list(iter_jsonl_batches(path, 2))
+        assert [len(b) for b in batches] == [2, 2, 1]

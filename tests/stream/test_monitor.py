@@ -1,0 +1,52 @@
+"""Tests for the drift monitor."""
+
+import pytest
+
+from repro.stream import DriftMonitor
+
+
+class TestDriftMonitor:
+    def test_clean_traffic_never_triggers(self):
+        monitor = DriftMonitor(window=3, miss_rate_threshold=0.3, min_rows=10)
+        for _ in range(10):
+            report = monitor.record(rows=50, misses=2)
+            assert not report.drifted
+        assert monitor.triggered == 0
+
+    def test_drift_triggers_over_threshold(self):
+        monitor = DriftMonitor(window=3, miss_rate_threshold=0.3, min_rows=10)
+        monitor.record(rows=50, misses=2)
+        report = monitor.record(rows=50, misses=48)  # format shift
+        assert report.drifted and monitor.should_relearn
+        assert monitor.triggered == 1
+
+    def test_min_rows_suppresses_noisy_small_windows(self):
+        monitor = DriftMonitor(window=3, miss_rate_threshold=0.3, min_rows=10)
+        report = monitor.record(rows=3, misses=3)  # rate 1.0 but 3 rows
+        assert not report.drifted
+
+    def test_window_evicts_old_batches(self):
+        monitor = DriftMonitor(window=2, miss_rate_threshold=0.5, min_rows=1)
+        monitor.record(rows=10, misses=10)
+        monitor.record(rows=10, misses=0)
+        monitor.record(rows=10, misses=0)
+        # The all-miss batch fell out of the window.
+        assert monitor.miss_rate == 0.0
+        assert not monitor.should_relearn
+
+    def test_reset_clears_state(self):
+        monitor = DriftMonitor(window=3, miss_rate_threshold=0.1, min_rows=1)
+        monitor.record(rows=10, misses=10)
+        assert monitor.should_relearn
+        monitor.reset()
+        assert monitor.rows == 0 and monitor.miss_rate == 0.0
+        assert not monitor.should_relearn
+
+    def test_misses_clamped_to_rows(self):
+        monitor = DriftMonitor(window=1, miss_rate_threshold=0.5, min_rows=1)
+        monitor.record(rows=10, misses=99)
+        assert monitor.miss_rate == 1.0
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            DriftMonitor(miss_rate_threshold=1.5)

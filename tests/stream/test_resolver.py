@@ -1,0 +1,171 @@
+"""Tests for the incremental blocking + union-find resolver."""
+
+import pytest
+
+from repro.data.table import Record
+from repro.resolution.matcher import Matcher, cluster_by_key
+from repro.resolution.similarity import overlap
+from repro.stream.resolver import IncrementalResolver
+
+
+def rec(rid, **values):
+    return Record(rid, {k: str(v) for k, v in values.items()})
+
+
+def membership(table):
+    """cluster key -> sorted rids (non-empty clusters only)."""
+    return {
+        c.key: sorted(r.rid for r in c.records)
+        for c in table.clusters
+        if c.records
+    }
+
+
+def partitions(table):
+    """The clustering as a set of frozensets of rids (key-agnostic)."""
+    return {
+        frozenset(r.rid for r in c.records)
+        for c in table.clusters
+        if c.records
+    }
+
+
+class TestModeSelection:
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(ValueError):
+            IncrementalResolver(["name"])
+        with pytest.raises(ValueError):
+            IncrementalResolver(
+                ["name"], key_attribute="k", attribute="name"
+            )
+
+
+class TestKeyMode:
+    def records(self):
+        return [
+            rec("r0", isbn="111", title="Databases"),
+            rec("r1", isbn="222", title="Streams"),
+            rec("r2", isbn="111", title="Data Bases"),
+            rec("r3", isbn="", title="Keyless"),
+            rec("r4", isbn="222", title="Stream Processing"),
+        ]
+
+    def test_matches_batch_cluster_by_key(self):
+        records = self.records()
+        resolver = IncrementalResolver(
+            ["isbn", "title"], key_attribute="isbn"
+        )
+        resolver.add_batch(records[:2])
+        resolver.add_batch(records[2:])
+        batch = cluster_by_key(records, "isbn")
+        assert partitions(resolver.table) == partitions(batch)
+
+    def test_same_key_unions_records(self):
+        resolver = IncrementalResolver(
+            ["isbn", "title"], key_attribute="isbn"
+        )
+        resolver.add_batch(self.records())
+        assert resolver.uf.connected("r0", "r2")
+        assert resolver.uf.connected("r1", "r4")
+        assert not resolver.uf.connected("r0", "r1")
+
+    def test_rows_append_in_arrival_order(self):
+        resolver = IncrementalResolver(
+            ["isbn", "title"], key_attribute="isbn"
+        )
+        for record in self.records():
+            resolver.add_batch([record])
+        assert resolver.position("r0") == (0, 0)
+        assert resolver.position("r2") == (0, 1)
+        assert resolver.rid_at(0, 1) == "r2"
+
+    def test_no_merges_ever(self):
+        resolver = IncrementalResolver(
+            ["isbn", "title"], key_attribute="isbn"
+        )
+        result = resolver.add_batch(self.records())
+        assert result.merges == 0 and not result.moved
+
+    def test_duplicate_rid_rejected(self):
+        resolver = IncrementalResolver(["isbn"], key_attribute="isbn")
+        resolver.add_batch([rec("r0", isbn="1")])
+        with pytest.raises(ValueError, match="duplicate"):
+            resolver.add_batch([rec("r0", isbn="1")])
+
+
+class TestSimilarityMode:
+    def records(self):
+        return [
+            rec("a0", name="International Journal of Robotics"),
+            rec("a1", name="Intl Journal of Robotics"),
+            rec("a2", name="Annals of Statistics"),
+            rec("a3", name="Annals of Statistic"),
+            rec("a4", name="Physics Letters"),
+        ]
+
+    def test_matches_batch_resolution(self):
+        records = self.records()
+        resolver = IncrementalResolver(["name"], attribute="name")
+        resolver.add_batch(records[:3])
+        resolver.add_batch(records[3:])
+        batch = Matcher("name").resolve(records)
+        assert partitions(resolver.table) == partitions(batch)
+
+    def test_only_new_pairs_compared(self):
+        records = self.records()
+        resolver = IncrementalResolver(["name"], attribute="name")
+        first = resolver.add_batch(records)
+        # Re-running the same content under fresh ids costs pairs that
+        # touch the new records only, never old-old pairs again.
+        renamed = [rec(f"b{i}", name=r.values["name"]) for i, r in enumerate(records)]
+        second = resolver.add_batch(renamed)
+        assert second.pairs_compared >= first.pairs_compared
+        assert all(
+            rid.startswith("b")
+            for rid, _, _ in second.appended
+        )
+
+    @staticmethod
+    def _bridged_resolver():
+        """A resolver where a third record bridges two clusters.
+
+        Token-overlap similarity makes the bridge deterministic: the
+        first two records share no token, the bridge contains both.
+        """
+
+        def tok_overlap(a, b):
+            return overlap(a.lower().split(), b.lower().split())
+
+        resolver = IncrementalResolver(
+            ["name"], attribute="name", threshold=0.9, similarity=tok_overlap
+        )
+        resolver.add_batch(
+            [
+                rec("x0", name="Jane Street"),
+                rec("x1", name="Capital Holdings"),
+            ]
+        )
+        assert len(partitions(resolver.table)) == 2
+        result = resolver.add_batch(
+            [rec("x2", name="Jane Street Capital Holdings")]
+        )
+        return resolver, result
+
+    def test_bridge_record_merges_and_reports_moves(self):
+        resolver, result = self._bridged_resolver()
+        assert result.merges == 1
+        assert result.moved, "losing cluster's records must report moves"
+        assert len(partitions(resolver.table)) == 1
+        # Every rid is addressable at its (possibly new) position.
+        for rid in ("x0", "x1", "x2"):
+            cluster, row = resolver.position(rid)
+            assert resolver.table.clusters[cluster].records[row].rid == rid
+        # The losing slot is empty, not deleted: indices are stable.
+        assert any(
+            not c.records for c in resolver.table.clusters
+        )
+
+    def test_merge_is_transitively_complete(self):
+        resolver, _ = self._bridged_resolver()
+        assert resolver.uf.connected("x0", "x1")
+        assert resolver.uf.connected("x1", "x2")

@@ -1,0 +1,171 @@
+"""Tests for delta candidate generation and the decision cache."""
+
+from repro.candidates.generate import generate_candidates
+from repro.candidates.store import ReplacementStore
+from repro.data.table import CellRef, ClusterTable, Record
+from repro.pipeline.oracle import ApproveAllOracle
+from repro.stream.standardizer import IncrementalStandardizer
+
+COLUMN = "addr"
+
+
+def make_table(clusters):
+    table = ClusterTable([COLUMN])
+    for key, values in clusters:
+        table.add_cluster(
+            key,
+            [
+                Record(f"{key}_{i}", {COLUMN: value})
+                for i, value in enumerate(values)
+            ],
+        )
+    return table
+
+
+def snapshot(store):
+    return (
+        {r: frozenset(e) for r, e in store.pair_entries.items() if e},
+        {r: frozenset(e) for r, e in store.token_entries.items() if e},
+    )
+
+
+class TestDeltaGeneration:
+    def test_add_cell_matches_batch_generate(self):
+        clusters = [
+            ("c0", ["5 Main Street", "5 Main St", "5 Main Street"]),
+            ("c1", ["9th Avenue", "9 Avenue"]),
+            ("c2", ["Broadway"]),
+        ]
+        batch = generate_candidates(make_table(clusters), COLUMN)
+        table = make_table(clusters)
+        delta = ReplacementStore(table, COLUMN)
+        for ci, (_, values) in enumerate(clusters):
+            for ri in range(len(values)):
+                delta.add_cell(CellRef(ci, ri, COLUMN))
+        assert snapshot(delta) == snapshot(batch)
+
+    def test_add_cell_any_order(self):
+        clusters = [("c0", ["A B C", "A C", "B C"])]
+        batch = generate_candidates(make_table(clusters), COLUMN)
+        table = make_table(clusters)
+        delta = ReplacementStore(table, COLUMN)
+        for ri in (2, 0, 1):
+            delta.add_cell(CellRef(0, ri, COLUMN))
+        assert snapshot(delta) == snapshot(batch)
+
+    def test_add_cell_idempotent_and_counts_new_keys(self):
+        table = make_table([("c0", ["Main St", "Main Street"])])
+        store = ReplacementStore(table, COLUMN)
+        assert store.add_cell(CellRef(0, 0, COLUMN)) == 0  # no mate yet
+        created = store.add_cell(CellRef(0, 1, COLUMN))
+        assert created > 0
+        assert store.add_cell(CellRef(0, 1, COLUMN)) == 0  # already indexed
+
+    def test_repeated_variation_creates_no_new_keys(self):
+        table = make_table(
+            [
+                ("c0", ["Main St", "Main Street"]),
+                ("c1", ["Main St", "Main Street"]),
+            ]
+        )
+        store = ReplacementStore(table, COLUMN)
+        for ri in range(2):
+            store.add_cell(CellRef(0, ri, COLUMN))
+        # The second cluster repeats the exact variation: entries grow,
+        # keys do not.
+        assert store.add_cell(CellRef(1, 0, COLUMN)) == 0
+        assert store.add_cell(CellRef(1, 1, COLUMN)) == 0
+
+    def test_purge_then_add_relocates_cell(self):
+        # Simulate a merge move: c1's cell lands in c0.
+        before = [("c0", ["5 Main Street", "5 Main St"]), ("c1", ["5 Main Str"])]
+        after = [("c0", ["5 Main Street", "5 Main St", "5 Main Str"]), ("c1", [])]
+        table = make_table(before)
+        store = ReplacementStore(table, COLUMN)
+        for ci, (_, values) in enumerate(before):
+            for ri in range(len(values)):
+                store.add_cell(CellRef(ci, ri, COLUMN))
+        # Physically move the record, then re-home its candidates.
+        record = table.clusters[1].records.pop(0)
+        table.clusters[0].records.append(record)
+        store.purge_cell(CellRef(1, 0, COLUMN))
+        store.add_cell(CellRef(0, 2, COLUMN))
+        fresh = generate_candidates(make_table(after), COLUMN)
+        assert snapshot(store) == snapshot(fresh)
+
+
+class TestDecisionCache:
+    def test_repeated_variation_costs_zero_questions(self):
+        table = make_table([("c0", ["5 Main Street", "5 Main St"])])
+        std = IncrementalStandardizer(table, COLUMN)
+        std.ingest(table.cells(COLUMN))
+        oracle = ApproveAllOracle()
+        first = std.learn(oracle, budget=100)
+        assert first and std.questions_asked > 0
+        asked = std.questions_asked
+        assert table.cluster_values(0, COLUMN) == [
+            "5 Main St",
+            "5 Main St",
+        ] or table.cluster_values(0, COLUMN) == ["5 Main Street", "5 Main Street"]
+
+        # A new cluster re-introduces the *same* variant pair.
+        table.add_cluster(
+            "c1",
+            [
+                Record("n0", {COLUMN: "5 Main Street"}),
+                Record("n1", {COLUMN: "5 Main St"}),
+            ],
+        )
+        std.ingest(table.cluster_cells(1, COLUMN))
+        reused, changed = std.reuse_confirmed()
+        assert reused > 0 and changed > 0
+        assert std.learn(oracle, budget=100) == []
+        assert std.questions_asked == asked
+        # Both clusters converged to the same standardized value.
+        assert set(table.cluster_values(1, COLUMN)) == set(
+            table.cluster_values(0, COLUMN)
+        )
+
+    def test_rejected_variation_stays_silenced(self):
+        class RejectAll:
+            def review(self, group):
+                from repro.pipeline.oracle import Decision
+
+                return Decision(False)
+
+        table = make_table([("c0", ["Apple Inc", "Orange LLC"])])
+        std = IncrementalStandardizer(table, COLUMN)
+        std.ingest(table.cells(COLUMN))
+        std.learn(RejectAll(), budget=100)
+        asked = std.questions_asked
+        assert asked > 0
+
+        table.add_cluster(
+            "c1",
+            [
+                Record("n0", {COLUMN: "Apple Inc"}),
+                Record("n1", {COLUMN: "Orange LLC"}),
+            ],
+        )
+        std.ingest(table.cluster_cells(1, COLUMN))
+        reused, _ = std.reuse_confirmed()
+        assert reused == 0
+        assert std.skipped_rejected() > 0
+        assert std.learn(RejectAll(), budget=100) == []
+        assert std.questions_asked == asked
+
+    def test_log_is_append_only_model_fodder(self):
+        table = make_table(
+            [("c0", ["5 Main Street", "5 Main St"]), ("c1", ["9th Ave", "9 Ave"])]
+        )
+        std = IncrementalStandardizer(table, COLUMN)
+        std.ingest(table.cluster_cells(0, COLUMN))
+        std.learn(ApproveAllOracle(), budget=100)
+        first = len(std.log.steps)
+        std.ingest(table.cluster_cells(1, COLUMN))
+        std.reuse_confirmed()
+        std.learn(ApproveAllOracle(), budget=100)
+        assert len(std.log.steps) > first
+        assert [s.index for s in std.log.steps] == list(
+            range(len(std.log.steps))
+        )

@@ -119,3 +119,133 @@ class TestCommands:
             )
             == 0
         )
+
+
+class TestStreamParser:
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.batches == 5
+        assert args.budget == 50
+        assert args.registry is None
+        assert not args.no_engine
+        assert args.drift_threshold is None
+
+    def test_stream_flags(self):
+        args = build_parser().parse_args(
+            [
+                "stream",
+                "--batches",
+                "3",
+                "--budget",
+                "20",
+                "--registry",
+                "reg",
+                "--name",
+                "addr",
+                "--no-engine",
+                "--drift-threshold",
+                "0.4",
+            ]
+        )
+        assert (args.batches, args.budget) == (3, 20)
+        assert (args.registry, args.name) == ("reg", "addr")
+        assert args.no_engine and args.drift_threshold == 0.4
+
+    def test_apply_stats_flag(self):
+        args = build_parser().parse_args(
+            ["apply", "--model", "m.json", "--stats"]
+        )
+        assert args.stats
+
+
+class TestStreamCommand:
+    def test_stream_runs_and_publishes(self, capsys, tmp_path):
+        registry = tmp_path / "registry"
+        assert (
+            main(
+                [
+                    "stream",
+                    "--dataset",
+                    "Address",
+                    "--scale",
+                    "0.04",
+                    "--seed",
+                    "4",
+                    "--batches",
+                    "3",
+                    "--budget",
+                    "30",
+                    "--registry",
+                    str(registry),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "batch 0" in out and "batch 2" in out
+        assert "saved by reuse" in out
+        # Versions were actually published.
+        assert sorted((registry / "address").glob("v*.json"))
+
+    def test_stream_no_engine_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "stream",
+                    "--dataset",
+                    "JournalTitle",
+                    "--scale",
+                    "0.03",
+                    "--seed",
+                    "2",
+                    "--batches",
+                    "2",
+                    "--budget",
+                    "10",
+                    "--no-engine",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stream done" in out
+
+    def test_apply_stats_prints_counters(self, capsys, tmp_path):
+        model_path = tmp_path / "m.json"
+        csv_path = tmp_path / "in.csv"
+        assert (
+            main(
+                [
+                    "learn",
+                    "--dataset",
+                    "Address",
+                    "--scale",
+                    "0.04",
+                    "--seed",
+                    "9",
+                    "--budget",
+                    "15",
+                    "--out",
+                    str(model_path),
+                ]
+            )
+            == 0
+        )
+        csv_path.write_text(
+            "address\n5 Main St, 10001 NY\n", encoding="utf-8"
+        )
+        assert (
+            main(
+                [
+                    "apply",
+                    "--model",
+                    str(model_path),
+                    "--input",
+                    str(csv_path),
+                    "--stats",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stats: {" in out and '"exact_hits"' in out

@@ -23,6 +23,7 @@ SMOKE_ARGS = {
     "resolution_to_golden.py": [],
     "csv_workflow.py": [],  # workdir appended at run time
     "learn_apply_serve.py": ["0.05"],
+    "streaming_consolidation.py": ["0.05"],
 }
 
 #: Minimum expected stdout fragment, proving the script did real work.
@@ -33,6 +34,7 @@ EXPECTED_OUTPUT = {
     "resolution_to_golden.py": "golden records:",
     "csv_workflow.py": "standardized:",
     "learn_apply_serve.py": "serve protocol:",
+    "streaming_consolidation.py": "saved by reusing",
 }
 
 
