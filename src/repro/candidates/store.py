@@ -34,6 +34,51 @@ from ..data.table import CellRef, ClusterTable
 
 CellPair = Tuple[CellRef, CellRef]
 
+#: Ordered token-level (lhs, rhs) segments one value pair contributes.
+TokenSegments = Tuple[Tuple[str, str], ...]
+
+
+def derive_token_segments(
+    va: str, vb: str, config: Config = DEFAULT_CONFIG
+) -> TokenSegments:
+    """Token-level candidate segments of one ordered value pair.
+
+    This is the *pure* (table-free, side-effect-free) core of candidate
+    generation: everything :meth:`ReplacementStore.add_cell` derives
+    for a cell pair is a function of the two values and the config
+    alone.  The streaming shard workers exploit that purity — value
+    pairs are aligned in parallel worker processes and the resulting
+    segments merged into the single parent store in the exact order
+    inline generation would have produced them, so sharded and
+    single-process runs build byte-identical candidate state.
+
+    Returns the deduplicated ``(lhs, rhs)`` segments in derivation
+    order, excluding the whole-value pair itself (the caller always
+    adds that separately).
+    """
+    if va == vb or not va or not vb:
+        return ()
+    if not config.token_level_candidates:
+        return ()
+    ta, tb = tokens(va), tokens(vb)
+    if not ta or not tb:
+        return ()
+    segment_pairs = aligned_segments(ta, tb)
+    if config.damerau_candidates:
+        segment_pairs = segment_pairs + alignment_segments(ta, tb)
+    seen: Set[Tuple[str, str]] = set()
+    out: List[Tuple[str, str]] = []
+    for seg_a, seg_b in segment_pairs:
+        lhs, rhs = join(seg_a), join(seg_b)
+        if lhs == rhs or not lhs or not rhs:
+            continue
+        if (lhs, rhs) in seen:
+            continue
+        seen.add((lhs, rhs))
+        if (lhs, rhs) != (va, vb):
+            out.append((lhs, rhs))
+    return tuple(out)
+
 
 class ReplacementStore:
     """Candidate replacements of one column plus their provenance."""
@@ -67,7 +112,11 @@ class ReplacementStore:
 
     # -- incremental generation (stream path) --------------------------------
 
-    def add_cell(self, cell: CellRef) -> int:
+    def add_cell(
+        self,
+        cell: CellRef,
+        segments: Optional[Dict[Tuple[str, str], TokenSegments]] = None,
+    ) -> int:
         """Index one new cell: pair it against the already-indexed cells
         of its cluster, allowing new candidate keys.
 
@@ -75,6 +124,12 @@ class ReplacementStore:
         cell of a table (in any order) derives exactly the pairs the
         batch form derives, but a record batch arriving later only pays
         for pairs touching its own cells.
+
+        ``segments`` optionally supplies precomputed
+        :func:`derive_token_segments` results keyed by ordered value
+        pair — the sharded streaming path computes them in worker
+        processes and merges here; pairs absent from the map are
+        derived inline, so a partial map is always safe.
 
         Returns the number of candidate keys the cell *created* — zero
         means every variation the cell introduced was already known, the
@@ -86,9 +141,41 @@ class ReplacementStore:
         for mate in self.table.cluster_cells(cell.cluster, cell.column):
             if mate == cell or mate not in self._indexed:
                 continue
-            self._generate_for_pair(mate, cell, allow_new=True)
+            self._generate_for_pair(
+                mate, cell, allow_new=True, segments=segments
+            )
         self._indexed.add(cell)
         return len(self.pair_entries) + len(self.token_entries) - before
+
+    def pending_pairs(
+        self, cells: Sequence[CellRef]
+    ) -> List[Tuple[str, str]]:
+        """The ordered distinct ``(mate value, cell value)`` pairs that
+        :meth:`add_cell` will derive segments for when the given cells
+        are indexed in order.
+
+        This mirrors :meth:`add_cell`'s own iteration exactly (mate
+        before cell, earlier cells of the batch counting as indexed for
+        later ones) and lives here so the two can never drift apart:
+        the sharded streaming path precomputes
+        :func:`derive_token_segments` for exactly these pairs on its
+        workers and hands the map back to :meth:`add_cell`.
+        """
+        pairs: List[Tuple[str, str]] = []
+        virtually_indexed = set(self._indexed)
+        for cell in cells:
+            if cell in virtually_indexed:
+                continue
+            value = self.table.value(cell)
+            for mate in self.table.cluster_cells(cell.cluster, cell.column):
+                if mate == cell or mate not in virtually_indexed:
+                    continue
+                mate_value = self.table.value(mate)
+                if mate_value == value or not mate_value or not value:
+                    continue
+                pairs.append((mate_value, value))
+            virtually_indexed.add(cell)
+        return pairs
 
     def purge_cell(self, cell: CellRef) -> None:
         """Forget a cell entirely (it moved during a cluster merge).
@@ -102,7 +189,11 @@ class ReplacementStore:
         self._indexed.discard(cell)
 
     def _generate_for_pair(
-        self, cell_a: CellRef, cell_b: CellRef, allow_new: bool
+        self,
+        cell_a: CellRef,
+        cell_b: CellRef,
+        allow_new: bool,
+        segments: Optional[Dict[Tuple[str, str], TokenSegments]] = None,
     ) -> None:
         va = self.table.value(cell_a)
         vb = self.table.value(cell_b)
@@ -111,31 +202,12 @@ class ReplacementStore:
         self._add_pair(Replacement(va, vb), (cell_a, cell_b), allow_new)
         self._add_pair(Replacement(vb, va), (cell_b, cell_a), allow_new)
         if self.config.token_level_candidates:
-            self._generate_token_level(cell_a, cell_b, va, vb, allow_new)
-
-    def _generate_token_level(
-        self,
-        cell_a: CellRef,
-        cell_b: CellRef,
-        va: str,
-        vb: str,
-        allow_new: bool,
-    ) -> None:
-        ta, tb = tokens(va), tokens(vb)
-        if not ta or not tb:
-            return
-        segment_pairs = aligned_segments(ta, tb)
-        if self.config.damerau_candidates:
-            segment_pairs = segment_pairs + alignment_segments(ta, tb)
-        seen: Set[Tuple[str, str]] = set()
-        for seg_a, seg_b in segment_pairs:
-            lhs, rhs = join(seg_a), join(seg_b)
-            if lhs == rhs or not lhs or not rhs:
-                continue
-            if (lhs, rhs) in seen:
-                continue
-            seen.add((lhs, rhs))
-            if (lhs, rhs) != (va, vb):
+            derived = (
+                segments.get((va, vb)) if segments is not None else None
+            )
+            if derived is None:
+                derived = derive_token_segments(va, vb, self.config)
+            for lhs, rhs in derived:
                 self._add_token(
                     Replacement(lhs, rhs), (cell_a, cell_b), allow_new
                 )

@@ -200,6 +200,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the serve fast path (provenance-exact mode)",
     )
     stream_p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard the streaming learner across this many worker "
+        "processes (matching, candidate alignment, grouping feed); "
+        "published models and question counts are identical at any "
+        "shard count",
+    )
+    stream_p.add_argument(
+        "--block-retention",
+        type=int,
+        default=None,
+        help="similarity mode: keep only the newest N members per "
+        "block (rotation), bounding per-arrival matching cost "
+        "(default: unbounded)",
+    )
+    stream_p.add_argument(
+        "--decision-log",
+        help="JSON-lines file for durable oracle verdicts (default: "
+        "<registry>/<name>/decisions.jsonl when --registry is given)",
+    )
+    stream_p.add_argument(
+        "--no-decision-log",
+        action="store_true",
+        help="keep oracle verdicts in memory only (a restarted stream "
+        "will re-ask)",
+    )
+    stream_p.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore existing registry state instead of resuming from "
+        "the latest published model; an existing decision log is "
+        "archived (*.pre-fresh-N), not replayed",
+    )
+    stream_p.add_argument(
         "--drift-threshold",
         type=float,
         default=None,
@@ -488,15 +523,28 @@ def cmd_stream(args) -> int:
         model_name=args.name or args.dataset.lower(),
         use_engine=not args.no_engine,
         monitor=monitor,
+        shards=args.shards,
+        block_retention=args.block_retention,
+        decision_log=args.decision_log,
+        persist_decisions=not args.no_decision_log,
+        resume=not args.fresh,
     )
     print(
         f"streaming {stream.num_records} records in "
         f"{len(stream.batches)} batches ({dataset.name})"
+        + (f", {args.shards} learner shards" if args.shards > 1 else "")
     )
     start = time.perf_counter()
-    for batch in stream.batches:
-        report = consolidator.process_batch(batch)
-        print(f"{report.describe()}  [{report.seconds:.3f}s]")
+    with consolidator:
+        for batch in stream.batches:
+            report = consolidator.process_batch(batch)
+            print(f"{report.describe()}  [{report.seconds:.3f}s]")
+        if consolidator.resumed_from is not None:
+            print(
+                f"resumed from model v{consolidator.resumed_from} "
+                f"(+{consolidator.standardizer.decisions.replayed} "
+                "replayed verdicts)"
+            )
     elapsed = time.perf_counter() - start
     print(
         f"stream done in {elapsed:.2f}s: "
@@ -506,6 +554,8 @@ def cmd_stream(args) -> int:
     )
     if args.registry:
         print(f"model versions published under: {args.registry}")
+        if consolidator.decision_log is not None:
+            print(f"decision log: {consolidator.decision_log}")
     return 0
 
 

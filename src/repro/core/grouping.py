@@ -183,33 +183,40 @@ def _group_structure_bucket(
     # rather than each graph's own tie-broken pivot keeps equal-count
     # ties from splitting a group (DESIGN.md §5.3) and matches the
     # incremental algorithm's output (Theorem 6.4).
+    def pivot_key(candidate: PivotCandidate) -> Tuple:
+        key = tuple(f.canonical() for f in candidate.path)
+        if all(isinstance(f, ConstantStr) for f in candidate.path):
+            # Input-independent paths only ever explain their own graph
+            # (the search already restricts their members; DESIGN.md
+            # §5): keep their keys distinct per graph so the straggler
+            # pass below cannot re-merge what that rule kept apart —
+            # the incremental grouper emits them as singletons too.
+            key = key + (candidate.members,)
+        return key
+
     distinct: Dict[Tuple, PivotCandidate] = {}
     for candidate in pivots.values():
-        key = tuple(f.canonical() for f in candidate.path)
-        distinct.setdefault(key, candidate)
+        distinct.setdefault(pivot_key(candidate), candidate)
     skey = structure_key(replacements[0])
     assigned: Set[int] = set()
     grouped_gids: Dict[Tuple, List[int]] = {}
     order = sorted(distinct.values(), key=lambda c: (-c.count, c.key))
     for candidate in order:
-        key = tuple(f.canonical() for f in candidate.path)
         gids = [g for g in candidate.members if g not in assigned]
         if not gids:
             continue
         assigned.update(gids)
-        grouped_gids.setdefault(key, []).extend(gids)
+        grouped_gids.setdefault(pivot_key(candidate), []).extend(gids)
     # Under sampling, a graph's membership may be invisible to the
     # representative candidate of its pivot key (member lists were
     # computed against different samples); attach stragglers to their
     # own pivot's group so the result stays a partition.
     for gid, candidate in sorted(pivots.items()):
         if gid not in assigned:
-            key = tuple(f.canonical() for f in candidate.path)
-            grouped_gids.setdefault(key, []).append(gid)
+            grouped_gids.setdefault(pivot_key(candidate), []).append(gid)
             assigned.add(gid)
     for candidate in order:
-        key = tuple(f.canonical() for f in candidate.path)
-        gids = grouped_gids.pop(key, None)
+        gids = grouped_gids.pop(pivot_key(candidate), None)
         if not gids:
             continue
         members = tuple(by_gid[g] for g in sorted(gids))

@@ -189,20 +189,39 @@ class _Source:
         return group
 
     def remove_replacements(self, dead: Set[Replacement]) -> None:
-        """Drop candidates invalidated by applied replacements (§7.1)."""
+        """Drop candidates invalidated by applied replacements (§7.1).
+
+        A touched *preprocessed* source resets to an unpreprocessed
+        survivor list (original bucket order) instead of patching its
+        index in place.  Patching would leave the posting lists, upper
+        bounds, and cached witnesses reflecting graphs built *before*
+        the removal — and since equal-share pivot paths tie-break on
+        search visit order, the emitted **program** would then depend
+        on whether the source happened to be preprocessed before or
+        after the removal.  That timing is exactly what differs between
+        the lazy single-process grouper and the sharded feed (which
+        refines every shard's local winner eagerly), so the reset is
+        what makes ``--shards N`` publish byte-identical models.
+        Untouched sources keep their state: their (deterministic)
+        build-plus-pop history is the same on every path.
+        """
         if self.index is None:
             self.replacements = [r for r in self.replacements if r not in dead]
             return
-        self.graphless = [r for r in self.graphless if r not in dead]
-        doomed = {g for g in self.live if self.by_gid[g] in dead}
-        if doomed:
-            self.live.difference_update(doomed)
-            self.bounds.refresh(self.live)
-        if self.cached is not None and any(
-            r in dead for r in self.cached.replacements
-        ):
-            self.cached = None
-            self._cached_members = ()
+        alive = {self.by_gid[g] for g in self.live} | set(self.graphless)
+        if not (alive & dead):
+            return
+        self.replacements = [
+            r for r in self.replacements if r in alive and r not in dead
+        ]
+        self.index = None
+        self.by_gid = {}
+        self.graphless = []
+        self.live = set()
+        self.up = {}
+        self.bounds = GlobalBounds()
+        self.cached = None
+        self._cached_members = ()
 
 
 class IncrementalGrouper:
@@ -219,6 +238,7 @@ class IncrementalGrouper:
         self.stats = SearchStats()
         unique = list(dict.fromkeys(replacements))
         self._sources: List[_Source] = []
+        self._best: Optional[_Source] = None
         if config.use_structure:
             buckets = partition_by_structure(unique)
             for order, skey in enumerate(sorted(buckets)):
@@ -237,8 +257,19 @@ class IncrementalGrouper:
                 _Source(0, None, unique, vocab, config, self.stats)
             )
 
-    def next_group(self) -> Optional[Group]:
-        """The next largest group across all sources, or ``None``.
+    def peek_best(self) -> Optional[Tuple[Group, Optional[StructureKey]]]:
+        """Refine sources until the next-largest group is dominant.
+
+        Returns ``(group, source structure key)`` *without* emitting the
+        group — the caller decides whether to :meth:`pop_best` it.  This
+        is the primitive the sharded streaming learner merges on: each
+        shard peeks its local winner, and the parent pops only the
+        global winner, so losing shards keep their (still cached, still
+        valid) candidates for the next round.  The returned structure
+        key is the winning *source's* key — the global tie-break: source
+        order is the rank of the key in the sorted key universe, so
+        comparing ``(size desc, key asc)`` across shards reproduces the
+        single-process emission order exactly.
 
         Classic lazy top-k: repeatedly tighten the max-bound source's
         candidate until no rival source's upper bound exceeds it.
@@ -260,9 +291,29 @@ class IncrementalGrouper:
                 s for s in candidates if s is not best and s.bound() > size
             ]
             if not rivals:
-                return best.pop()
+                self._best = best
+                return best.cached, best.skey
             rivals.sort(key=lambda s: (-s.bound(), s.order))
             rivals[0].peek()
+
+    def pop_best(self) -> Group:
+        """Emit the group the last :meth:`peek_best` returned, retiring
+        its members from its source.  Requires a preceding successful
+        ``peek_best`` with no intervening :meth:`remove_replacements`
+        that invalidated it; re-peek after removals."""
+        best = self._best
+        assert best is not None and best.cached is not None, (
+            "pop_best() requires a fresh successful peek_best()"
+        )
+        self._best = None
+        return best.pop()
+
+    def next_group(self) -> Optional[Group]:
+        """The next largest group across all sources, or ``None``."""
+        peeked = self.peek_best()
+        if peeked is None:
+            return None
+        return self.pop_best()
 
     def groups(self, limit: Optional[int] = None) -> Iterable[Group]:
         """Iterate groups largest-first until exhaustion or ``limit``."""
@@ -279,5 +330,6 @@ class IncrementalGrouper:
         dead_set = set(dead)
         if not dead_set:
             return
+        self._best = None
         for source in self._sources:
             source.remove_replacements(dead_set)

@@ -7,14 +7,165 @@ cheap key and only compares within buckets.  Provided strategies:
 * prefix blocking — block by the first ``k`` characters;
 * key blocking — exact match on a key attribute (ISBN / ISSN / EIN,
   how the paper's datasets were clustered).
+
+For streaming workloads the raw ``key -> members`` dict grows without
+bound and cannot be split across worker processes; :class:`BlockIndex`
+wraps the same mapping in a structure that is **partitioned by stable
+block-key hash** (each key lives in exactly one of N shards, identical
+across runs and processes) and **bounded** (per-key member lists rotate
+out their oldest entries past a retention limit, so similarity-mode
+blocks stop growing with stream length).
 """
 
 from __future__ import annotations
 
+import zlib
 from collections import defaultdict
-from typing import Callable, Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 BlockKeyFn = Callable[[str], Iterable[Hashable]]
+
+
+def stable_hash(key: Hashable) -> int:
+    """A process-stable hash for shard routing.
+
+    Python's built-in ``hash`` on strings is salted per process
+    (``PYTHONHASHSEED``), so it cannot route work to shard processes
+    deterministically.  CRC-32 over the key's canonical ``repr`` is
+    stable across runs, processes, and platforms — the property the
+    ``--shards 1`` vs ``--shards N`` byte-identical-model guarantee
+    rests on.
+    """
+    if isinstance(key, str):
+        payload = key
+    else:
+        payload = repr(key)
+    return zlib.crc32(payload.encode("utf-8"))
+
+
+class BlockIndex:
+    """A shard-partitioned ``block key -> member`` index with rotation.
+
+    * **Partitioned** — keys are routed to one of ``shards`` partitions
+      by :func:`stable_hash`; a partition is the unit of parallel work
+      (all members of a block, hence all pairs a block can ever
+      generate, live in exactly one partition).
+    * **Bounded** — with ``retention`` set, each block keeps only its
+      newest ``retention`` members: appending past the limit rotates
+      the oldest member out (and reports it, so owners can drop
+      per-member state once a member leaves its last block).  Old
+      records typically already merged into their clusters through the
+      union-find, so dropping them from the *comparison frontier* keeps
+      recall while capping per-arrival cost.
+    """
+
+    def __init__(
+        self, shards: int = 1, retention: Optional[int] = None
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if retention is not None and retention < 1:
+            raise ValueError("retention must be >= 1 (or None)")
+        self.shards = shards
+        self.retention = retention
+        self._partitions: List[Dict[Hashable, List[str]]] = [
+            {} for _ in range(shards)
+        ]
+        #: number of block lists each member currently appears in
+        self._refs: Dict[str, int] = {}
+        self.rotated_out = 0
+
+    # -- routing -----------------------------------------------------------
+
+    def shard_of(self, key: Hashable) -> int:
+        """The partition owning ``key`` (stable across processes)."""
+        return stable_hash(key) % self.shards
+
+    # -- writing -----------------------------------------------------------
+
+    def add(self, key: Hashable, member: str) -> List[str]:
+        """Append ``member`` to ``key``'s block.
+
+        Returns the members this append *evicted* — non-empty only with
+        ``retention`` set — whose eviction dropped their last block
+        reference (i.e. they left the comparison frontier entirely).
+        """
+        block = self._partitions[self.shard_of(key)].setdefault(key, [])
+        block.append(member)
+        self._refs[member] = self._refs.get(member, 0) + 1
+        gone: List[str] = []
+        if self.retention is not None and len(block) > self.retention:
+            evicted = block[: len(block) - self.retention]
+            del block[: len(block) - self.retention]
+            self._evict(evicted, gone)
+        return gone
+
+    def compact(self, retention: Optional[int] = None) -> List[str]:
+        """Trim every block to its newest ``retention`` members now.
+
+        One-shot form of the rotation that :meth:`add` performs lazily —
+        useful when retention is introduced (or tightened) on an index
+        that already grew.  Returns members that left their last block.
+        """
+        retention = retention if retention is not None else self.retention
+        if retention is None:
+            return []
+        gone: List[str] = []
+        for partition in self._partitions:
+            for key in list(partition):
+                block = partition[key]
+                if len(block) <= retention:
+                    continue
+                evicted = block[: len(block) - retention]
+                partition[key] = block[len(block) - retention :]
+                self._evict(evicted, gone)
+        return gone
+
+    def _evict(self, evicted: List[str], gone: List[str]) -> None:
+        """Account members rotated out of one block; members whose last
+        block reference dropped are appended to ``gone``."""
+        for old in evicted:
+            self.rotated_out += 1
+            remaining = self._refs.get(old, 0) - 1
+            if remaining <= 0:
+                self._refs.pop(old, None)
+                gone.append(old)
+            else:
+                self._refs[old] = remaining
+
+    # -- reading -----------------------------------------------------------
+
+    def members(self, key: Hashable) -> Sequence[str]:
+        """Current members of ``key``'s block (append order)."""
+        return self._partitions[self.shard_of(key)].get(key, ())
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._refs
+
+    @property
+    def num_keys(self) -> int:
+        return sum(len(p) for p in self._partitions)
+
+    @property
+    def num_entries(self) -> int:
+        return sum(self._refs.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockIndex(shards={self.shards}, "
+            f"retention={self.retention}, keys={self.num_keys}, "
+            f"entries={self.num_entries})"
+        )
 
 
 def token_keys(value: str) -> Iterable[Hashable]:

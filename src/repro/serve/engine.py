@@ -59,12 +59,14 @@ class LRUCache:
         self._entries: "OrderedDict[str, str]" = OrderedDict()
 
     def get(self, key: str) -> Optional[str]:
+        """Cached value for ``key`` (refreshing its recency), or None."""
         found = self._entries.get(key)
         if found is not None:
             self._entries.move_to_end(key)
         return found
 
     def put(self, key: str, value: str) -> None:
+        """Insert ``key -> value``, evicting the LRU entry when full."""
         if self.capacity == 0:
             return
         self._entries[key] = value
@@ -90,6 +92,7 @@ class ApplyStats:
     sharded_values: int = 0
 
     def as_dict(self) -> Dict[str, int]:
+        """The counters as a JSON-safe dict (``repro apply --stats``)."""
         return {
             "rows": self.rows,
             "unique_values": self.unique_values,

@@ -59,9 +59,11 @@ class ConfirmedMember:
 
     @property
     def replacement(self) -> Replacement:
+        """The member as a core :class:`Replacement` (lhs -> rhs)."""
         return Replacement(self.lhs, self.rhs)
 
     def to_dict(self) -> Dict:
+        """JSON-safe form (inverse of :meth:`from_dict`)."""
         return {
             "lhs": self.lhs,
             "rhs": self.rhs,
@@ -72,6 +74,7 @@ class ConfirmedMember:
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "ConfirmedMember":
+        """Rebuild a member from its :meth:`to_dict` payload."""
         return cls(
             str(payload["lhs"]),
             str(payload["rhs"]),
@@ -97,9 +100,11 @@ class ConfirmedGroup:
 
     @property
     def size(self) -> int:
+        """Member count (the oracle judged the whole group at once)."""
         return len(self.members)
 
     def to_dict(self) -> Dict:
+        """JSON-safe form (inverse of :meth:`from_dict`)."""
         return {
             "program": self.program.to_dict(),
             "direction": self.direction,
@@ -113,6 +118,7 @@ class ConfirmedGroup:
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "ConfirmedGroup":
+        """Rebuild a group from its :meth:`to_dict` payload (validated)."""
         direction = payload.get("direction", FORWARD)
         if direction not in (FORWARD, REVERSE):
             raise ValueError(f"bad group direction: {direction!r}")
@@ -151,17 +157,21 @@ class TransformationModel:
 
     @property
     def groups_confirmed(self) -> int:
+        """Confirmed groups — also the oracle questions this model cost."""
         return len(self.groups)
 
     @property
     def replacements_confirmed(self) -> int:
+        """Total direction-resolved member replacements across groups."""
         return sum(g.size for g in self.groups)
 
     @property
     def cells_changed(self) -> int:
+        """Cells the learner rewrote while confirming these groups."""
         return sum(m.cells_changed for g in self.groups for m in g.members)
 
     def describe(self) -> str:
+        """One-line human summary (used by the CLI and the registry catalog)."""
         return (
             f"model {self.name!r} (column {self.column!r}): "
             f"{self.groups_confirmed} groups, "
@@ -172,6 +182,7 @@ class TransformationModel:
     # -- (de)serialization -------------------------------------------------
 
     def to_dict(self) -> Dict:
+        """The full versioned JSON payload :meth:`save` writes."""
         return {
             "kind": MODEL_KIND,
             "schema_version": self.schema_version,
@@ -186,6 +197,7 @@ class TransformationModel:
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "TransformationModel":
+        """Rebuild a model, rejecting foreign kinds and newer schemas."""
         kind = payload.get("kind")
         if kind != MODEL_KIND:
             raise ValueError(
@@ -242,6 +254,7 @@ class TransformationModel:
 
     @classmethod
     def load(cls, path: PathLike) -> "TransformationModel":
+        """Read a model saved by :meth:`save` (schema-checked)."""
         with open(path, encoding="utf-8") as handle:
             return cls.from_dict(json.load(handle))
 

@@ -23,7 +23,14 @@ re-learn:
 * :mod:`repro.stream.consolidator` — the orchestrator gluing the above
   into one ``process_batch`` call;
 * :mod:`repro.stream.batches` — batch sources (in-memory iterators and
-  JSON-lines files).
+  JSON-lines files);
+* :mod:`repro.stream.shards` — the sharded learner: blocking index,
+  candidate alignment, and the grouping feed partitioned across
+  persistent worker processes, merged deterministically (byte-identical
+  models, zero extra oracle questions);
+* :mod:`repro.stream.decisions` — the durable JSON-lines decision
+  cache: a restarted stream keeps the zero-question guarantee for
+  already-judged variation.
 """
 
 from .batches import (
@@ -37,19 +44,25 @@ from .consolidator import (
     StreamConsolidator,
     ground_truth_oracle_factory,
 )
+from .decisions import DecisionCache
 from .monitor import DriftMonitor, DriftReport
 from .publisher import ModelPublisher
 from .resolver import BatchResolution, IncrementalResolver
+from .shards import ShardPool, ShardedGroupFeed, ShardStandardizer
 from .standardizer import IncrementalStandardizer
 
 __all__ = [
     "BatchReport",
     "BatchResolution",
+    "DecisionCache",
     "DriftMonitor",
     "DriftReport",
     "IncrementalResolver",
     "IncrementalStandardizer",
     "ModelPublisher",
+    "ShardPool",
+    "ShardStandardizer",
+    "ShardedGroupFeed",
     "StreamConsolidator",
     "batches_from_records",
     "ground_truth_oracle_factory",

@@ -28,29 +28,60 @@ The result is the property the benchmark asserts: per-batch cost scales
 with the batch and the *surviving* candidate/decision state (live keys
 the oracle has judged or not yet seen), never with a full re-cluster /
 re-generate / re-review of everything seen so far.
+
+Two scale/durability levers sit on top (``--shards``, the decision
+log):
+
+* **sharding** — with ``shards=N`` the consolidator owns a
+  :class:`~repro.stream.shards.ShardPool` of N persistent worker
+  processes; similarity matching, candidate-pair alignment, and —
+  dominant by far — the grouping feed's graph building and pivot
+  searching fan out across them.  Every parallel stage is a pure
+  computation merged in canonical order by this (single) parent
+  process, so a sharded stream publishes **byte-identical models** and
+  asks **exactly the same oracle questions** as a single-process one;
+* **durability** — oracle verdicts append to a JSON-lines decision log
+  next to the published model (see
+  :class:`~repro.stream.decisions.DecisionCache`), and a consolidator
+  pointed at a registry that already holds its model *resumes*: the
+  engine warm-starts from the latest version, republished models
+  extend the old group sequence, and re-arriving variation is answered
+  from the replayed verdicts — a restarted stream asks zero repeat
+  questions.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..config import DEFAULT_CONFIG, Config
+from ..core.grouping import Group
 from ..core.terms import DEFAULT_VOCABULARY, TermVocabulary
 from ..data.table import CellRef, ClusterTable, Record
-from ..pipeline.oracle import GroundTruthOracle, Oracle
+from ..pipeline.oracle import REVERSE, Decision, GroundTruthOracle, Oracle
+from ..pipeline.standardize import (
+    AppliedReplacement,
+    StandardizationLog,
+    StepRecord,
+)
 from ..resolution.matcher import SimilarityFn, hybrid_similarity
 from ..serve.engine import ApplyEngine
 from ..serve.model import TransformationModel, build_model
-from ..serve.registry import ModelRegistry
+from ..serve.registry import ModelRegistry, slugify
+from .decisions import DecisionCache
 from .monitor import DriftMonitor
 from .publisher import ModelPublisher
 from .resolver import IncrementalResolver
+from .shards import ShardPool
 from .standardizer import IncrementalStandardizer
 
 #: Builds the reviewing oracle once the consolidator's state exists.
 OracleFactory = Callable[["StreamConsolidator"], Oracle]
+
+PathLike = Union[str, Path]
 
 
 @dataclass
@@ -134,8 +165,98 @@ def ground_truth_oracle_factory(
     return factory
 
 
+def _log_from_model(model: TransformationModel) -> StandardizationLog:
+    """Reconstruct a cumulative log from a published model (resume).
+
+    Published models are append-only: each version's group sequence
+    extends the last.  Rehydrating the confirmed groups as approved
+    steps lets a restarted consolidator's next publish *extend* the
+    prior sequence — consumers keep their incremental
+    :meth:`~repro.serve.engine.ApplyEngine.reload` path — instead of
+    starting a fresh, shorter model.  Rejected steps are not persisted
+    in the group sequence (only in provenance), so they are not
+    rehydrated; that only means a resumed stream's provenance decision
+    list restarts, never that a question is re-asked (the decision log
+    covers rejections).
+    """
+    log = StandardizationLog()
+    for confirmed in model.groups:
+        decision = Decision(True, confirmed.direction)
+        members = tuple(
+            member.replacement.reversed()
+            if confirmed.direction == REVERSE
+            else member.replacement
+            for member in confirmed.members
+        )
+        applied = [
+            AppliedReplacement(
+                member.replacement,
+                member.whole,
+                member.token,
+                member.cells_changed,
+            )
+            for member in confirmed.members
+        ]
+        log.steps.append(
+            StepRecord(
+                len(log.steps),
+                Group(confirmed.program, members, confirmed.structure),
+                decision,
+                sum(member.cells_changed for member in confirmed.members),
+                applied,
+            )
+        )
+    return log
+
+
 class StreamConsolidator:
-    """Maintains consolidation state over a stream of record batches."""
+    """Maintains consolidation state over a stream of record batches.
+
+    Parameters
+    ----------
+    column:
+        The column being standardized.
+    oracle_factory:
+        Builds the reviewing oracle once the consolidator's internal
+        state exists (the oracle usually needs the store for
+        provenance-aware judging).
+    key_attribute / attribute, similarity_threshold, similarity:
+        Resolution mode — exactly one of ``key_attribute`` (exact-key
+        clustering) or ``attribute`` (blocked similarity matching).
+    columns:
+        Attribute universe of the cumulative table; inferred from the
+        first batch when omitted.
+    budget_per_batch:
+        Oracle questions allowed per batch (novel groups only).
+    registry / model_name:
+        Publish model versions into this
+        :class:`~repro.serve.registry.ModelRegistry` under this name.
+        With a registry the decision log defaults to
+        ``<registry>/<name>/decisions.jsonl`` and an existing model
+        resumes (see ``resume``).
+    use_engine / engine_use_programs:
+        Serve fast path: standardize arrivals with the live compiled
+        engine before resolution.
+    monitor / relearn_budget:
+        Optional :class:`~repro.stream.monitor.DriftMonitor` and the
+        extra budget a triggered relearn may spend.
+    shards:
+        Partition count for the learner: blocking index, candidate
+        alignment, and the grouping feed shard across this many
+        persistent worker processes (``shard_processes=False`` keeps
+        the same partitioned code path in-process).  Sharding never
+        changes published bytes or question counts.
+    decision_log:
+        Verdict-log path override; ``False``-y ``persist_decisions``
+        disables persistence entirely.
+    block_retention:
+        Similarity mode: per-block member cap (rotation) so block
+        lists stop growing with stream length.
+    resume:
+        When the registry already holds ``model_name``, warm-start
+        from its latest version (engine + cumulative log + publisher
+        version) instead of starting over.
+    """
 
     def __init__(
         self,
@@ -155,7 +276,15 @@ class StreamConsolidator:
         engine_use_programs: bool = True,
         monitor: Optional[DriftMonitor] = None,
         relearn_budget: Optional[int] = None,
+        shards: int = 1,
+        shard_processes: bool = True,
+        decision_log: Optional[PathLike] = None,
+        persist_decisions: bool = True,
+        block_retention: Optional[int] = None,
+        resume: bool = True,
     ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.column = column
         self.oracle_factory = oracle_factory
         self.budget_per_batch = budget_per_batch
@@ -170,50 +299,76 @@ class StreamConsolidator:
             if relearn_budget is not None
             else 4 * budget_per_batch
         )
+        self.shards = shards
+        self.shard_processes = shard_processes
+        self.block_retention = block_retention
+        self.resume = resume
         self._columns = tuple(columns) if columns is not None else None
         self._key_attribute = key_attribute
         self._attribute = attribute
         self._similarity_threshold = similarity_threshold
         self._similarity = similarity
 
+        self.registry = registry
+        if persist_decisions and decision_log is None and registry is not None:
+            decision_log = (
+                registry.root / slugify(self.model_name) / "decisions.jsonl"
+            )
+        self.decision_log = (
+            Path(decision_log)
+            if (persist_decisions and decision_log is not None)
+            else None
+        )
+
         self.publisher = ModelPublisher(registry, self.model_name)
         self.engine: Optional[ApplyEngine] = None
         self.resolver: Optional[IncrementalResolver] = None
         self.standardizer: Optional[IncrementalStandardizer] = None
         self.oracle: Optional[Oracle] = None
+        self.pool: Optional[ShardPool] = None
+        self.resumed_from: Optional[int] = None
         self.reports: List[BatchReport] = []
 
     # -- state accessors ---------------------------------------------------
 
     @property
     def table(self) -> ClusterTable:
+        """The cumulative cluster table (after >= 1 batch)."""
         self._require_ready()
         return self.resolver.table
 
     @property
     def store(self):
+        """The single shared replacement store (after >= 1 batch)."""
         self._require_ready()
         return self.standardizer.store
 
     @property
     def model_version(self) -> int:
+        """Version of the most recently published model (0 = none)."""
         return self.publisher.version
 
     def build_model(self) -> TransformationModel:
         """The cumulative model: everything confirmed so far."""
         self._require_ready()
+        # Deliberately no shard count here: the execution topology is
+        # not part of the learned knowledge, and the byte-identical
+        # guarantee across --shards values depends on its absence.
+        provenance = {
+            "source": "StreamConsolidator",
+            "batches": len(self.reports),
+            "records": self.resolver.num_records,
+            "questions_asked": self.standardizer.questions_asked,
+        }
+        if self.resumed_from is not None:
+            provenance["resumed_from_version"] = self.resumed_from
         return build_model(
             self.standardizer.log,
             self.column,
             name=self.model_name,
             config=self.config,
             vocabulary=self.vocabulary,
-            provenance={
-                "source": "StreamConsolidator",
-                "batches": len(self.reports),
-                "records": self.resolver.num_records,
-                "questions_asked": self.standardizer.questions_asked,
-            },
+            provenance=provenance,
         )
 
     def _require_ready(self) -> None:
@@ -239,11 +394,81 @@ class StreamConsolidator:
             attribute=self._attribute,
             threshold=self._similarity_threshold,
             similarity=self._similarity,
+            shards=self.shards,
+            block_retention=self.block_retention,
         )
+        if not self.resume:
+            self._archive_decision_log()
         self.standardizer = IncrementalStandardizer(
-            self.resolver.table, self.column, self.config, self.vocabulary
+            self.resolver.table,
+            self.column,
+            self.config,
+            self.vocabulary,
+            decisions=DecisionCache(self.decision_log),
         )
+        if self.shards > 1:
+            self.pool = ShardPool(
+                self.shards,
+                self.config,
+                self.vocabulary,
+                similarity=(
+                    self._similarity if self._attribute is not None else None
+                ),
+                processes=self.shard_processes,
+            )
+        self._maybe_resume()
         self.oracle = self.oracle_factory(self)
+
+    def _archive_decision_log(self) -> None:
+        """Move an existing verdict log aside for a ``resume=False`` run.
+
+        A fresh run must neither *replay* the old verdicts (it was
+        asked to start over) nor *append* to the same file (first-wins
+        replay would then favor the stale verdicts over the fresh run's
+        on every later resume).  The old log is renamed — never
+        deleted: it is paid-for human review history — to the first
+        free ``<name>.pre-fresh-<k>`` slot.
+        """
+        if self.decision_log is None or not self.decision_log.exists():
+            return
+        k = 1
+        while True:
+            backup = self.decision_log.with_name(
+                f"{self.decision_log.name}.pre-fresh-{k}"
+            )
+            if not backup.exists():
+                break
+            k += 1
+        self.decision_log.rename(backup)
+
+    def _maybe_resume(self) -> None:
+        """Warm-start from the registry's latest published model.
+
+        Resuming rehydrates the prior model's group sequence so the
+        next publish *extends* it — which is only sound when the prior
+        verdicts are in the decision cache: without them the re-judged
+        variation appends to the rehydrated sequence and every group
+        comes out twice.  So a consolidator with no durable verdicts
+        (``--no-decision-log``, or a deleted log next to a non-empty
+        model) starts over instead — new versions still publish under
+        the next registry number, nothing is overwritten.
+        """
+        if not self.resume or self.registry is None:
+            return
+        versions = self.registry.versions(self.model_name)
+        if not versions:
+            return
+        model = self.registry.load(self.model_name)
+        if model.groups and len(self.standardizer.decisions) == 0:
+            return
+        self.resumed_from = versions[-1]
+        self.publisher.version = versions[-1]
+        self.standardizer.log = _log_from_model(model)
+        if self.use_engine and self.engine is None:
+            self.engine = ApplyEngine(
+                model, use_programs=self.engine_use_programs
+            )
+            self.publisher.subscribe(self.engine)
 
     # -- the lifecycle -----------------------------------------------------
 
@@ -275,7 +500,7 @@ class StreamConsolidator:
                     report.explained_cells += 1
 
         # 2. incremental resolution (new-record pairs only).
-        resolution = self.resolver.add_batch(records)
+        resolution = self.resolver.add_batch(records, pool=self.pool)
         report.merges = resolution.merges
         report.new_clusters = resolution.new_clusters
         report.pairs_compared = resolution.pairs_compared
@@ -302,7 +527,9 @@ class StreamConsolidator:
         for rid, _, _ in resolution.appended:
             cluster, row = self.resolver.position(rid)
             new_cells.append(CellRef(cluster, row, self.column))
-        _indexed, unexplained = self.standardizer.ingest(new_cells)
+        _indexed, unexplained = self.standardizer.ingest(
+            new_cells, pool=self.pool
+        )
         report.unmatched_cells = unexplained
 
         # 4. decision-cache replay: judged variation is free.
@@ -320,7 +547,10 @@ class StreamConsolidator:
 
         # 5. budgeted learning over the novel remainder.
         steps = self.standardizer.learn(
-            self.oracle, self.budget_per_batch, novel=undecided
+            self.oracle,
+            self.budget_per_batch,
+            novel=undecided,
+            pool=self.pool,
         )
 
         # 6. drift check: relearn deeper when the stream stops being
@@ -331,7 +561,7 @@ class StreamConsolidator:
             if drift.drifted:
                 report.drift_triggered = True
                 steps = steps + self.standardizer.learn(
-                    self.oracle, self.relearn_budget
+                    self.oracle, self.relearn_budget, pool=self.pool
                 )
                 self.monitor.reset()
 
@@ -362,10 +592,25 @@ class StreamConsolidator:
         """Process every batch of an iterable; returns the reports."""
         return [self.process_batch(batch) for batch in batches]
 
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the shard pool's worker processes (idempotent)."""
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
+
+    def __enter__(self) -> "StreamConsolidator":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
     # -- roll-ups ----------------------------------------------------------
 
     @property
     def questions_asked(self) -> int:
+        """Total oracle questions spent across all batches."""
         return sum(r.questions_asked for r in self.reports)
 
     @property

@@ -66,14 +66,17 @@ class DriftMonitor:
 
     @property
     def rows(self) -> int:
+        """Cells observed inside the current window."""
         return sum(rows for rows, _ in self._batches)
 
     @property
     def misses(self) -> int:
+        """Cells the model failed to explain inside the window."""
         return sum(misses for _, misses in self._batches)
 
     @property
     def miss_rate(self) -> float:
+        """Windowed unexplained fraction (0.0 on an empty window)."""
         rows = self.rows
         return self.misses / rows if rows else 0.0
 

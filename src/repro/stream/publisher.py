@@ -43,6 +43,7 @@ class ModelPublisher:
             self._subscribers.append(engine)
 
     def unsubscribe(self, engine: ApplyEngine) -> None:
+        """Stop reloading this engine on publish (no-op if absent)."""
         if engine in self._subscribers:
             self._subscribers.remove(engine)
 

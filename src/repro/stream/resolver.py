@@ -27,15 +27,37 @@ Two matching modes mirror the paper's setup:
   equality (ISBN / ISSN / EIN style) — merges never happen;
 * **similarity mode** (``attribute`` + threshold): token blocking and a
   similarity function, transitively closed through the union-find.
+
+Similarity mode scales out two ways.  The block index is a
+:class:`~repro.resolution.blocking.BlockIndex`: **partitioned** by
+stable block-key hash into ``shards`` slices — a block (and so every
+pair it can generate) lives wholly in one slice, which is what lets a
+batch's comparisons fan out across the shard workers of a
+:class:`~repro.stream.shards.ShardPool` — and optionally **bounded**
+(``block_retention``), rotating the oldest member out of a full block
+so per-arrival cost stops growing with stream length.  Parallel
+matching changes *which process* evaluates a comparison, never which
+comparisons are evaluated: candidate lists are assembled (and ordered,
+and deduplicated) by the parent exactly as the inline path would, so
+the resolved clusters are identical at any shard count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..data.table import CellRef, ClusterTable, Record
-from ..resolution.blocking import BlockKeyFn, token_keys
+from ..resolution.blocking import BlockIndex, BlockKeyFn, token_keys
 from ..resolution.matcher import SimilarityFn, hybrid_similarity
 from ..resolution.unionfind import UnionFind
 
@@ -59,7 +81,26 @@ class BatchResolution:
 
 
 class IncrementalResolver:
-    """Maintains clusters of a growing record collection batch by batch."""
+    """Maintains clusters of a growing record collection batch by batch.
+
+    Parameters
+    ----------
+    columns:
+        Attribute names of the cumulative table.
+    key_attribute / attribute:
+        Exactly one must be given: ``key_attribute`` selects exact-key
+        clustering, ``attribute`` selects blocked similarity matching.
+    threshold, similarity, block_keys, max_block_size:
+        Similarity-mode matching knobs (ignored in key mode).
+    shards:
+        Number of hash partitions of the blocking index; aligns with
+        the consolidator's ``--shards`` so per-partition match work can
+        be dispatched to the matching shard worker.
+    block_retention:
+        With a value, each block keeps only its newest ``retention``
+        members (rotation); ``None`` keeps the historical unbounded
+        behaviour.
+    """
 
     def __init__(
         self,
@@ -70,6 +111,8 @@ class IncrementalResolver:
         similarity: SimilarityFn = hybrid_similarity,
         block_keys: BlockKeyFn = token_keys,
         max_block_size: int = 50,
+        shards: int = 1,
+        block_retention: Optional[int] = None,
     ) -> None:
         if (key_attribute is None) == (attribute is None):
             raise ValueError(
@@ -87,8 +130,8 @@ class IncrementalResolver:
         self.uf = UnionFind()
         self._position: Dict[str, Position] = {}
         self._rid_at: Dict[Position, str] = {}
-        #: similarity mode: block key -> rids (append-only)
-        self._blocks: Dict[Hashable, List[str]] = {}
+        #: similarity mode: hash-partitioned block key -> rids
+        self._blocks = BlockIndex(shards, block_retention)
         #: key mode: key value -> cluster slot
         self._key_slot: Dict[str, int] = {}
         self._values: Dict[str, str] = {}
@@ -96,12 +139,15 @@ class IncrementalResolver:
     # -- lookups -----------------------------------------------------------
 
     def position(self, rid: str) -> Position:
+        """Current ``(cluster slot, row)`` of a record."""
         return self._position[rid]
 
     def rid_at(self, cluster: int, row: int) -> Optional[str]:
+        """Record id at a table position, or ``None``."""
         return self._rid_at.get((cluster, row))
 
     def rid_of_cell(self, cell: CellRef) -> Optional[str]:
+        """Record id owning a cell, or ``None``."""
         return self._rid_at.get((cell.cluster, cell.row))
 
     @property
@@ -114,19 +160,37 @@ class IncrementalResolver:
 
     # -- ingestion ---------------------------------------------------------
 
-    def add_batch(self, records: Sequence[Record]) -> BatchResolution:
+    def add_batch(
+        self, records: Sequence[Record], pool=None
+    ) -> BatchResolution:
         """Fold one batch of records into the cluster state.
 
         Only pairs touching the batch's records are formed; earlier
         records of the same batch count as existing for later ones, so
-        intra-batch duplicates resolve too.
+        intra-batch duplicates resolve too.  With a
+        :class:`~repro.stream.shards.ShardPool` (similarity mode only)
+        the batch's comparisons are evaluated by the shard workers —
+        same candidates, same order, same clusters, less wall-clock.
         """
         result = BatchResolution()
+        matched_by_rid: Optional[Dict[str, List[str]]] = None
+        if pool is not None and self.attribute is not None and records:
+            matched_by_rid = self._match_batch(records, pool, result)
         for record in records:
-            self._add_record(record, result)
+            matched = (
+                matched_by_rid.get(record.rid)
+                if matched_by_rid is not None
+                else None
+            )
+            self._add_record(record, result, matched)
         return result
 
-    def _add_record(self, record: Record, result: BatchResolution) -> None:
+    def _add_record(
+        self,
+        record: Record,
+        result: BatchResolution,
+        matched: Optional[List[str]] = None,
+    ) -> None:
         rid = record.rid
         if rid in self._position:
             raise ValueError(f"duplicate record id in stream: {rid!r}")
@@ -134,7 +198,7 @@ class IncrementalResolver:
         if self.key_attribute is not None:
             slot = self._place_by_key(record, result)
         else:
-            slot = self._place_by_similarity(record, result)
+            slot = self._place_by_similarity(record, result, matched)
         row = len(self.table.clusters[slot].records)
         self.table.clusters[slot].records.append(record)
         self._position[rid] = (slot, row)
@@ -164,10 +228,15 @@ class IncrementalResolver:
     # -- similarity mode ---------------------------------------------------
 
     def _place_by_similarity(
-        self, record: Record, result: BatchResolution
+        self,
+        record: Record,
+        result: BatchResolution,
+        matched: Optional[List[str]] = None,
     ) -> int:
         value = record.values.get(self.attribute or "", "")
-        matched = self._match_existing(record.rid, value, result)
+        if matched is None:
+            matched = self._match_existing(value, result)
+        matched = [m for m in matched if m in self._position]
         slots = sorted({self._position[m][0] for m in matched})
         for m in matched:
             self.uf.union(record.rid, m)
@@ -181,30 +250,120 @@ class IncrementalResolver:
         self._index_blocks(record.rid, value)
         return slot
 
-    def _match_existing(
-        self, rid: str, value: str, result: BatchResolution
-    ) -> List[str]:
-        """Existing rids whose value matches the new one (blocked)."""
+    def _candidates(
+        self,
+        value: str,
+        blocks: Optional[Callable[[Hashable], Sequence[str]]] = None,
+    ) -> List[Tuple[str, int]]:
+        """Deduplicated comparison candidates for a new value.
+
+        Returns ``(rid, owning shard)`` pairs in block-visit order —
+        the exact comparison set the inline path evaluates, which is
+        why dispatching them to shard workers cannot change the
+        result.  ``blocks`` overrides where members are read from:
+        batch-parallel matching passes its simulated per-batch block
+        state (earlier batch records indexed, rotation applied) so the
+        candidate set mirrors the sequential interleave exactly.
+        """
+        members_of = blocks if blocks is not None else self._blocks.members
         seen: Set[str] = set()
-        matched: List[str] = []
+        candidates: List[Tuple[str, int]] = []
         for key in self.block_keys(value):
-            members = self._blocks.get(key, ())
+            members = members_of(key)
             if len(members) > self.max_block_size:
                 # Stop-word block: same guard as batch blocking.
                 continue
+            shard = self._blocks.shard_of(key)
             for other in members:
                 if other in seen:
                     continue
                 seen.add(other)
-                result.pairs_compared += 1
-                if self.similarity(value, self._values[other]) >= self.threshold:
-                    matched.append(other)
+                candidates.append((other, shard))
+        return candidates
+
+    def _match_existing(
+        self, value: str, result: BatchResolution
+    ) -> List[str]:
+        """Existing rids whose value matches the new one (blocked)."""
+        matched: List[str] = []
+        for other, _shard in self._candidates(value):
+            result.pairs_compared += 1
+            if self.similarity(value, self._values[other]) >= self.threshold:
+                matched.append(other)
         return matched
+
+    def _match_batch(
+        self, records: Sequence[Record], pool, result: BatchResolution
+    ) -> Dict[str, List[str]]:
+        """Evaluate one batch's comparisons on the shard workers.
+
+        The parent assembles every record's candidate list against a
+        *simulated* block state — pre-batch blocks plus the batch's own
+        appends with the same rotation :meth:`_index_blocks` will apply
+        — so later records see earlier ones (and rotation evictions)
+        exactly as the sequential interleave would.  Each comparison is
+        routed to the shard owning its contributing block key and the
+        matched lists reassembled in candidate order from the returned
+        flags.
+        """
+        simulated: Dict[Hashable, List[str]] = {}
+        retention = self._blocks.retention
+
+        def simulated_block(key: Hashable) -> List[str]:
+            block = simulated.get(key)
+            if block is None:
+                block = simulated[key] = list(self._blocks.members(key))
+            return block
+
+        batch_values: Dict[str, str] = {}
+        candidate_lists: List[Tuple[str, List[Tuple[str, int]]]] = []
+        tasks_by_shard: List[List] = [[] for _ in range(pool.shards)]
+        for task_id, record in enumerate(records):
+            value = record.values.get(self.attribute or "", "")
+            candidates = self._candidates(value, simulated_block)
+            candidate_lists.append((record.rid, candidates))
+            by_shard: Dict[int, List[str]] = {}
+            for other, shard in candidates:
+                other_value = self._values.get(
+                    other, batch_values.get(other, "")
+                )
+                by_shard.setdefault(shard, []).append(other_value)
+            for shard, values in by_shard.items():
+                tasks_by_shard[shard].append((task_id, value, values))
+            batch_values[record.rid] = value
+            for key in self.block_keys(value):
+                block = simulated_block(key)
+                block.append(record.rid)
+                if retention is not None and len(block) > retention:
+                    del block[: len(block) - retention]
+        flags_by_task = pool.match(self.threshold, tasks_by_shard)
+        matched_by_rid: Dict[str, List[str]] = {}
+        for task_id, (rid, candidates) in enumerate(candidate_lists):
+            result.pairs_compared += len(candidates)
+            flags = iter(flags_by_task.get(task_id, ()))
+            # Flags concatenate in ascending shard order (broadcast
+            # reply order); within a shard, in the order the
+            # candidates were bucketed.  Mirror both here.
+            by_shard: Dict[int, List[str]] = {}
+            for other, shard in candidates:
+                by_shard.setdefault(shard, []).append(other)
+            matched_set: Set[str] = set()
+            for shard in sorted(by_shard):
+                for other in by_shard[shard]:
+                    if next(flags, False):
+                        matched_set.add(other)
+            matched_by_rid[rid] = [
+                other for other, _ in candidates if other in matched_set
+            ]
+        return matched_by_rid
 
     def _index_blocks(self, rid: str, value: str) -> None:
         self._values[rid] = value
         for key in self.block_keys(value):
-            self._blocks.setdefault(key, []).append(rid)
+            for gone in self._blocks.add(key, rid):
+                # Rotated out of its last block: off the comparison
+                # frontier, so its value is no longer needed.
+                self._values.pop(gone, None)
 
     def _merge_slots(self, slots: List[int], result: BatchResolution) -> int:
         """Merge bridged clusters into the most populous slot.
@@ -230,3 +389,23 @@ class IncrementalResolver:
             cluster.records = []
             result.merges += 1
         return survivor
+
+    # -- maintenance -------------------------------------------------------
+
+    def compact_blocks(self, retention: Optional[int] = None) -> int:
+        """Trim every block to its newest ``retention`` members now.
+
+        Returns how many records left the comparison frontier entirely
+        (their values are released too).  Clusters are untouched — the
+        union-find already closed over everything the dropped members
+        matched.
+        """
+        gone = self._blocks.compact(retention)
+        for rid in gone:
+            self._values.pop(rid, None)
+        return len(gone)
+
+    @property
+    def blocks_rotated_out(self) -> int:
+        """Total block-membership evictions so far (observability)."""
+        return self._blocks.rotated_out

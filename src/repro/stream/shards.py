@@ -1,0 +1,502 @@
+"""Sharded execution of the streaming learner (``repro stream --shards``).
+
+The serve side has sharded for a while (`ApplyEngine.apply_values`
+fans unique values across a process pool); this module gives the
+*learner* the same treatment without giving up two properties the
+whole subsystem is built on:
+
+* **determinism** — the same batch sequence must publish byte-identical
+  models at any shard count, and
+* **oracle frugality** — sharding must not add a single question.
+
+Both hold because every parallelized stage is a pure computation whose
+results are merged in a canonical order by the single parent process:
+
+1. **candidate delta derivation** — token-level alignment of a value
+   pair (:func:`repro.candidates.store.derive_token_segments`) is a
+   pure function of the two strings; pairs fan out across shard
+   workers, the parent merges segments into the one
+   :class:`~repro.candidates.store.ReplacementStore` in inline order;
+2. **similarity matching** — a new record's blocked comparisons are a
+   pure function of the candidate values; the resolver partitions its
+   block index by stable block-key hash
+   (:class:`~repro.resolution.blocking.BlockIndex`) and each shard
+   compares the candidates of the keys it owns;
+3. **the grouping feed** — the expensive stage.  The incremental
+   grouper is a lazy top-k merge over independent per-structure-bucket
+   sources, so buckets are partitioned across shards by stable
+   structure-key hash; each shard refines only its *local* winner
+   (:meth:`~repro.core.incremental.IncrementalGrouper.peek_best`), all
+   shards refine concurrently, and the parent pops the global winner —
+   ``(size desc, structure key asc)``, exactly the single-process
+   emission order.  The oracle, the decision cache, the replacement
+   store, and publication stay in the parent; shard workers never see
+   a question.
+
+Worker processes are persistent for the consolidator's lifetime (state
+ships once, batches ship deltas), mirroring the long-lived shards of a
+production learner.  An in-process backend with the same message
+protocol backs ``shards=1``, pickling-hostile configurations, and the
+determinism tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from collections import Counter
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..candidates.store import TokenSegments, derive_token_segments
+from ..config import DEFAULT_CONFIG, Config
+from ..core.grouping import Group
+from ..core.incremental import IncrementalGrouper
+from ..core.replacement import Replacement
+from ..core.structure import StructureKey, structure_key
+from ..core.terms import DEFAULT_VOCABULARY, TermVocabulary
+from ..resolution.blocking import stable_hash
+from ..resolution.matcher import SimilarityFn
+
+#: Below this many alignment pairs / similarity comparisons a batch is
+#: handled inline: IPC would cost more than the work.
+MIN_PARALLEL_PAIRS = 64
+
+#: One similarity-match task: (task id, new value, candidate values).
+MatchTask = Tuple[int, str, List[str]]
+
+
+class ShardStandardizer:
+    """The shard-local half of the streaming learner.
+
+    One instance runs inside each shard (worker process or inline) and
+    owns the shard's partition of the grouping feed plus the stateless
+    pure kernels (pair alignment, similarity comparison).  It speaks a
+    small ``(op, payload) -> reply`` protocol so the process and inline
+    backends stay byte-for-byte equivalent:
+
+    ==========  ============================================  =========
+    op          payload                                       reply
+    ==========  ============================================  =========
+    ``round``   ``(replacements, counts)``                    ``True``
+    ``peek``    ``None``                                      ``None`` or ``(size, skey)``
+    ``pop``     ``None``                                      :class:`~repro.core.grouping.Group`
+    ``remove``  ``[Replacement, ...]``                        ``True``
+    ``derive``  ``[(va, vb), ...]``                           ``[TokenSegments, ...]``
+    ``match``   ``(threshold, [MatchTask, ...])``             ``[(task id, [bool, ...]), ...]``
+    ==========  ============================================  =========
+    """
+
+    def __init__(
+        self,
+        config: Config = DEFAULT_CONFIG,
+        vocabulary: TermVocabulary = DEFAULT_VOCABULARY,
+        similarity: Optional[SimilarityFn] = None,
+    ) -> None:
+        self.config = config
+        self.vocabulary = vocabulary
+        self.similarity = similarity
+        self.grouper: Optional[IncrementalGrouper] = None
+
+    # -- protocol ----------------------------------------------------------
+
+    def handle(self, op: str, payload: Any) -> Any:
+        if op == "round":
+            replacements, counts = payload
+            self.grouper = IncrementalGrouper(
+                replacements, self.vocabulary, self.config, counts
+            )
+            return True
+        if op == "peek":
+            assert self.grouper is not None, "peek before round"
+            peeked = self.grouper.peek_best()
+            if peeked is None:
+                return None
+            group, skey = peeked
+            return group.size, skey
+        if op == "pop":
+            assert self.grouper is not None, "pop before round"
+            peeked = self.grouper.peek_best()
+            assert peeked is not None, "pop on an exhausted shard"
+            return self.grouper.pop_best()
+        if op == "remove":
+            if self.grouper is not None:
+                self.grouper.remove_replacements(payload)
+            return True
+        if op == "derive":
+            return [
+                derive_token_segments(va, vb, self.config)
+                for va, vb in payload
+            ]
+        if op == "match":
+            assert self.similarity is not None, "match without similarity"
+            threshold, tasks = payload
+            replies = []
+            for task_id, value, candidates in tasks:
+                flags = [
+                    self.similarity(value, other) >= threshold
+                    for other in candidates
+                ]
+                replies.append((task_id, flags))
+            return replies
+        raise ValueError(f"unknown shard op: {op!r}")
+
+
+def _shard_main(requests, responses, config, vocabulary, similarity) -> None:
+    """Worker-process entry point: serve one shard until ``None``."""
+    server = ShardStandardizer(config, vocabulary, similarity)
+    while True:
+        message = requests.get()
+        if message is None:
+            return
+        op, payload = message
+        try:
+            responses.put((True, server.handle(op, payload)))
+        except BaseException as exc:  # ship the failure to the parent
+            responses.put((False, f"{type(exc).__name__}: {exc}"))
+
+
+class _InlineBackend:
+    """Same protocol, no processes — ``shards=1`` and fallbacks."""
+
+    def __init__(
+        self,
+        shards: int,
+        config: Config,
+        vocabulary: TermVocabulary,
+        similarity: Optional[SimilarityFn],
+    ) -> None:
+        self._servers = [
+            ShardStandardizer(config, vocabulary, similarity)
+            for _ in range(shards)
+        ]
+
+    def request(self, shard: int, op: str, payload: Any) -> Any:
+        return self._servers[shard].handle(op, payload)
+
+    def broadcast(self, op: str, payloads: Sequence[Any]) -> List[Any]:
+        return [
+            server.handle(op, payload)
+            for server, payload in zip(self._servers, payloads)
+        ]
+
+    def close(self) -> None:
+        self._servers = []
+
+
+class _ProcessBackend:
+    """One persistent worker process per shard, queue pair each."""
+
+    def __init__(
+        self,
+        shards: int,
+        config: Config,
+        vocabulary: TermVocabulary,
+        similarity: Optional[SimilarityFn],
+    ) -> None:
+        context = multiprocessing.get_context()
+        self._requests = []
+        self._responses = []
+        self._processes = []
+        try:
+            for _ in range(shards):
+                requests = context.Queue()
+                responses = context.Queue()
+                process = context.Process(
+                    target=_shard_main,
+                    args=(
+                        requests,
+                        responses,
+                        config,
+                        vocabulary,
+                        similarity,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                self._requests.append(requests)
+                self._responses.append(responses)
+                self._processes.append(process)
+        except BaseException:
+            # Partial spawn (fd/process limit mid-loop): shut down the
+            # workers that did start before the caller falls back to
+            # the inline backend, or they would block on their queues
+            # for the parent's whole lifetime.
+            self.close()
+            raise
+
+    @staticmethod
+    def _unwrap(reply: Tuple[bool, Any]) -> Any:
+        ok, value = reply
+        if not ok:
+            raise RuntimeError(f"shard worker failed: {value}")
+        return value
+
+    def request(self, shard: int, op: str, payload: Any) -> Any:
+        self._requests[shard].put((op, payload))
+        return self._unwrap(self._responses[shard].get())
+
+    def broadcast(self, op: str, payloads: Sequence[Any]) -> List[Any]:
+        # Send everything first so the shards compute concurrently —
+        # this is where the wall-clock win comes from — then collect.
+        for requests, payload in zip(self._requests, payloads):
+            requests.put((op, payload))
+        return [
+            self._unwrap(responses.get()) for responses in self._responses
+        ]
+
+    def close(self) -> None:
+        for requests in self._requests:
+            try:
+                requests.put(None)
+            except (OSError, ValueError):
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+        self._processes = []
+        self._requests = []
+        self._responses = []
+
+
+def _picklable(*objects: Any) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+class ShardPool:
+    """Parent-side handle on N learner shards.
+
+    ``processes=True`` backs the shards with persistent worker
+    processes when the shipped state pickles (configs built from
+    module-level functions always do); otherwise — closures as
+    similarity functions, exotic configs — it degrades to the inline
+    backend, which is merely slower, never different.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        config: Config = DEFAULT_CONFIG,
+        vocabulary: TermVocabulary = DEFAULT_VOCABULARY,
+        similarity: Optional[SimilarityFn] = None,
+        processes: bool = True,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        self.config = config
+        use_processes = (
+            processes
+            and shards > 1
+            and _picklable(config, vocabulary, similarity)
+        )
+        backend_cls = _ProcessBackend if use_processes else _InlineBackend
+        try:
+            self._backend = backend_cls(
+                shards, config, vocabulary, similarity
+            )
+        except OSError:
+            # Process spawn refused (containers without /dev/shm etc.):
+            # shards still work, just without the parallelism.
+            self._backend = _InlineBackend(
+                shards, config, vocabulary, similarity
+            )
+        self.uses_processes = isinstance(self._backend, _ProcessBackend)
+
+    # -- the grouping feed -------------------------------------------------
+
+    def group_feed(
+        self,
+        replacements: Sequence[Replacement],
+        counts: Optional[Counter] = None,
+    ) -> "ShardedGroupFeed":
+        """A :class:`ShardedGroupFeed` over one learn round's novel
+        candidates — a drop-in
+        :class:`~repro.pipeline.standardize.GroupFeed`."""
+        return ShardedGroupFeed(self, replacements, counts)
+
+    # -- pure kernels ------------------------------------------------------
+
+    def derive_segments(
+        self, pairs: Sequence[Tuple[str, str]]
+    ) -> Dict[Tuple[str, str], TokenSegments]:
+        """Token-segment alignments for distinct value pairs, computed
+        across the shards; small workloads stay inline."""
+        pairs = list(dict.fromkeys(pairs))
+        if not pairs:
+            return {}
+        if not self.uses_processes or len(pairs) < MIN_PARALLEL_PAIRS:
+            segments = [
+                derive_token_segments(va, vb, self.config)
+                for va, vb in pairs
+            ]
+            return dict(zip(pairs, segments))
+        chunks = [pairs[shard :: self.shards] for shard in range(self.shards)]
+        replies = self._backend.broadcast("derive", chunks)
+        out: Dict[Tuple[str, str], TokenSegments] = {}
+        for chunk, reply in zip(chunks, replies):
+            out.update(zip(chunk, reply))
+        return out
+
+    def match(
+        self,
+        threshold: float,
+        tasks_by_shard: Sequence[List[MatchTask]],
+    ) -> Dict[int, List[bool]]:
+        """Similarity flags for per-shard comparison tasks, merged by
+        task id (one id can span shards when a record's block keys hash
+        apart — the caller concatenates in its own canonical order)."""
+        total = sum(
+            len(candidates)
+            for tasks in tasks_by_shard
+            for _, _, candidates in tasks
+        )
+        flags: Dict[int, List[bool]] = {}
+        if total == 0:
+            return flags
+        if not self.uses_processes or total < MIN_PARALLEL_PAIRS:
+            replies = [
+                self._backend.request(0, "match", (threshold, tasks))
+                for tasks in tasks_by_shard
+                if tasks
+            ]
+        else:
+            replies = self._backend.broadcast(
+                "match",
+                [(threshold, tasks) for tasks in tasks_by_shard],
+            )
+        for reply in replies:
+            for task_id, task_flags in reply:
+                flags.setdefault(task_id, []).extend(task_flags)
+        return flags
+
+    # -- plumbing ----------------------------------------------------------
+
+    def request(self, shard: int, op: str, payload: Any) -> Any:
+        return self._backend.request(shard, op, payload)
+
+    def broadcast(self, op: str, payloads: Sequence[Any]) -> List[Any]:
+        return self._backend.broadcast(op, payloads)
+
+    def close(self) -> None:
+        """Shut down worker processes; the pool is unusable after."""
+        self._backend.close()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class ShardedGroupFeed:
+    """The merged, shard-parallel grouping feed (GroupFeed protocol).
+
+    Candidates are partitioned by stable structure-key hash — the
+    learner-side analogue of the resolver's block-key partitioning: a
+    structure bucket is the unit that can never be split without
+    splitting groups (and spending extra oracle questions), exactly as
+    a block is the unit that can never be split without losing matches.
+
+    ``next_group`` broadcasts one ``peek`` (all shards refine their
+    local winners concurrently), then pops only the global winner.  The
+    winner is chosen by ``(size desc, structure key asc)``; since the
+    single-process grouper breaks ties by source order and source order
+    is the rank of the structure key in sorted order, the merged stream
+    equals the single-process stream group for group.
+    """
+
+    def __init__(
+        self,
+        pool: ShardPool,
+        replacements: Sequence[Replacement],
+        counts: Optional[Counter] = None,
+    ) -> None:
+        self.pool = pool
+        partitions = self._partition(replacements, pool.shards)
+        self._exhausted = [not part for part in partitions]
+        pool.broadcast(
+            "round", [(part, counts) for part in partitions]
+        )
+
+    @staticmethod
+    def _partition(
+        replacements: Sequence[Replacement], shards: int
+    ) -> List[List[Replacement]]:
+        """Assign whole structure buckets to shards, balanced by size.
+
+        A bucket is indivisible (splitting one would split groups and
+        spend extra questions), but *which* shard owns it is free: any
+        deterministic assignment yields the identical merged stream.
+        So instead of hashing — which lets one hot bucket's shard
+        dominate the round — buckets go largest-first to the currently
+        lightest shard (ties: lower shard id), a deterministic greedy
+        bin-packing that keeps the parallel peeks even.  Bucket order
+        *within* a shard preserves first-appearance order, matching the
+        single grouper's source construction.
+        """
+        order: List[StructureKey] = []
+        buckets: Dict[StructureKey, List[Replacement]] = {}
+        for replacement in dict.fromkeys(replacements):
+            skey = structure_key(replacement)
+            if skey not in buckets:
+                buckets[skey] = []
+                order.append(skey)
+            buckets[skey].append(replacement)
+        loads = [0] * shards
+        owner: Dict[StructureKey, int] = {}
+        by_size = sorted(
+            order, key=lambda skey: (-len(buckets[skey]), skey)
+        )
+        for skey in by_size:
+            shard = min(range(shards), key=lambda s: (loads[s], s))
+            owner[skey] = shard
+            loads[shard] += len(buckets[skey])
+        partitions: List[List[Replacement]] = [[] for _ in range(shards)]
+        for skey in order:
+            partitions[owner[skey]].extend(buckets[skey])
+        return partitions
+
+    def next_group(self) -> Optional[Group]:
+        """The globally next-largest group across all shards."""
+        live = [s for s, done in enumerate(self._exhausted) if not done]
+        if not live:
+            return None
+        replies = self.pool.broadcast(
+            "peek", [None] * len(self._exhausted)
+        )
+        winner: Optional[int] = None
+        winner_rank: Optional[Tuple[int, StructureKey]] = None
+        for shard in live:
+            reply = replies[shard]
+            if reply is None:
+                self._exhausted[shard] = True
+                continue
+            size, skey = reply
+            rank = (-size, skey)
+            if winner_rank is None or rank < winner_rank:
+                winner, winner_rank = shard, rank
+        if winner is None:
+            return None
+        return self.pool.request(winner, "pop", None)
+
+    def remove_replacements(self, dead) -> None:
+        """Propagate §7.1 invalidation to every shard's sources."""
+        dead_list = list(dead)
+        if not dead_list:
+            return
+        self.pool.broadcast(
+            "remove", [dead_list] * len(self._exhausted)
+        )

@@ -13,19 +13,31 @@ batches:
   member replacement (in its learned orientation).  When later batches
   re-introduce already-judged variation, approved replacements are
   re-applied and rejected ones skipped *without asking again*: repeated
-  variation costs zero new oracle questions;
+  variation costs zero new oracle questions.  Backed by a
+  :class:`~repro.stream.decisions.DecisionCache`, the verdicts can be
+  persisted as JSON-lines next to the model, extending the
+  zero-question guarantee across restarts;
 * the **cumulative log** — an append-only
   :class:`~repro.pipeline.standardize.StandardizationLog` of the novel
   confirmations, the exact shape :func:`repro.serve.model.build_model`
   consumes, so each publish extends the previous model version.
+
+With a :class:`~repro.stream.shards.ShardPool`, the two compute-heavy
+stages run on the shard workers: candidate delta *derivation* (value
+pairs aligned in parallel, merged into the single store in inline
+order) and the grouping *feed* (per-structure-bucket sources
+partitioned across shards, winners max-merged).  Both are
+order-preserving merges of pure computations, so a sharded learner
+publishes byte-identical models and asks byte-identical questions —
+see :mod:`repro.stream.shards`.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from ..candidates.store import ReplacementStore
+from ..candidates.store import ReplacementStore, TokenSegments
 from ..config import DEFAULT_CONFIG, Config
 from ..core.incremental import IncrementalGrouper
 from ..core.replacement import Replacement
@@ -38,10 +50,27 @@ from ..pipeline.standardize import (
     StepRecord,
     apply_group_recorded,
 )
+from .decisions import DecisionCache, PathLike
 
 
 class IncrementalStandardizer:
-    """Standardizes one column of a *growing* clustered table."""
+    """Standardizes one column of a *growing* clustered table.
+
+    Parameters
+    ----------
+    table, column:
+        The cumulative cluster table (owned by the resolver) and the
+        column being standardized.
+    config, vocabulary:
+        The learning knobs and term vocabulary, fixed for the
+        standardizer's lifetime (they are part of the published model's
+        identity).
+    decisions:
+        An existing :class:`~repro.stream.decisions.DecisionCache`, or
+        a path to persist one at, or ``None`` for a fresh in-memory
+        cache.  A cache loaded from a previous run answers already-
+        judged variation without a question.
+    """
 
     def __init__(
         self,
@@ -49,6 +78,7 @@ class IncrementalStandardizer:
         column: str,
         config: Config = DEFAULT_CONFIG,
         vocabulary: TermVocabulary = DEFAULT_VOCABULARY,
+        decisions: Union[DecisionCache, PathLike, None] = None,
     ) -> None:
         self.table = table
         self.column = column
@@ -57,24 +87,41 @@ class IncrementalStandardizer:
         #: starts empty; cells are delta-indexed as batches arrive
         self.store = ReplacementStore(table, column, config)
         #: learned-orientation member replacement -> oracle verdict
-        self.decisions: Dict[Replacement, Decision] = {}
+        if isinstance(decisions, DecisionCache):
+            self.decisions = decisions
+        else:
+            self.decisions = DecisionCache(decisions)
         self.log = StandardizationLog()
         self.questions_asked = 0
 
     # -- ingestion ---------------------------------------------------------
 
-    def ingest(self, cells: Iterable[CellRef]) -> Tuple[int, int]:
+    def ingest(
+        self, cells: Iterable[CellRef], pool=None
+    ) -> Tuple[int, int]:
         """Delta-index new cells into the candidate store.
 
         Returns ``(cells indexed, cells unexplained)`` — a cell is
         *unexplained* when indexing it created at least one candidate
         key nothing in the current state had seen before (the drift
         monitor's unmatched signal).
+
+        With a :class:`~repro.stream.shards.ShardPool`, the alignment
+        of the batch's distinct value pairs is computed by the shard
+        workers first; the cells are then indexed inline in arrival
+        order using the precomputed segments, so the resulting store is
+        identical to the unsharded one.
         """
+        cells = list(cells)
+        segments: Optional[Dict[Tuple[str, str], TokenSegments]] = None
+        if pool is not None and self.config.token_level_candidates:
+            segments = pool.derive_segments(
+                self.store.pending_pairs(cells)
+            )
         indexed = unexplained = 0
         for cell in cells:
             indexed += 1
-            if self.store.add_cell(cell) > 0:
+            if self.store.add_cell(cell, segments=segments) > 0:
                 unexplained += 1
         return indexed, unexplained
 
@@ -125,21 +172,38 @@ class IncrementalStandardizer:
         Iterates to a fixed point: applying one cached replacement can
         re-derive provenance that another cached replacement covers.
         ``approved`` seeds the first round when the caller already
-        partitioned the live set (saves one full scan).
+        partitioned the live set (saves one full scan when nothing is
+        reusable).
+
+        Application follows **confirmation order** — the decision
+        cache's insertion order, which the durable JSON-lines log
+        preserves across restarts.  That is the order the original run
+        applied these replacements in, so a restarted stream replaying
+        judged data walks its table through the same sequence of states
+        and derives no new candidate keys: the zero-repeat-question
+        guarantee depends on this, because two approved rewrites of the
+        same value applied in opposite orders can converge to different
+        strings and mint a question-worthy pair the first run never
+        saw.
         """
+        if approved is not None and not approved:
+            return 0, 0  # nothing live is approved; the walk would no-op
+        # Confirmation-order approved verdicts, snapshotted once: no
+        # verdict is recorded during the walk, and rescanning the whole
+        # (possibly replayed-from-disk) cache every round would cost
+        # O(rounds x cache) on long-lived streams.
+        approved_verdicts = [
+            (replacement, decision)
+            for replacement, decision in self.decisions.items()
+            if decision.approved
+        ]
         reused = 0
         changed = 0
-        worklist = (
-            approved
-            if approved is not None
-            else self.partition_live()[0]
-        )
         while True:
             progress = False
-            for replacement in worklist:
-                decision = self.decisions.get(replacement)
-                if decision is None or not decision.approved:
-                    continue
+            for replacement, decision in approved_verdicts:
+                if replacement not in self.store:
+                    continue  # no live provenance to rewrite
                 resolved = (
                     replacement.reversed()
                     if decision.direction == REVERSE
@@ -153,7 +217,6 @@ class IncrementalStandardizer:
                     progress = True
             if not progress:
                 return reused, changed
-            worklist = self.partition_live()[0]
 
     # -- learning ----------------------------------------------------------
 
@@ -170,6 +233,7 @@ class IncrementalStandardizer:
         oracle: Oracle,
         budget: int,
         novel: Optional[List[Replacement]] = None,
+        pool=None,
     ) -> List[StepRecord]:
         """Present up to ``budget`` groups of *novel* candidates.
 
@@ -181,6 +245,14 @@ class IncrementalStandardizer:
         undecided list when the caller already partitioned the live set
         (saves one full scan); it must reflect the *current* store
         state.
+
+        With a :class:`~repro.stream.shards.ShardPool` the grouping
+        feed is the shard-merged
+        :class:`~repro.stream.shards.ShardedGroupFeed` — the questions
+        (content and order), the verdict application, and the cumulative
+        log are identical; only the graph building and pivot searching
+        happen in parallel.  The oracle itself is never sharded: this
+        method is the only place questions are spent either way.
         """
         if novel is None:
             novel = self.undecided()
@@ -189,7 +261,12 @@ class IncrementalStandardizer:
         counts: Optional[Counter] = None
         if self.config.constant_match_terms > 0:
             counts = global_frequencies(self.table.column_values(self.column))
-        feed = IncrementalGrouper(novel, self.vocabulary, self.config, counts)
+        if pool is not None and self.config.use_structure:
+            feed = pool.group_feed(novel, counts)
+        else:
+            feed = IncrementalGrouper(
+                novel, self.vocabulary, self.config, counts
+            )
         steps: List[StepRecord] = []
         for _ in range(budget):
             group = feed.next_group()
@@ -205,7 +282,7 @@ class IncrementalStandardizer:
                 )
                 feed.remove_replacements(self.store.drain_dead())
             for member in group.replacements:
-                self.decisions.setdefault(member, decision)
+                self.decisions.record(member, decision)
             record = StepRecord(
                 len(self.log.steps), group, decision, changed, applied
             )

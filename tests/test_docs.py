@@ -1,0 +1,127 @@
+"""The documentation cannot rot: links resolve, commands exist.
+
+Two contracts over README.md and ``docs/*.md`` (both also run as the
+CI ``docs`` job):
+
+* every relative markdown link points at a file that exists (and, with
+  a ``#fragment``, at a heading that exists in the target);
+* every ``repro <subcommand>`` mentioned in code spans or fenced code
+  blocks is a real CLI subcommand (``python -m repro <cmd> --help``
+  exits 0).
+"""
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    [REPO / "README.md"] + list((REPO / "docs").glob("*.md"))
+)
+
+LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+INLINE_CODE_RE = re.compile(r"`([^`]+)`")
+CLI_MENTION_RE = re.compile(
+    # `repro <cmd>` / `python -m repro <cmd>`, but not `from repro
+    # import ...` or `import repro` in library snippets.
+    r"(?:^|[\s;($])(?<!from )(?<!import )(?:python -m )?"
+    r"repro\s+([a-z][a-z0-9_-]*)"
+)
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading."""
+    slug = heading.strip().lower().replace("`", "")
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def iter_links(markdown: str):
+    for match in LINK_RE.finditer(markdown):
+        target = match.group(2)
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
+            continue
+        yield target
+
+
+def test_doc_suite_exists():
+    """The documented entry points of the suite itself."""
+    assert (REPO / "docs" / "architecture.md").is_file()
+    assert (REPO / "docs" / "paper-mapping.md").is_file()
+    assert len(DOC_FILES) >= 3  # README + the two docs pages
+
+
+@pytest.mark.parametrize(
+    "doc", DOC_FILES, ids=[str(d.relative_to(REPO)) for d in DOC_FILES]
+)
+def test_relative_links_resolve(doc):
+    markdown = doc.read_text(encoding="utf-8")
+    for target in iter_links(markdown):
+        path_part, _, fragment = target.partition("#")
+        resolved = (
+            (doc.parent / path_part).resolve() if path_part else doc
+        )
+        assert resolved.exists(), (
+            f"{doc.relative_to(REPO)}: broken link {target!r} "
+            f"({resolved} does not exist)"
+        )
+        if fragment and resolved.suffix == ".md":
+            headings = HEADING_RE.findall(
+                resolved.read_text(encoding="utf-8")
+            )
+            slugs = {github_slug(h) for h in headings}
+            assert fragment in slugs, (
+                f"{doc.relative_to(REPO)}: link {target!r} names a "
+                f"missing anchor (have: {sorted(slugs)})"
+            )
+
+
+def mentioned_subcommands():
+    """Every ``repro <cmd>`` inside code spans / fenced blocks."""
+    commands = set()
+    for doc in DOC_FILES:
+        markdown = doc.read_text(encoding="utf-8")
+        snippets = FENCE_RE.findall(markdown)
+        snippets += INLINE_CODE_RE.findall(FENCE_RE.sub("", markdown))
+        for snippet in snippets:
+            for match in CLI_MENTION_RE.finditer(snippet):
+                commands.add(match.group(1))
+    return sorted(commands)
+
+
+def test_cli_mentions_are_real_subcommands():
+    commands = mentioned_subcommands()
+    # Guard against the extraction regex rotting into a no-op.
+    assert {"stream", "apply", "learn"} <= set(commands), commands
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    for command in commands:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", command, "--help"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO,
+            timeout=60,
+        )
+        assert proc.returncode == 0, (
+            f"docs mention `repro {command}` but "
+            f"`python -m repro {command} --help` failed:\n{proc.stderr}"
+        )
+
+
+def test_docs_mention_the_sharded_stream():
+    """The quickstart teaches the current flagship flags."""
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    assert "--shards" in readme
+    assert "docs/architecture.md" in readme
+    assert "docs/paper-mapping.md" in readme
