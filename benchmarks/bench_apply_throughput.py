@@ -28,7 +28,7 @@ from repro.pipeline.oracle import GroundTruthOracle
 from repro.pipeline.standardize import Standardizer
 from repro.serve import ApplyEngine, ModelReplayer, build_model
 
-from conftest import BASE_SCALES, BUDGETS, SCALE, print_banner, report
+from conftest import BASE_SCALES, BUDGETS, SCALE, print_banner, record_result, report
 
 #: Reduced slice (like Figure 9): learning is the slow side here.
 APPLY_FACTOR = 0.5
@@ -115,6 +115,18 @@ def test_apply_throughput(benchmark, apply_dataset):
     report(
         f"steady-state batch ({len(big_batch)} rows): "
         f"{rows_per_sec:,.0f} rows/s"
+    )
+
+    record_result(
+        "apply_throughput",
+        test="engine_vs_relearn",
+        rows=len(values),
+        learn_seconds=round(t_learn, 4),
+        replay_seconds=round(t_replay, 4),
+        engine_seconds=round(t_engine, 4),
+        engine_speedup=round(engine_speedup, 2),
+        replay_speedup=round(replay_speedup, 2),
+        steady_rows_per_sec=round(rows_per_sec, 1),
     )
 
     assert engine_speedup >= 10.0, (

@@ -43,7 +43,7 @@ from repro.pipeline.standardize import Standardizer
 from repro.resolution.matcher import cluster_by_key
 from repro.stream import StreamConsolidator, ground_truth_oracle_factory
 
-from conftest import BASE_SCALES, SCALE, print_banner, report
+from conftest import BASE_SCALES, SCALE, print_banner, record_result, report
 
 #: The stream slice: large enough that quadratic relearning hurts.
 STREAM_FACTOR = 2.0
@@ -151,6 +151,16 @@ def test_stream_incremental_vs_full_relearn(stream):
     )
     report(
         f"speedup: {speedup:6.1f}x   final-state agreement: {agreement:.1%}"
+    )
+
+    record_result(
+        "stream_incremental",
+        test="incremental_vs_relearn",
+        records=stream.num_records,
+        full_seconds=round(t_full, 4),
+        incremental_seconds=round(t_incremental, 4),
+        speedup=round(speedup, 2),
+        agreement=round(agreement, 4),
     )
 
     assert speedup >= 10.0, (

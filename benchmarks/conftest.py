@@ -4,17 +4,71 @@ Every benchmark regenerates one table or figure of the evaluation
 section (Section 8) and prints the measured rows next to the paper's
 numbers.  Dataset sizes honour ``REPRO_BENCH_SCALE`` (default 1.0 =
 laptop-friendly slices; raise it to stress the system).
+
+Results are also **machine-readable**: every ``bench_<name>.py`` run
+appends one JSON line per test (timing, outcome) to
+``benchmarks/results/BENCH_<name>.json``, and benchmarks with headline
+numbers (speedups, byte counts, throughputs) append richer rows via
+:func:`record_result`.  The files are JSON-lines, append-only, and
+uploaded as CI artifacts, so the perf trajectory of the repository is
+a dataset instead of folklore.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.datagen import address_dataset, authorlist_dataset, journaltitle_dataset
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Where the per-benchmark JSON-lines result files accumulate.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def record_result(bench: str, **fields) -> dict:
+    """Append one result row to ``results/BENCH_<bench>.json``.
+
+    Every row carries the timestamp, bench scale, and interpreter so
+    rows from different machines/runs stay comparable; ``fields`` adds
+    the benchmark's own numbers (timings, sizes, speedups).  Rows are
+    JSON-lines — one object per line, append-only.
+    """
+    row = {
+        "bench": bench,
+        "timestamp": round(time.time(), 3),
+        "scale": SCALE,
+        "python": platform.python_version(),
+        **fields,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{bench}.json"
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return row
+
+
+def pytest_runtest_logreport(report):
+    """Auto-append a timing row for every benchmark test call, so even
+    benchmarks without headline numbers feed the trajectory."""
+    if report.when != "call":
+        return
+    module = Path(str(report.fspath)).stem
+    if not module.startswith("bench_"):
+        return
+    record_result(
+        module[len("bench_") :],
+        test=report.nodeid.split("::", 1)[-1],
+        seconds=round(report.duration, 4),
+        outcome=report.outcome,
+    )
 
 #: Per-dataset generator scale at SCALE=1.0 (chosen so the full bench
 #: suite completes in minutes on a laptop while preserving the paper's

@@ -38,6 +38,7 @@ import time
 from typing import List, Optional
 
 from .config import Config
+from .resolution.blocking import BLOCKING_MODES, make_block_keys
 from .data.io import (
     read_csv_clusters,
     read_csv_records,
@@ -209,12 +210,57 @@ def build_parser() -> argparse.ArgumentParser:
         "shard count",
     )
     stream_p.add_argument(
+        "--blocking",
+        choices=("key",) + BLOCKING_MODES,
+        default="key",
+        help="how arrivals are resolved into clusters: 'key' clusters "
+        "by the synthetic entity key (default); 'token', 'lsh', and "
+        "'token+lsh' switch to blocked similarity matching on the "
+        "consolidated column — 'lsh' blocks by banded MinHash "
+        "signatures over character shingles, which keeps blocks "
+        "near-duplicate-sized on high-cardinality vocabularies",
+    )
+    stream_p.add_argument(
+        "--lsh-bands",
+        type=int,
+        default=16,
+        help="LSH band count (more bands = higher recall, more keys)",
+    )
+    stream_p.add_argument(
+        "--lsh-rows",
+        type=int,
+        default=3,
+        help="signature rows per LSH band (more rows = stricter "
+        "collisions)",
+    )
+    stream_p.add_argument(
+        "--lsh-shingle",
+        type=int,
+        default=3,
+        help="character shingle width the MinHash signature is "
+        "computed over",
+    )
+    stream_p.add_argument(
+        "--similarity-threshold",
+        type=float,
+        default=0.8,
+        help="similarity-mode match threshold (ignored with "
+        "--blocking key)",
+    )
+    stream_p.add_argument(
         "--block-retention",
         type=int,
         default=None,
         help="similarity mode: keep only the newest N members per "
         "block (rotation), bounding per-arrival matching cost "
         "(default: unbounded)",
+    )
+    stream_p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print one machine-readable JSON line of counters per "
+        "batch (candidate pairs, values/bytes shipped to shards, "
+        "questions, reuse)",
     )
     stream_p.add_argument(
         "--decision-log",
@@ -510,6 +556,22 @@ def cmd_stream(args) -> int:
             window=args.drift_window,
             miss_rate_threshold=args.drift_threshold,
         )
+    resolution_kwargs = {}
+    if args.blocking == "key":
+        resolution_kwargs["key_attribute"] = stream.key_column
+    else:
+        # Similarity mode: resolve arrivals by blocked matching on the
+        # consolidated column instead of the synthetic entity key.
+        resolution_kwargs["attribute"] = stream.column
+        resolution_kwargs["similarity_threshold"] = (
+            args.similarity_threshold
+        )
+        resolution_kwargs["block_keys"] = make_block_keys(
+            args.blocking,
+            bands=args.lsh_bands,
+            rows=args.lsh_rows,
+            shingle=args.lsh_shingle,
+        )
     consolidator = StreamConsolidator(
         column=stream.column,
         oracle_factory=ground_truth_oracle_factory(
@@ -517,7 +579,6 @@ def cmd_stream(args) -> int:
             seed=args.seed,
             error_rate=args.error_rate,
         ),
-        key_attribute=stream.key_column,
         budget_per_batch=args.budget,
         registry=ModelRegistry(args.registry) if args.registry else None,
         model_name=args.name or args.dataset.lower(),
@@ -528,17 +589,25 @@ def cmd_stream(args) -> int:
         decision_log=args.decision_log,
         persist_decisions=not args.no_decision_log,
         resume=not args.fresh,
+        **resolution_kwargs,
     )
     print(
         f"streaming {stream.num_records} records in "
         f"{len(stream.batches)} batches ({dataset.name})"
         + (f", {args.shards} learner shards" if args.shards > 1 else "")
+        + (
+            f", {args.blocking} blocking"
+            if args.blocking != "key"
+            else ""
+        )
     )
     start = time.perf_counter()
     with consolidator:
         for batch in stream.batches:
             report = consolidator.process_batch(batch)
             print(f"{report.describe()}  [{report.seconds:.3f}s]")
+            if args.stats:
+                print("stats: " + json.dumps(report.stats(), sort_keys=True))
         if consolidator.resumed_from is not None:
             print(
                 f"resumed from model v{consolidator.resumed_from} "

@@ -1,7 +1,27 @@
 """Entity-resolution substrate: similarity, blocking, clustering."""
 
-from .blocking import build_blocks, candidate_pairs, exact_keys, prefix_keys, token_keys
-from .matcher import Matcher, cluster_by_key, hybrid_similarity
+from .blocking import (
+    BLOCKING_MODES,
+    BlockIndex,
+    MinHasher,
+    build_blocks,
+    candidate_pairs,
+    char_shingles,
+    combine_keys,
+    exact_keys,
+    lsh_keys,
+    make_block_keys,
+    prefix_keys,
+    stable_hash,
+    token_keys,
+)
+from .matcher import (
+    Matcher,
+    PairDecisionMemo,
+    cluster_by_key,
+    hybrid_similarity,
+    thresholded,
+)
 from .similarity import (
     cosine,
     jaccard,

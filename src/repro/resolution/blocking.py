@@ -6,7 +6,16 @@ cheap key and only compares within buckets.  Provided strategies:
 * token blocking — one block per token of the blocking attribute;
 * prefix blocking — block by the first ``k`` characters;
 * key blocking — exact match on a key attribute (ISBN / ISSN / EIN,
-  how the paper's datasets were clustered).
+  how the paper's datasets were clustered);
+* MinHash-LSH blocking (``lsh_keys``) — banded MinHash signatures over
+  character shingles.  Token blocking degrades on *high-cardinality*
+  attributes: a popular token ("Street", "Inc") puts thousands of
+  records in one block and the within-block scan goes O(block²).  LSH
+  keys collide only for values whose shingle sets are actually similar
+  (tunable via bands × rows), so blocks stay near-duplicate-sized no
+  matter how common the vocabulary is.  Composable with token keys via
+  :func:`combine_keys` and selectable by name via
+  :func:`make_block_keys` (the CLI's ``--blocking`` modes).
 
 For streaming workloads the raw ``key -> members`` dict grows without
 bound and cannot be split across worker processes; :class:`BlockIndex`
@@ -14,18 +23,22 @@ wraps the same mapping in a structure that is **partitioned by stable
 block-key hash** (each key lives in exactly one of N shards, identical
 across runs and processes) and **bounded** (per-key member lists rotate
 out their oldest entries past a retention limit, so similarity-mode
-blocks stop growing with stream length).
+blocks stop growing with stream length).  Every key function here
+yields process-stable keys, so LSH blocks partition and rotate exactly
+like token blocks.
 """
 
 from __future__ import annotations
 
 import zlib
 from collections import defaultdict
+from functools import lru_cache
 from typing import (
     Callable,
     Dict,
     Hashable,
     Iterable,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -93,12 +106,21 @@ class BlockIndex:
 
     # -- writing -----------------------------------------------------------
 
-    def add(self, key: Hashable, member: str) -> List[str]:
+    def add(
+        self,
+        key: Hashable,
+        member: str,
+        evicted_into: Optional[List[str]] = None,
+    ) -> List[str]:
         """Append ``member`` to ``key``'s block.
 
         Returns the members this append *evicted* — non-empty only with
         ``retention`` set — whose eviction dropped their last block
         reference (i.e. they left the comparison frontier entirely).
+        ``evicted_into``, when given, additionally collects *every*
+        member rotated out of this block (whether or not other blocks
+        still reference it) — what shard-resident replicas of the
+        block's membership need to mirror the rotation.
         """
         block = self._partitions[self.shard_of(key)].setdefault(key, [])
         block.append(member)
@@ -107,15 +129,24 @@ class BlockIndex:
         if self.retention is not None and len(block) > self.retention:
             evicted = block[: len(block) - self.retention]
             del block[: len(block) - self.retention]
+            if evicted_into is not None:
+                evicted_into.extend(evicted)
             self._evict(evicted, gone)
         return gone
 
-    def compact(self, retention: Optional[int] = None) -> List[str]:
+    def compact(
+        self,
+        retention: Optional[int] = None,
+        evicted_into: Optional[List[Tuple[Hashable, str]]] = None,
+    ) -> List[str]:
         """Trim every block to its newest ``retention`` members now.
 
         One-shot form of the rotation that :meth:`add` performs lazily —
         useful when retention is introduced (or tightened) on an index
         that already grew.  Returns members that left their last block.
+        ``evicted_into``, when given, collects every ``(key, member)``
+        membership dropped (the per-block delta resident replicas
+        mirror), not just the members gone entirely.
         """
         retention = retention if retention is not None else self.retention
         if retention is None:
@@ -128,6 +159,10 @@ class BlockIndex:
                     continue
                 evicted = block[: len(block) - retention]
                 partition[key] = block[len(block) - retention :]
+                if evicted_into is not None:
+                    evicted_into.extend(
+                        (key, member) for member in evicted
+                    )
                 self._evict(evicted, gone)
         return gone
 
@@ -148,6 +183,15 @@ class BlockIndex:
     def members(self, key: Hashable) -> Sequence[str]:
         """Current members of ``key``'s block (append order)."""
         return self._partitions[self.shard_of(key)].get(key, ())
+
+    def items(self) -> Iterator[Tuple[Hashable, Sequence[str]]]:
+        """Every ``(key, members)`` pair, partition by partition.
+
+        Insertion-ordered within a partition — the order shard-resident
+        replicas are warm-started in, so it must be deterministic for a
+        fixed mutation history (dicts preserve insertion order)."""
+        for partition in self._partitions:
+            yield from partition.items()
 
     def __contains__(self, member: str) -> bool:
         return member in self._refs
@@ -198,6 +242,168 @@ def build_blocks(
         for key in key_fn(value):
             blocks[key].append(idx)
     return dict(blocks)
+
+
+# -- MinHash-LSH blocking ---------------------------------------------------
+
+#: 64-bit mask for the multiply-shift universal hash family.
+_MASK64 = (1 << 64) - 1
+
+
+def char_shingles(value: str, size: int = 3) -> Set[str]:
+    """The value's lowercase character ``size``-grams (whitespace
+    normalized to single spaces); short values shingle whole."""
+    cleaned = " ".join(value.lower().split())
+    if not cleaned:
+        return set()
+    if len(cleaned) <= size:
+        return {cleaned}
+    return {cleaned[i : i + size] for i in range(len(cleaned) - size + 1)}
+
+
+def _hash_family(num_hashes: int) -> List[Tuple[int, int]]:
+    """``num_hashes`` multiply-shift parameter pairs, derived from
+    CRC-32 so signatures are identical across runs, processes, and
+    platforms (the same property :func:`stable_hash` guarantees for
+    shard routing)."""
+    params: List[Tuple[int, int]] = []
+    for i in range(num_hashes):
+        a = (
+            stable_hash(f"lsh-a-hi-{i}") << 32 | stable_hash(f"lsh-a-lo-{i}")
+        ) | 1  # odd multiplier
+        b = stable_hash(f"lsh-b-hi-{i}") << 32 | stable_hash(f"lsh-b-lo-{i}")
+        params.append((a & _MASK64, b))
+    return params
+
+
+class MinHasher:
+    """Process-stable MinHash signatures over character shingles.
+
+    Each of the ``num_hashes`` hash functions is a multiply-shift
+    ``((a * x + b) mod 2^64) >> 32`` over the shingle's CRC-32; the
+    signature component is the minimum over the value's shingles.  Two
+    values agree on a component with probability equal to the Jaccard
+    similarity of their shingle sets — the estimator banded LSH keys
+    are built on.
+    """
+
+    def __init__(self, num_hashes: int, shingle: int = 3) -> None:
+        if num_hashes < 1:
+            raise ValueError("num_hashes must be >= 1")
+        if shingle < 1:
+            raise ValueError("shingle must be >= 1")
+        self.num_hashes = num_hashes
+        self.shingle = shingle
+        self._params = _hash_family(num_hashes)
+
+    def signature(self, value: str) -> Tuple[int, ...]:
+        """The value's MinHash signature; ``()`` for empty values."""
+        shingles = char_shingles(value, self.shingle)
+        if not shingles:
+            return ()
+        crc32 = zlib.crc32
+        bases = [crc32(shingle.encode("utf-8")) for shingle in shingles]
+        mask = _MASK64
+        # >> 32 is monotone, so it commutes with min: shift once after.
+        return tuple(
+            min([(a * x + b) & mask for x in bases]) >> 32
+            for a, b in self._params
+        )
+
+
+def lsh_keys(
+    bands: int = 16,
+    rows: int = 3,
+    shingle: int = 3,
+    cache_size: int = 65536,
+) -> BlockKeyFn:
+    """A :data:`BlockKeyFn` blocking by banded MinHash signature.
+
+    The ``bands * rows``-component signature is cut into ``bands``
+    bands of ``rows`` rows; each band becomes one block key, so two
+    values share a block iff some band of their signatures agrees
+    exactly.  For shingle-Jaccard ``j`` that happens with probability
+    ``1 - (1 - j^rows)^bands`` — the classic S-curve: near-duplicates
+    almost surely collide somewhere, unrelated values almost never do,
+    and a popular token no longer lands everyone in one block.
+
+    Keys are ``("lsh", band index, band hash)`` tuples: hashable,
+    process-stable (CRC-32 over the band's components), and emitted in
+    band order, so they route through :class:`BlockIndex` partitioning
+    and rotation exactly like token keys.  Signatures are memoized with
+    an LRU of ``cache_size`` values (streams re-derive keys for the
+    same value when indexing and matching).
+    """
+    if bands < 1:
+        raise ValueError("bands must be >= 1")
+    if rows < 1:
+        raise ValueError("rows must be >= 1")
+    hasher = MinHasher(bands * rows, shingle)
+
+    @lru_cache(maxsize=cache_size)
+    def keys(value: str) -> Tuple[Tuple[str, int, int], ...]:
+        signature = hasher.signature(value)
+        if not signature:
+            return ()
+        return tuple(
+            (
+                "lsh",
+                band,
+                stable_hash(signature[band * rows : (band + 1) * rows]),
+            )
+            for band in range(bands)
+        )
+
+    def fn(value: str) -> Iterable[Hashable]:
+        return keys(value)
+
+    fn.bands = bands  # type: ignore[attr-defined]
+    fn.rows = rows  # type: ignore[attr-defined]
+    fn.shingle = shingle  # type: ignore[attr-defined]
+    fn.hasher = hasher  # type: ignore[attr-defined]
+    return fn
+
+
+def combine_keys(*key_fns: BlockKeyFn) -> BlockKeyFn:
+    """One :data:`BlockKeyFn` yielding every function's keys, deduped,
+    in function-then-emission order — e.g. token blocks for recall on
+    short values plus LSH blocks for high-cardinality vocabularies."""
+
+    def fn(value: str) -> Iterable[Hashable]:
+        seen: Set[Hashable] = set()
+        out: List[Hashable] = []
+        for key_fn in key_fns:
+            for key in key_fn(value):
+                if key not in seen:
+                    seen.add(key)
+                    out.append(key)
+        return out
+
+    return fn
+
+
+#: ``--blocking`` mode names accepted by :func:`make_block_keys`.
+BLOCKING_MODES = ("token", "lsh", "token+lsh")
+
+
+def make_block_keys(
+    mode: str,
+    bands: int = 16,
+    rows: int = 3,
+    shingle: int = 3,
+) -> BlockKeyFn:
+    """The similarity-mode block-key function for a ``--blocking`` mode
+    name: ``token`` (historical behaviour), ``lsh``, or ``token+lsh``
+    (both key sets combined)."""
+    if mode == "token":
+        return token_keys
+    if mode == "lsh":
+        return lsh_keys(bands, rows, shingle)
+    if mode == "token+lsh":
+        return combine_keys(token_keys, lsh_keys(bands, rows, shingle))
+    raise ValueError(
+        f"unknown blocking mode {mode!r} (expected one of {BLOCKING_MODES})"
+    )
 
 
 def candidate_pairs(

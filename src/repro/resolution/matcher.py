@@ -10,6 +10,7 @@ for records lacking a reliable key.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -21,12 +22,96 @@ from .unionfind import UnionFind
 SimilarityFn = Callable[[str, str], float]
 
 
-def hybrid_similarity(a: str, b: str) -> float:
+def hybrid_similarity(
+    a: str, b: str, score_cutoff: Optional[float] = None
+) -> float:
     """Mean of token Jaccard and Levenshtein similarity — a reasonable
-    default for names/titles/addresses."""
-    return 0.5 * jaccard(a.lower().split(), b.lower().split()) + 0.5 * (
-        levenshtein_similarity(a.lower(), b.lower())
-    )
+    default for names/titles/addresses.
+
+    With ``score_cutoff`` set, the result is exact whenever it is
+    ``>= score_cutoff`` and otherwise guaranteed ``< score_cutoff``:
+    the cheap token Jaccard runs first, and the expensive Levenshtein
+    kernel is either skipped entirely (the Jaccard half already caps
+    the mean below the cutoff, or a length gap does) or run banded with
+    exactly the residual similarity it still has to reach.  Threshold
+    decisions — the only thing blocked matching consumes — are
+    identical to the uncut version.
+    """
+    la, lb = a.lower(), b.lower()
+    if la == lb:
+        return 1.0
+    j = jaccard(la.split(), lb.split())
+    if score_cutoff is None:
+        return 0.5 * j + 0.5 * levenshtein_similarity(la, lb)
+    # mean >= c needs the Levenshtein half to reach 2c - j.
+    needed = 2.0 * score_cutoff - j
+    if needed > 1.0:
+        return 0.5 * j  # unreachable even at edit distance 0
+    if needed <= 0.0:
+        return 0.5 * j + 0.5 * levenshtein_similarity(la, lb)
+    return 0.5 * j + 0.5 * levenshtein_similarity(la, lb, score_cutoff=needed)
+
+
+def _accepts_score_cutoff(similarity: SimilarityFn) -> bool:
+    try:
+        return "score_cutoff" in inspect.signature(similarity).parameters
+    except (TypeError, ValueError):  # builtins, C callables
+        return False
+
+
+def thresholded(
+    similarity: SimilarityFn, threshold: float
+) -> Callable[[str, str], bool]:
+    """``(a, b) -> similarity(a, b) >= threshold`` as one callable.
+
+    Similarity functions that advertise a ``score_cutoff`` keyword
+    (like :func:`hybrid_similarity`) are called with the threshold so
+    their early exits engage; plain two-argument callables are used
+    as-is.  Either way the decisions equal ``fn(a, b) >= threshold``.
+    """
+    if _accepts_score_cutoff(similarity):
+        def decide(a: str, b: str) -> bool:
+            return similarity(a, b, score_cutoff=threshold) >= threshold
+    else:
+        def decide(a: str, b: str) -> bool:
+            return similarity(a, b) >= threshold
+    return decide
+
+
+class PairDecisionMemo:
+    """A bounded memo for repeated ``(value, value)`` match decisions.
+
+    Streams re-present the same value pairs constantly (popular values
+    land in many blocks; batches carry duplicates), and a threshold
+    decision is a pure function of the two strings.  One shared memo
+    per matching scope (a batch, a shard) collapses those repeats to a
+    dict hit.  Capacity-bounded so a long stream cannot grow it without
+    limit: on overflow the memo is simply cleared (the kernel is an
+    optimization, never state).
+    """
+
+    __slots__ = ("decide", "capacity", "_memo")
+
+    def __init__(
+        self,
+        similarity: SimilarityFn,
+        threshold: float,
+        capacity: int = 65536,
+    ) -> None:
+        self.decide = thresholded(similarity, threshold)
+        self.capacity = capacity
+        self._memo: Dict[Tuple[str, str], bool] = {}
+
+    def __call__(self, a: str, b: str) -> bool:
+        key = (a, b)
+        memo = self._memo
+        flag = memo.get(key)
+        if flag is None:
+            flag = self.decide(a, b)
+            if len(memo) >= self.capacity:
+                memo.clear()
+            memo[key] = flag
+        return flag
 
 
 @dataclass
@@ -43,9 +128,10 @@ class Matcher:
         """Record index pairs whose similarity clears the threshold."""
         values = [r.values.get(self.attribute, "") for r in records]
         blocks = build_blocks(values, self.block_keys)
+        decide = PairDecisionMemo(self.similarity, self.threshold)
         matched: List[Tuple[int, int]] = []
         for a, b in sorted(candidate_pairs(blocks, self.max_block_size)):
-            if self.similarity(values[a], values[b]) >= self.threshold:
+            if decide(values[a], values[b]):
                 matched.append((a, b))
         return matched
 

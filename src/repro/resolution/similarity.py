@@ -4,43 +4,113 @@ The paper consumes clusters produced by upstream entity resolution
 (Tamr, Magellan, DataCivilizer); this module provides the classic
 measures a lightweight resolver needs: Levenshtein, Jaro, Jaro-Winkler,
 token Jaccard, overlap, and cosine over token counts.
+
+The Levenshtein kernel is the hot path of blocked similarity matching,
+so it accepts an optional ``score_cutoff``: callers that only care
+whether two strings are within ``k`` edits get a banded dynamic program
+(O(len * k) instead of O(len^2)) with a length-gap shortcut and an
+early exit the moment every cell of a row exceeds the band.  Results
+within the cutoff are exact; beyond it the function returns
+``score_cutoff + 1`` (any distance proven to exceed the cutoff).
 """
 
 from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Sequence
+from typing import Optional, Sequence
 
 
-def levenshtein(a: str, b: str) -> int:
-    """Edit distance with unit insert/delete/substitute costs."""
+def levenshtein(a: str, b: str, score_cutoff: Optional[int] = None) -> int:
+    """Edit distance with unit insert/delete/substitute costs.
+
+    With ``score_cutoff`` set, the result is exact whenever it is
+    ``<= score_cutoff``; distances proven larger are reported as
+    ``score_cutoff + 1`` without finishing the full dynamic program.
+    Every optimal path with cost ``<= k`` stays within ``k`` cells of
+    the diagonal (each diagonal deviation costs at least one edit), so
+    the banded program loses nothing inside the cutoff.
+    """
     if a == b:
         return 0
     if not a:
-        return len(b)
+        return len(b) if score_cutoff is None else min(len(b), score_cutoff + 1)
     if not b:
-        return len(a)
+        return len(a) if score_cutoff is None else min(len(a), score_cutoff + 1)
     if len(a) < len(b):
         a, b = b, a
-    previous = list(range(len(b) + 1))
+    if score_cutoff is None:
+        previous = list(range(len(b) + 1))
+        for i, ca in enumerate(a, start=1):
+            current = [i]
+            for j, cb in enumerate(b, start=1):
+                cost = 0 if ca == cb else 1
+                current.append(
+                    min(
+                        previous[j] + 1,
+                        current[j - 1] + 1,
+                        previous[j - 1] + cost,
+                    )
+                )
+            previous = current
+        return previous[-1]
+    cutoff = max(score_cutoff, 0)
+    la, lb = len(a), len(b)
+    if la - lb > cutoff:  # length-gap shortcut: la >= lb here
+        return cutoff + 1
+    bound = cutoff + 1
+    previous = [j if j <= cutoff else bound for j in range(lb + 1)]
     for i, ca in enumerate(a, start=1):
-        current = [i]
-        for j, cb in enumerate(b, start=1):
-            cost = 0 if ca == cb else 1
-            current.append(
-                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
-            )
+        lo = i - cutoff
+        hi = i + cutoff
+        if lo < 1:
+            lo = 1
+        if hi > lb:
+            hi = lb
+        current = [bound] * (lb + 1)
+        if lo == 1 and i <= cutoff:
+            current[0] = i
+        best = bound
+        for j in range(lo, hi + 1):
+            cb = b[j - 1]
+            cost = previous[j - 1] + (0 if ca == cb else 1)
+            up = previous[j] + 1
+            if up < cost:
+                cost = up
+            left = current[j - 1] + 1
+            if left < cost:
+                cost = left
+            if cost > bound:
+                cost = bound
+            current[j] = cost
+            if cost < best:
+                best = cost
+        if best >= bound:
+            return bound  # every band cell already exceeds the cutoff
         previous = current
-    return previous[-1]
+    distance = previous[lb]
+    return distance if distance <= cutoff else bound
 
 
-def levenshtein_similarity(a: str, b: str) -> float:
-    """``1 - dist / max_len``; 1.0 for two empty strings."""
+def levenshtein_similarity(
+    a: str, b: str, score_cutoff: Optional[float] = None
+) -> float:
+    """``1 - dist / max_len``; 1.0 for two empty strings.
+
+    ``score_cutoff`` is a *similarity* threshold: the result is exact
+    whenever it is ``>= score_cutoff``, and otherwise guaranteed to be
+    some value ``< score_cutoff`` (the banded distance kernel stops as
+    soon as the threshold is unreachable).
+    """
     longest = max(len(a), len(b))
     if longest == 0:
         return 1.0
-    return 1.0 - levenshtein(a, b) / longest
+    if score_cutoff is None:
+        return 1.0 - levenshtein(a, b) / longest
+    # sim >= c  <=>  dist <= longest * (1 - c); ceil() keeps the edge
+    # exact against float rounding (one extra diagonal costs nothing).
+    dist_cutoff = math.ceil(longest * (1.0 - score_cutoff))
+    return 1.0 - levenshtein(a, b, score_cutoff=dist_cutoff) / longest
 
 
 def jaro(a: str, b: str) -> float:

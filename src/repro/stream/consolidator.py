@@ -67,6 +67,7 @@ from ..pipeline.standardize import (
     StandardizationLog,
     StepRecord,
 )
+from ..resolution.blocking import BlockKeyFn
 from ..resolution.matcher import SimilarityFn, hybrid_similarity
 from ..serve.engine import ApplyEngine
 from ..serve.model import TransformationModel, build_model
@@ -98,6 +99,11 @@ class BatchReport:
     merges: int = 0
     new_clusters: int = 0
     pairs_compared: int = 0
+    #: resident values shipped to shard workers (0 without a pool)
+    values_shipped: int = 0
+    #: serialized bytes shipped to shard workers across the batch's
+    #: data-plane ops (resolve scripts + alignment fan-out)
+    bytes_shipped: int = 0
     #: cached-approved replacements re-applied without a question
     reused_replacements: int = 0
     reused_cells: int = 0
@@ -124,6 +130,25 @@ class BatchReport:
             f"{self.cells_changed} cells changed, model {version}"
             + (", DRIFT" if self.drift_triggered else "")
         )
+
+    def stats(self) -> Dict[str, object]:
+        """The batch's counters as a JSON-friendly dict (one row of
+        ``repro stream --stats`` output)."""
+        return {
+            "batch": self.index,
+            "records": self.records,
+            "candidate_pairs": self.pairs_compared,
+            "values_shipped": self.values_shipped,
+            "bytes_shipped": self.bytes_shipped,
+            "explained_cells": self.explained_cells,
+            "unmatched_cells": self.unmatched_cells,
+            "merges": self.merges,
+            "questions_asked": self.questions_asked,
+            "reused_replacements": self.reused_replacements,
+            "cells_changed": self.cells_changed,
+            "model_version": self.model_version,
+            "seconds": round(self.seconds, 6),
+        }
 
 
 class _CellCanonical:
@@ -223,6 +248,12 @@ class StreamConsolidator:
     key_attribute / attribute, similarity_threshold, similarity:
         Resolution mode — exactly one of ``key_attribute`` (exact-key
         clustering) or ``attribute`` (blocked similarity matching).
+    block_keys / max_block_size:
+        Similarity-mode blocking: the block-key function (default
+        token blocking; see
+        :func:`~repro.resolution.blocking.make_block_keys` for the
+        MinHash-LSH modes behind ``--blocking lsh``) and the oversized
+        -block guard.
     columns:
         Attribute universe of the cumulative table; inferred from the
         first batch when omitted.
@@ -266,6 +297,8 @@ class StreamConsolidator:
         attribute: Optional[str] = None,
         similarity_threshold: float = 0.8,
         similarity: SimilarityFn = hybrid_similarity,
+        block_keys: Optional[BlockKeyFn] = None,
+        max_block_size: int = 50,
         columns: Optional[Sequence[str]] = None,
         budget_per_batch: int = 50,
         config: Config = DEFAULT_CONFIG,
@@ -308,6 +341,8 @@ class StreamConsolidator:
         self._attribute = attribute
         self._similarity_threshold = similarity_threshold
         self._similarity = similarity
+        self._block_keys = block_keys
+        self._max_block_size = max_block_size
 
         self.registry = registry
         if persist_decisions and decision_log is None and registry is not None:
@@ -388,14 +423,19 @@ class StreamConsolidator:
                     if name not in seen:
                         seen.append(name)
             columns = tuple(seen)
+        resolver_kwargs = {}
+        if self._block_keys is not None:
+            resolver_kwargs["block_keys"] = self._block_keys
         self.resolver = IncrementalResolver(
             columns,
             key_attribute=self._key_attribute,
             attribute=self._attribute,
             threshold=self._similarity_threshold,
             similarity=self._similarity,
+            max_block_size=self._max_block_size,
             shards=self.shards,
             block_retention=self.block_retention,
+            **resolver_kwargs,
         )
         if not self.resume:
             self._archive_decision_log()
@@ -500,10 +540,14 @@ class StreamConsolidator:
                     report.explained_cells += 1
 
         # 2. incremental resolution (new-record pairs only).
+        pool_bytes_before = (
+            self.pool.shipped_bytes if self.pool is not None else 0
+        )
         resolution = self.resolver.add_batch(records, pool=self.pool)
         report.merges = resolution.merges
         report.new_clusters = resolution.new_clusters
         report.pairs_compared = resolution.pairs_compared
+        report.values_shipped = resolution.values_shipped
 
         # 3. delta candidate generation (merge moves first).  Records
         # can be appended *and* merge-moved within one batch, so moves
@@ -584,6 +628,12 @@ class StreamConsolidator:
                 )
                 self.publisher.subscribe(self.engine)
 
+        if self.pool is not None:
+            # Data-plane bytes for the whole batch (resolve scripts
+            # plus the alignment fan-out in step 3/5).
+            report.bytes_shipped = (
+                self.pool.shipped_bytes - pool_bytes_before
+            )
         report.seconds = time.perf_counter() - start
         self.reports.append(report)
         return report

@@ -40,6 +40,17 @@ matching changes *which process* evaluates a comparison, never which
 comparisons are evaluated: candidate lists are assembled (and ordered,
 and deduplicated) by the parent exactly as the inline path would, so
 the resolved clusters are identical at any shard count.
+
+Shard workers keep the blocking state **resident**: each worker holds
+a live replica of the member values of the block keys it owns,
+maintained by index/evict deltas that accompany each batch (plus a
+one-time warm-up when a pool first sees an index that already grew).
+A member's value crosses the process boundary once per owning shard,
+when the member first enters one of that shard's blocks; from then on
+match traffic carries candidate *record ids* only.  Per-batch IPC is
+therefore O(new values), not O(candidate values) — the difference the
+``values_shipped`` / ``bytes_shipped`` counters in
+:class:`BatchResolution` make observable.
 """
 
 from __future__ import annotations
@@ -58,10 +69,21 @@ from typing import (
 
 from ..data.table import CellRef, ClusterTable, Record
 from ..resolution.blocking import BlockIndex, BlockKeyFn, token_keys
-from ..resolution.matcher import SimilarityFn, hybrid_similarity
+from ..resolution.matcher import (
+    PairDecisionMemo,
+    SimilarityFn,
+    hybrid_similarity,
+)
 from ..resolution.unionfind import UnionFind
 
 Position = Tuple[int, int]  # (cluster slot, row)
+
+#: Resident-replica deltas buffered across *unpooled* batches are
+#: bounded: past this many, the resolver stops tracking and instead
+#: re-warms the replicas (reset + full replay) at the next pooled
+#: batch — so a stream that went unpooled for good cannot grow the
+#: buffer with its length.
+MAX_BUFFERED_DELTAS = 65536
 
 
 @dataclass
@@ -78,6 +100,11 @@ class BatchResolution:
     new_clusters: int = 0
     #: similarity comparisons actually evaluated (the incremental cost)
     pairs_compared: int = 0
+    #: resident values shipped to shard workers this batch (new values
+    #: plus any warm-up / buffered deltas; 0 without a pool)
+    values_shipped: int = 0
+    #: serialized bytes shipped to shard workers this batch
+    bytes_shipped: int = 0
 
 
 class IncrementalResolver:
@@ -135,6 +162,20 @@ class IncrementalResolver:
         #: key mode: key value -> cluster slot
         self._key_slot: Dict[str, int] = {}
         self._values: Dict[str, str] = {}
+        #: memoized inline threshold kernel (early-exit similarity)
+        self._decide: Optional[PairDecisionMemo] = None
+        # -- shard-resident replica bookkeeping (pool-backed batches) --
+        #: True once a pool's workers were warm-started with the index
+        self._resident_synced = False
+        #: (rid, shard) -> live block references the shard's replica
+        #: holds; a shard re-needs the value when its count re-enters 0
+        self._shard_refs: Dict[Tuple[str, int], int] = {}
+        #: deltas from index mutations that happened *without* a pool
+        #: (inline batches, compaction) since the last pooled batch
+        self._resident_deltas: List[Tuple[int, Tuple]] = []
+        #: True while _add_record replays mutations the pooled match
+        #: already shipped (suppresses double-emission)
+        self._deltas_in_flight = False
 
     # -- lookups -----------------------------------------------------------
 
@@ -169,20 +210,28 @@ class IncrementalResolver:
         records of the same batch count as existing for later ones, so
         intra-batch duplicates resolve too.  With a
         :class:`~repro.stream.shards.ShardPool` (similarity mode only)
-        the batch's comparisons are evaluated by the shard workers —
-        same candidates, same order, same clusters, less wall-clock.
+        the batch's comparisons are evaluated by the shard workers
+        against their resident value replicas — same candidates, same
+        order, same clusters, less wall-clock and O(new values) IPC.
         """
         result = BatchResolution()
         matched_by_rid: Optional[Dict[str, List[str]]] = None
         if pool is not None and self.attribute is not None and records:
             matched_by_rid = self._match_batch(records, pool, result)
-        for record in records:
-            matched = (
-                matched_by_rid.get(record.rid)
-                if matched_by_rid is not None
-                else None
-            )
-            self._add_record(record, result, matched)
+            # The pooled match already shipped this batch's index /
+            # evict deltas; the authoritative replay below must not
+            # re-buffer them.
+            self._deltas_in_flight = True
+        try:
+            for record in records:
+                matched = (
+                    matched_by_rid.get(record.rid)
+                    if matched_by_rid is not None
+                    else None
+                )
+                self._add_record(record, result, matched)
+        finally:
+            self._deltas_in_flight = False
         return result
 
     def _add_record(
@@ -285,12 +334,70 @@ class IncrementalResolver:
         self, value: str, result: BatchResolution
     ) -> List[str]:
         """Existing rids whose value matches the new one (blocked)."""
+        if self._decide is None:
+            self._decide = PairDecisionMemo(self.similarity, self.threshold)
         matched: List[str] = []
         for other, _shard in self._candidates(value):
             result.pairs_compared += 1
-            if self.similarity(value, self._values[other]) >= self.threshold:
+            if self._decide(value, self._values[other]):
                 matched.append(other)
         return matched
+
+    # -- shard-resident replica deltas -------------------------------------
+
+    def _note_index(
+        self, rid: str, value: str, key: Hashable
+    ) -> Tuple[int, Tuple]:
+        """Account one new block reference on ``key``'s shard; the
+        returned step carries the value only on the shard's first
+        reference (the replica already holds it otherwise)."""
+        shard = self._blocks.shard_of(key)
+        ref = (rid, shard)
+        count = self._shard_refs.get(ref, 0)
+        self._shard_refs[ref] = count + 1
+        return shard, ("i", rid, value if count == 0 else None)
+
+    def _note_evict(self, rid: str, key: Hashable) -> Tuple[int, Tuple]:
+        """Account one dropped block reference on ``key``'s shard."""
+        shard = self._blocks.shard_of(key)
+        ref = (rid, shard)
+        count = self._shard_refs.get(ref, 0) - 1
+        if count <= 0:
+            self._shard_refs.pop(ref, None)
+        else:
+            self._shard_refs[ref] = count
+        return shard, ("e", rid)
+
+    def _warm_up_steps(self, steps: List[List[Tuple]]) -> None:
+        """Replay the whole current index into the shard replicas.
+
+        Runs the first time a pool-backed batch meets an index that
+        grew before any pool was attached (tests, late sharding), and
+        again if delta tracking was abandoned (buffer overflow during
+        a long unpooled stretch).  A reset step precedes the replay so
+        a worker holding a stale replica starts from empty; fresh
+        workers ignore it.  The streaming consolidator attaches its
+        pool from batch one, so this is normally a no-op over an empty
+        index.
+        """
+        self._shard_refs.clear()
+        for shard_steps in steps:
+            shard_steps.append(("r",))
+        for key, members in self._blocks.items():
+            for rid in members:
+                shard, step = self._note_index(rid, self._values[rid], key)
+                steps[shard].append(step)
+        self._resident_synced = True
+
+    def _buffer_delta(self, delta: Tuple[int, Tuple]) -> None:
+        """Queue a replica delta for the next pooled batch; on
+        overflow, abandon tracking — the next pooled batch (if one
+        ever comes) re-warms from scratch instead."""
+        self._resident_deltas.append(delta)
+        if len(self._resident_deltas) > MAX_BUFFERED_DELTAS:
+            self._resident_deltas.clear()
+            self._shard_refs.clear()
+            self._resident_synced = False
 
     def _match_batch(
         self, records: Sequence[Record], pool, result: BatchResolution
@@ -301,11 +408,29 @@ class IncrementalResolver:
         *simulated* block state — pre-batch blocks plus the batch's own
         appends with the same rotation :meth:`_index_blocks` will apply
         — so later records see earlier ones (and rotation evictions)
-        exactly as the sequential interleave would.  Each comparison is
-        routed to the shard owning its contributing block key and the
-        matched lists reassembled in candidate order from the returned
-        flags.
+        exactly as the sequential interleave would.  What ships per
+        shard is an ordered *script*: match steps carrying the new
+        value and its candidate rids, interleaved with the index/evict
+        deltas that keep the shard's resident value replica current.
+        Candidate **values** never ship — each shard reads them from
+        its replica — so per-batch IPC is O(new values + candidate
+        ids) instead of O(candidate values).
         """
+        if pool.shards != self._blocks.shards:
+            raise ValueError(
+                f"pool has {pool.shards} shards but the block index is "
+                f"partitioned {self._blocks.shards} ways"
+            )
+        steps: List[List[Tuple]] = [[] for _ in range(pool.shards)]
+        if not self._resident_synced:
+            self._warm_up_steps(steps)
+        if self._resident_deltas:
+            # Mutations since the last pooled batch (inline batches,
+            # compaction) replay first, in occurrence order.
+            for shard, step in self._resident_deltas:
+                steps[shard].append(step)
+            self._resident_deltas.clear()
+
         simulated: Dict[Hashable, List[str]] = {}
         retention = self._blocks.retention
 
@@ -315,43 +440,40 @@ class IncrementalResolver:
                 block = simulated[key] = list(self._blocks.members(key))
             return block
 
-        batch_values: Dict[str, str] = {}
         candidate_lists: List[Tuple[str, List[Tuple[str, int]]]] = []
-        tasks_by_shard: List[List] = [[] for _ in range(pool.shards)]
         for task_id, record in enumerate(records):
             value = record.values.get(self.attribute or "", "")
             candidates = self._candidates(value, simulated_block)
             candidate_lists.append((record.rid, candidates))
             by_shard: Dict[int, List[str]] = {}
             for other, shard in candidates:
-                other_value = self._values.get(
-                    other, batch_values.get(other, "")
+                by_shard.setdefault(shard, []).append(other)
+            for shard in sorted(by_shard):
+                steps[shard].append(
+                    ("m", task_id, value, by_shard[shard])
                 )
-                by_shard.setdefault(shard, []).append(other_value)
-            for shard, values in by_shard.items():
-                tasks_by_shard[shard].append((task_id, value, values))
-            batch_values[record.rid] = value
             for key in self.block_keys(value):
                 block = simulated_block(key)
                 block.append(record.rid)
+                shard, step = self._note_index(record.rid, value, key)
+                steps[shard].append(step)
                 if retention is not None and len(block) > retention:
+                    evicted = block[: len(block) - retention]
                     del block[: len(block) - retention]
-        flags_by_task = pool.match(self.threshold, tasks_by_shard)
+                    for old in evicted:
+                        shard, step = self._note_evict(old, key)
+                        steps[shard].append(step)
+
+        shipped_values = pool.shipped_values
+        shipped_bytes = pool.shipped_bytes
+        matched_by_task = pool.resolve(self.threshold, steps)
+        result.values_shipped += pool.shipped_values - shipped_values
+        result.bytes_shipped += pool.shipped_bytes - shipped_bytes
+
         matched_by_rid: Dict[str, List[str]] = {}
         for task_id, (rid, candidates) in enumerate(candidate_lists):
             result.pairs_compared += len(candidates)
-            flags = iter(flags_by_task.get(task_id, ()))
-            # Flags concatenate in ascending shard order (broadcast
-            # reply order); within a shard, in the order the
-            # candidates were bucketed.  Mirror both here.
-            by_shard: Dict[int, List[str]] = {}
-            for other, shard in candidates:
-                by_shard.setdefault(shard, []).append(other)
-            matched_set: Set[str] = set()
-            for shard in sorted(by_shard):
-                for other in by_shard[shard]:
-                    if next(flags, False):
-                        matched_set.add(other)
+            matched_set: Set[str] = set(matched_by_task.get(task_id, ()))
             matched_by_rid[rid] = [
                 other for other, _ in candidates if other in matched_set
             ]
@@ -360,10 +482,22 @@ class IncrementalResolver:
     def _index_blocks(self, rid: str, value: str) -> None:
         self._values[rid] = value
         for key in self.block_keys(value):
-            for gone in self._blocks.add(key, rid):
+            # Re-checked per key: buffering can overflow mid-value and
+            # flip the resolver back to untracked (re-warm later).
+            if self._resident_synced and not self._deltas_in_flight:
+                self._buffer_delta(self._note_index(rid, value, key))
+                evicted: List[str] = []
+                gone = self._blocks.add(key, rid, evicted_into=evicted)
+                for old in evicted:
+                    if not self._resident_synced:
+                        break
+                    self._buffer_delta(self._note_evict(old, key))
+            else:
+                gone = self._blocks.add(key, rid)
+            for old in gone:
                 # Rotated out of its last block: off the comparison
                 # frontier, so its value is no longer needed.
-                self._values.pop(gone, None)
+                self._values.pop(old, None)
 
     def _merge_slots(self, slots: List[int], result: BatchResolution) -> int:
         """Merge bridged clusters into the most populous slot.
@@ -398,9 +532,19 @@ class IncrementalResolver:
         Returns how many records left the comparison frontier entirely
         (their values are released too).  Clusters are untouched — the
         union-find already closed over everything the dropped members
-        matched.
+        matched.  With shard replicas warm, the dropped memberships
+        are buffered as evict deltas so the next pooled batch brings
+        the workers to the compacted state before matching.
         """
-        gone = self._blocks.compact(retention)
+        if self._resident_synced:
+            evicted: List[Tuple[Hashable, str]] = []
+            gone = self._blocks.compact(retention, evicted_into=evicted)
+            for key, rid in evicted:
+                if not self._resident_synced:
+                    break  # buffer overflowed: re-warm covers the rest
+                self._buffer_delta(self._note_evict(rid, key))
+        else:
+            gone = self._blocks.compact(retention)
         for rid in gone:
             self._values.pop(rid, None)
         return len(gone)

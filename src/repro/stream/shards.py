@@ -18,10 +18,15 @@ results are merged in a canonical order by the single parent process:
    workers, the parent merges segments into the one
    :class:`~repro.candidates.store.ReplacementStore` in inline order;
 2. **similarity matching** — a new record's blocked comparisons are a
-   pure function of the candidate values; the resolver partitions its
-   block index by stable block-key hash
-   (:class:`~repro.resolution.blocking.BlockIndex`) and each shard
-   compares the candidates of the keys it owns;
+   pure function of the candidate values.  Blocking state is
+   **shard-resident**: each shard keeps a live replica of the member
+   values of every block key it owns (stable block-key hash,
+   :class:`~repro.resolution.blocking.BlockIndex`), maintained by
+   index/evict deltas that ship each member value to a shard exactly
+   once.  Per batch the parent ships only the batch's *new* values and
+   the candidate record ids to compare — never the resident member
+   values again — which drops the dominant per-batch IPC from
+   O(candidate values) to O(new values);
 3. **the grouping feed** — the expensive stage.  The incremental
    grouper is a lazy top-k merge over independent per-structure-bucket
    sources, so buckets are partitioned across shards by stable
@@ -62,35 +67,51 @@ from ..core.replacement import Replacement
 from ..core.structure import StructureKey, structure_key
 from ..core.terms import DEFAULT_VOCABULARY, TermVocabulary
 from ..resolution.blocking import stable_hash
-from ..resolution.matcher import SimilarityFn
+from ..resolution.matcher import PairDecisionMemo, SimilarityFn
 
-#: Below this many alignment pairs / similarity comparisons a batch is
-#: handled inline: IPC would cost more than the work.
+#: Below this many alignment pairs a batch is handled inline: IPC
+#: would cost more than the work.  (Match traffic is exempt — it also
+#: maintains the shards' resident blocking state, so it always flows.)
 MIN_PARALLEL_PAIRS = 64
 
-#: One similarity-match task: (task id, new value, candidate values).
-MatchTask = Tuple[int, str, List[str]]
+#: One step of a shard's per-batch resolve script, executed in order:
+#: ``("m", task id, new value, [candidate rids])`` — compare the new
+#: value against the named resident members, reply with the matches;
+#: ``("i", rid, value-or-None)`` — a new member entered a block this
+#: shard owns (the value ships on the rid's first step per shard and
+#: is ``None`` on repeats — one block reference each, refcounted);
+#: ``("e", rid)`` — rotation/compaction dropped one of the rid's block
+#: references here; the last reference releases the resident value;
+#: ``("r",)`` — drop the whole replica (precedes a full re-warm-up
+#: after the parent stopped tracking deltas, e.g. a long unpooled
+#: stretch overflowed its delta buffer).
+ResolveStep = Tuple[Any, ...]
 
 
 class ShardStandardizer:
     """The shard-local half of the streaming learner.
 
     One instance runs inside each shard (worker process or inline) and
-    owns the shard's partition of the grouping feed plus the stateless
-    pure kernels (pair alignment, similarity comparison).  It speaks a
-    small ``(op, payload) -> reply`` protocol so the process and inline
+    owns the shard's partition of the grouping feed, the stateless pure
+    kernels (pair alignment, similarity comparison), and the shard's
+    **resident blocking state**: a live ``rid -> value`` replica of
+    every member of every block key the shard owns, kept current by the
+    index/evict steps of each batch's resolve script.  Matching reads
+    candidate values from this replica, so the parent never re-ships a
+    member value after its first arrival.  It speaks a small
+    ``(op, payload) -> reply`` protocol so the process and inline
     backends stay byte-for-byte equivalent:
 
-    ==========  ============================================  =========
-    op          payload                                       reply
-    ==========  ============================================  =========
-    ``round``   ``(replacements, counts)``                    ``True``
-    ``peek``    ``None``                                      ``None`` or ``(size, skey)``
-    ``pop``     ``None``                                      :class:`~repro.core.grouping.Group`
-    ``remove``  ``[Replacement, ...]``                        ``True``
-    ``derive``  ``[(va, vb), ...]``                           ``[TokenSegments, ...]``
-    ``match``   ``(threshold, [MatchTask, ...])``             ``[(task id, [bool, ...]), ...]``
-    ==========  ============================================  =========
+    ===========  ============================================  =========
+    op           payload                                       reply
+    ===========  ============================================  =========
+    ``round``    ``(replacements, counts)``                    ``True``
+    ``peek``     ``None``                                      ``None`` or ``(size, skey)``
+    ``pop``      ``None``                                      :class:`~repro.core.grouping.Group`
+    ``remove``   ``[Replacement, ...]``                        ``True``
+    ``derive``   ``[(va, vb), ...]``                           ``[TokenSegments, ...]``
+    ``resolve``  ``(threshold, [ResolveStep, ...])``           ``[(task id, [matched rid, ...]), ...]``
+    ===========  ============================================  =========
     """
 
     def __init__(
@@ -103,6 +124,12 @@ class ShardStandardizer:
         self.vocabulary = vocabulary
         self.similarity = similarity
         self.grouper: Optional[IncrementalGrouper] = None
+        #: resident replica: rid -> value, for members of owned blocks
+        self.values: Dict[str, str] = {}
+        #: rid -> live block references on this shard (drop at zero)
+        self.value_refs: Dict[str, int] = {}
+        #: per-threshold memoized match kernels (early-exit + memo)
+        self._deciders: Dict[float, PairDecisionMemo] = {}
 
     # -- protocol ----------------------------------------------------------
 
@@ -134,18 +161,59 @@ class ShardStandardizer:
                 derive_token_segments(va, vb, self.config)
                 for va, vb in payload
             ]
-        if op == "match":
-            assert self.similarity is not None, "match without similarity"
-            threshold, tasks = payload
-            replies = []
-            for task_id, value, candidates in tasks:
-                flags = [
-                    self.similarity(value, other) >= threshold
-                    for other in candidates
-                ]
-                replies.append((task_id, flags))
-            return replies
+        if op == "resolve":
+            threshold, steps = payload
+            return self._resolve(threshold, steps)
         raise ValueError(f"unknown shard op: {op!r}")
+
+    # -- resident blocked matching -----------------------------------------
+
+    def _resolve(
+        self, threshold: float, steps: Sequence[ResolveStep]
+    ) -> List[Tuple[int, List[str]]]:
+        """Execute one batch's resolve script against resident state.
+
+        Step order is the parent's sequential interleave — a record's
+        match step precedes its index step, which precedes the next
+        record's match step — so intra-batch candidates and rotation
+        evictions are seen exactly as a single process would see them.
+        """
+        decide = self._deciders.get(threshold)
+        if decide is None:
+            assert self.similarity is not None, "resolve without similarity"
+            decide = self._deciders[threshold] = PairDecisionMemo(
+                self.similarity, threshold
+            )
+        values = self.values
+        refs = self.value_refs
+        replies: List[Tuple[int, List[str]]] = []
+        for step in steps:
+            kind = step[0]
+            if kind == "m":
+                _, task_id, value, rids = step
+                matched = [
+                    rid for rid in rids if decide(value, values[rid])
+                ]
+                replies.append((task_id, matched))
+            elif kind == "i":
+                _, rid, value = step
+                if value is not None:
+                    values[rid] = value
+                refs[rid] = refs.get(rid, 0) + 1
+            elif kind == "e":
+                rid = step[1]
+                remaining = refs.get(rid, 0) - 1
+                if remaining <= 0:
+                    refs.pop(rid, None)
+                    values.pop(rid, None)
+                else:
+                    refs[rid] = remaining
+            elif kind == "r":
+                values.clear()
+                refs.clear()
+            else:
+                raise ValueError(f"unknown resolve step: {kind!r}")
+        return replies
 
 
 def _shard_main(requests, responses, config, vocabulary, similarity) -> None:
@@ -314,6 +382,16 @@ class ShardPool:
                 shards, config, vocabulary, similarity
             )
         self.uses_processes = isinstance(self._backend, _ProcessBackend)
+        #: cumulative shipping counters for the data-plane ops (resolve
+        #: + derive): resident values shipped, candidate rid references
+        #: shipped, and serialized payload bytes.  The per-batch deltas
+        #: back ``repro stream --stats`` and the IPC benchmarks.
+        #: ``shipped_bytes`` counts only *actual* IPC — it stays 0 on
+        #: the inline backend, where nothing is serialized (and where
+        #: pickling purely for accounting would cost real time).
+        self.shipped_values = 0
+        self.shipped_candidate_ids = 0
+        self.shipped_bytes = 0
 
     # -- the grouping feed -------------------------------------------------
 
@@ -344,43 +422,59 @@ class ShardPool:
             ]
             return dict(zip(pairs, segments))
         chunks = [pairs[shard :: self.shards] for shard in range(self.shards)]
+        for chunk in chunks:
+            self.shipped_bytes += len(
+                pickle.dumps(chunk, pickle.HIGHEST_PROTOCOL)
+            )
         replies = self._backend.broadcast("derive", chunks)
         out: Dict[Tuple[str, str], TokenSegments] = {}
         for chunk, reply in zip(chunks, replies):
             out.update(zip(chunk, reply))
         return out
 
-    def match(
+    def resolve(
         self,
         threshold: float,
-        tasks_by_shard: Sequence[List[MatchTask]],
-    ) -> Dict[int, List[bool]]:
-        """Similarity flags for per-shard comparison tasks, merged by
-        task id (one id can span shards when a record's block keys hash
-        apart — the caller concatenates in its own canonical order)."""
-        total = sum(
-            len(candidates)
-            for tasks in tasks_by_shard
-            for _, _, candidates in tasks
-        )
-        flags: Dict[int, List[bool]] = {}
-        if total == 0:
-            return flags
-        if not self.uses_processes or total < MIN_PARALLEL_PAIRS:
-            replies = [
-                self._backend.request(0, "match", (threshold, tasks))
-                for tasks in tasks_by_shard
-                if tasks
-            ]
-        else:
-            replies = self._backend.broadcast(
-                "match",
-                [(threshold, tasks) for tasks in tasks_by_shard],
-            )
+        steps_by_shard: Sequence[Sequence[ResolveStep]],
+    ) -> Dict[int, List[str]]:
+        """Run one batch's resolve scripts on the shards.
+
+        Every step list ships — index/evict steps maintain the shards'
+        resident replicas, so they can never be skipped for being small
+        — and the matched rids come back merged per task id in
+        ascending shard order.  Only match consumers care about the
+        order; the caller re-ranks against its own candidate order.
+        Counters account what actually crossed the boundary: each
+        resident value ships exactly once per owning shard, match steps
+        ship candidate *ids* only.
+        """
+        merged: Dict[int, List[str]] = {}
+        if not any(steps_by_shard):
+            return merged
+        payloads = []
+        for steps in steps_by_shard:
+            steps = list(steps)
+            payloads.append((threshold, steps))
+            if not steps:
+                continue
+            for step in steps:
+                kind = step[0]
+                if kind == "i":
+                    if step[2] is not None:
+                        self.shipped_values += 1
+                elif kind == "m":
+                    self.shipped_candidate_ids += len(step[3])
+            if self.uses_processes:
+                self.shipped_bytes += len(
+                    pickle.dumps(
+                        (threshold, steps), pickle.HIGHEST_PROTOCOL
+                    )
+                )
+        replies = self._backend.broadcast("resolve", payloads)
         for reply in replies:
-            for task_id, task_flags in reply:
-                flags.setdefault(task_id, []).extend(task_flags)
-        return flags
+            for task_id, matched in reply:
+                merged.setdefault(task_id, []).extend(matched)
+        return merged
 
     # -- plumbing ----------------------------------------------------------
 

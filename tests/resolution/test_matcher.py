@@ -3,7 +3,13 @@
 import pytest
 
 from repro.data.table import Record
-from repro.resolution.matcher import Matcher, cluster_by_key, hybrid_similarity
+from repro.resolution.matcher import (
+    Matcher,
+    PairDecisionMemo,
+    cluster_by_key,
+    hybrid_similarity,
+    thresholded,
+)
 
 
 def records_of(*values, attribute="title", keys=None):
@@ -80,3 +86,52 @@ class TestHybridSimilarity:
         close = hybrid_similarity("Journal of Biology", "J of Biology")
         far = hybrid_similarity("Journal of Biology", "Annals of Physics")
         assert close > far
+
+    @pytest.mark.parametrize("cutoff", [0.3, 0.5, 0.7, 0.8, 0.95])
+    def test_cutoff_threshold_decisions_identical(self, cutoff):
+        pairs = [
+            ("Journal of Biology", "J of Biology"),
+            ("Journal of Biology", "Journal of Biology."),
+            ("Journal of Biology", "Annals of Physics"),
+            ("5 Main St", "5 Main Street"),
+            ("short", "a very much longer string entirely"),
+            ("", "nonempty"),
+            ("exact match", "exact match"),
+        ]
+        for a, b in pairs:
+            exact = hybrid_similarity(a, b)
+            cut = hybrid_similarity(a, b, score_cutoff=cutoff)
+            assert (cut >= cutoff) == (exact >= cutoff), (a, b)
+            if exact >= cutoff:  # exact result whenever it clears
+                assert cut == exact
+
+
+class TestThresholded:
+    def test_cutoff_aware_function_gets_the_threshold(self):
+        decide = thresholded(hybrid_similarity, 0.8)
+        assert decide("5 Main St", "5 Main St") is True
+        assert decide("5 Main St", "zzz qqq xxx yyy www") is False
+
+    def test_plain_two_arg_callable_works_unchanged(self):
+        decide = thresholded(lambda a, b: 1.0 if a == b else 0.0, 0.5)
+        assert decide("x", "x") is True
+        assert decide("x", "y") is False
+
+    def test_memo_caches_without_changing_decisions(self):
+        calls = []
+
+        def spy(a, b):
+            calls.append((a, b))
+            return hybrid_similarity(a, b)
+
+        memo = PairDecisionMemo(spy, 0.8)
+        assert memo("5 Main St", "5 Main Street") == memo(
+            "5 Main St", "5 Main Street"
+        )
+        assert len(calls) == 1  # second lookup hit the memo
+
+    def test_memo_capacity_bounds_growth(self):
+        memo = PairDecisionMemo(hybrid_similarity, 0.5, capacity=3)
+        for i in range(10):
+            memo(f"value {i}", f"value {i + 1}")
+        assert len(memo._memo) <= 3

@@ -38,6 +38,63 @@ class TestLevenshtein:
         assert levenshtein_similarity("abc", "xyz") == 0.0
 
 
+class TestLevenshteinCutoff:
+    """The banded early-exit kernel: exact inside the cutoff, clamped
+    to ``cutoff + 1`` outside it."""
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ("kitten", "sitting"),
+            ("flaw", "lawn"),
+            ("", "abc"),
+            ("abcdefgh", "abc"),
+            ("ab", "ba"),
+            ("same", "same"),
+        ],
+    )
+    def test_matches_exact_for_every_cutoff(self, a, b):
+        exact = levenshtein(a, b)
+        for cutoff in range(0, len(a) + len(b) + 1):
+            banded = levenshtein(a, b, score_cutoff=cutoff)
+            if exact <= cutoff:
+                assert banded == exact
+            else:
+                assert banded == cutoff + 1
+
+    def test_length_gap_shortcut(self):
+        # |len(a) - len(b)| > cutoff proves the distance without DP.
+        assert levenshtein("abcdefgh", "ab", score_cutoff=3) == 4
+
+    def test_randomized_agreement_with_exact(self):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(300):
+            a = "".join(rng.choice("abc ") for _ in range(rng.randrange(9)))
+            b = "".join(rng.choice("abc ") for _ in range(rng.randrange(9)))
+            exact = levenshtein(a, b)
+            for cutoff in (0, 1, 2, 4, 8):
+                banded = levenshtein(a, b, score_cutoff=cutoff)
+                assert banded == (exact if exact <= cutoff else cutoff + 1)
+
+    def test_similarity_cutoff_exact_above_below_threshold(self):
+        # Exact when the result clears the cutoff...
+        assert levenshtein_similarity(
+            "kitten", "sitting", score_cutoff=0.5
+        ) == levenshtein_similarity("kitten", "sitting")
+        # ... and guaranteed below it otherwise.
+        low = levenshtein_similarity("abcdef", "zzzzzz", score_cutoff=0.9)
+        assert low < 0.9
+
+    def test_similarity_cutoff_boundary_is_exact(self):
+        # sim("abcde","abcdz") == 0.8: the threshold == value edge must
+        # not be lost to float rounding in the distance conversion.
+        assert (
+            levenshtein_similarity("abcde", "abcdz", score_cutoff=0.8) == 0.8
+        )
+
+
 class TestJaro:
     def test_identical(self):
         assert jaro("martha", "martha") == 1.0

@@ -22,7 +22,7 @@ from repro.data.table import Record
 from repro.datagen.address import address_dataset
 from repro.datagen.base import GeneratorSpec
 from repro.datagen.stream import dataset_stream
-from repro.resolution.blocking import BlockIndex, stable_hash
+from repro.resolution.blocking import BlockIndex, lsh_keys, stable_hash
 from repro.serve.registry import ModelRegistry
 from repro.stream import (
     ShardPool,
@@ -395,6 +395,305 @@ class TestSimilarityModeSharded:
                 assert resolve(shards, pool) == base
 
 
+class TestShardResidentState:
+    """Shard workers keep member values resident: per-batch IPC ships
+    only new values (plus candidate rids), never the block members
+    again — and the replicas stay consistent through warm-up,
+    rotation, and compaction."""
+
+    @staticmethod
+    def similarity():
+        from repro.resolution.similarity import overlap
+
+        def tok_overlap(a, b):  # closure keeps the pool inline
+            return overlap(a.split(), b.split())
+
+        return tok_overlap
+
+    @classmethod
+    def batch(cls, index, size=20):
+        # Every value shares the "common" token, so blocks keep
+        # thickening as the stream grows.
+        return [
+            Record(
+                f"b{index}r{i}",
+                {"name": f"common tok{i % 5} batch{index} row{i}"},
+            )
+            for i in range(size)
+        ]
+
+    def test_ships_only_new_values_per_batch(self):
+        """The acceptance property: after warm-up, per-batch shipped
+        values track the batch size while the comparison frontier (and
+        so the candidate-pair count) keeps growing."""
+        consolidator = StreamConsolidator(
+            column="name",
+            oracle_factory=lambda c: None,
+            attribute="name",
+            similarity_threshold=0.9,
+            similarity=self.similarity(),
+            budget_per_batch=0,
+            use_engine=False,
+            shards=2,
+            shard_processes=False,
+            persist_decisions=False,
+            max_block_size=10_000,
+        )
+        with consolidator:
+            reports = [
+                consolidator.process_batch(self.batch(i)) for i in range(4)
+            ]
+        values = [r.values_shipped for r in reports]
+        pairs = [r.pairs_compared for r in reports]
+        # Candidate volume grows with the resident frontier...
+        assert pairs[-1] > pairs[0] * 2
+        # ... but shipped values stay O(batch): each new value crosses
+        # to at most one replica per shard, and resident members are
+        # never re-shipped.
+        batch_size = reports[0].records
+        for report, shipped in zip(reports, values):
+            assert 0 < shipped <= batch_size * consolidator.shards
+        assert values[-1] == values[0], (
+            f"shipped values must not grow with stream length: {values}"
+        )
+        # Inline backend: nothing is serialized, so actual-IPC bytes
+        # stay 0 (the process-backed byte counters are exercised by
+        # benchmarks/bench_stream_sharded.py).
+        assert all(r.bytes_shipped == 0 for r in reports)
+
+    def test_warm_up_syncs_a_pre_grown_index(self):
+        """A pool attached after inline batches must see the same
+        resident state (and produce the same clusters) as one attached
+        from the start."""
+        from repro.stream import IncrementalResolver
+
+        def clusters_of(resolver):
+            return {
+                frozenset(r.rid for r in c.records)
+                for c in resolver.table.clusters
+                if c.records
+            }
+
+        def build():
+            return IncrementalResolver(
+                ("name",),
+                attribute="name",
+                threshold=0.5,
+                similarity=self.similarity(),
+                shards=3,
+                block_retention=4,
+                max_block_size=10_000,
+            )
+
+        late = build()
+        late.add_batch(self.batch(0))  # no pool: replicas are stale
+        with ShardPool(
+            3, similarity=self.similarity(), processes=False
+        ) as pool:
+            late_report = late.add_batch(self.batch(1), pool=pool)
+
+        sequential = build()
+        sequential.add_batch(self.batch(0))
+        seq_report = sequential.add_batch(self.batch(1))
+
+        assert clusters_of(late) == clusters_of(sequential)
+        assert late_report.pairs_compared == seq_report.pairs_compared
+        # Warm-up re-ships the pre-pool frontier once, on top of the
+        # batch's own new values.
+        assert late_report.values_shipped > len(late_report.appended)
+
+    def test_delta_buffer_overflow_re_warms_instead_of_growing(
+        self, monkeypatch
+    ):
+        """A long unpooled stretch must not grow the delta buffer with
+        stream length: past the cap the resolver drops tracking, and
+        the next pooled batch resets + re-warms the replicas — with
+        identical clusters and comparison counts to the sequential
+        path."""
+        import repro.stream.resolver as resolver_module
+        from repro.stream import IncrementalResolver
+
+        monkeypatch.setattr(resolver_module, "MAX_BUFFERED_DELTAS", 8)
+
+        def run(pooled_last_batch):
+            resolver = IncrementalResolver(
+                ("name",),
+                attribute="name",
+                threshold=0.5,
+                similarity=self.similarity(),
+                shards=2,
+                block_retention=3,
+                max_block_size=10_000,
+            )
+            pool = ShardPool(
+                2, similarity=self.similarity(), processes=False
+            )
+            try:
+                # Pooled batch 0 syncs the replicas...
+                resolver.add_batch(self.batch(0, size=8), pool=pool)
+                # ... then unpooled batches overflow the tiny buffer.
+                resolver.add_batch(self.batch(1, size=8))
+                resolver.add_batch(self.batch(2, size=8))
+                assert len(resolver._resident_deltas) <= 8
+                report = resolver.add_batch(
+                    self.batch(3, size=8),
+                    pool=pool if pooled_last_batch else None,
+                )
+            finally:
+                pool.close()
+            clusters = {
+                frozenset(r.rid for r in c.records)
+                for c in resolver.table.clusters
+                if c.records
+            }
+            return clusters, report.pairs_compared
+
+        assert run(True) == run(False)
+
+    def test_compaction_deltas_reach_the_replicas(self):
+        """compact_blocks() between pooled batches must shrink the
+        workers' replicas too — the next batch's comparison set equals
+        the sequential path's."""
+        from repro.stream import IncrementalResolver
+
+        def run(pooled):
+            resolver = IncrementalResolver(
+                ("name",),
+                attribute="name",
+                threshold=0.5,
+                similarity=self.similarity(),
+                shards=2,
+                max_block_size=10_000,
+            )
+            pool = (
+                ShardPool(2, similarity=self.similarity(), processes=False)
+                if pooled
+                else None
+            )
+            try:
+                resolver.add_batch(self.batch(0), pool=pool)
+                resolver.compact_blocks(retention=2)
+                report = resolver.add_batch(self.batch(1), pool=pool)
+            finally:
+                if pool is not None:
+                    pool.close()
+            clusters = {
+                frozenset(r.rid for r in c.records)
+                for c in resolver.table.clusters
+                if c.records
+            }
+            return clusters, report.pairs_compared
+
+        assert run(True) == run(False)
+
+    def test_process_backend_keeps_replicas_across_batches(self):
+        """The worker-process backend must produce the same clusters
+        and comparison counts as inline, across several batches (its
+        replicas live in another process)."""
+        from repro.resolution.matcher import hybrid_similarity
+        from repro.stream import IncrementalResolver
+
+        def run(processes):
+            resolver = IncrementalResolver(
+                ("name",),
+                attribute="name",
+                threshold=0.7,
+                similarity=hybrid_similarity,
+                shards=2,
+                block_retention=6,
+                max_block_size=10_000,
+            )
+            with ShardPool(
+                2, similarity=hybrid_similarity, processes=processes
+            ) as pool:
+                reports = [
+                    resolver.add_batch(self.batch(i, size=12), pool=pool)
+                    for i in range(3)
+                ]
+            clusters = {
+                frozenset(r.rid for r in c.records)
+                for c in resolver.table.clusters
+                if c.records
+            }
+            return clusters, [r.pairs_compared for r in reports]
+
+        assert run(True) == run(False)
+
+
+class TestLshModeSharded:
+    """MinHash-LSH blocking composes with sharding, rotation, and the
+    durable decision log without changing a single published byte."""
+
+    @pytest.fixture(scope="class")
+    def lsh_stream(self):
+        spec = GeneratorSpec(
+            n_clusters=16,
+            mean_cluster_size=4.0,
+            conflict_rate=0.1,
+            variant_rate=0.8,
+            seed=17,
+        )
+        return dataset_stream(
+            address_dataset(spec=spec, seed=17), batches=3, seed=17
+        )
+
+    @staticmethod
+    def run(stream, shards, registry=None, retention=None, budget=100):
+        consolidator = StreamConsolidator(
+            column=stream.column,
+            oracle_factory=ground_truth_oracle_factory(
+                stream.canonical_by_rid, seed=0
+            ),
+            attribute=stream.column,
+            similarity_threshold=0.6,
+            block_keys=lsh_keys(bands=8, rows=2),
+            budget_per_batch=budget,
+            use_engine=False,
+            shards=shards,
+            shard_processes=False,
+            registry=registry,
+            model_name="lsh-addr",
+            persist_decisions=registry is not None,
+            block_retention=retention,
+        )
+        with consolidator:
+            reports = consolidator.run(stream.batches)
+        questions = [r.questions_asked for r in reports]
+        final = {
+            r.rid: r.values[stream.column]
+            for c in consolidator.table.clusters
+            for r in c.records
+        }
+        groups = [g.to_dict() for g in consolidator.build_model().groups]
+        return questions, final, groups
+
+    def test_shards_identical_under_lsh_blocking(self, lsh_stream):
+        base = self.run(lsh_stream, shards=1)
+        for shards in (2, 4):
+            assert self.run(lsh_stream, shards=shards) == base
+
+    def test_shards_identical_under_lsh_with_rotation(self, lsh_stream):
+        base = self.run(lsh_stream, shards=1, retention=3)
+        assert self.run(lsh_stream, shards=4, retention=3) == base
+
+    def test_restart_resume_keeps_lsh_shard_state_consistent(
+        self, lsh_stream, tmp_path
+    ):
+        """A restarted LSH-mode sharded stream replays the decision log
+        against freshly warmed shard replicas: zero repeat questions,
+        identical standardization."""
+        registry = ModelRegistry(tmp_path / "registry")
+        q_first, final_first, _ = self.run(
+            lsh_stream, shards=4, registry=registry
+        )
+        assert sum(q_first) > 0
+        q_resume, final_resume, _ = self.run(
+            lsh_stream, shards=4, registry=registry
+        )
+        assert sum(q_resume) == 0
+        assert final_resume == final_first
+
+
 class TestBlockIndex:
     def test_stable_hash_is_process_stable(self):
         # CRC-32 of the canonical encoding: fixed expectations would
@@ -439,6 +738,26 @@ class TestBlockIndex:
         gone = index.compact(retention=4)
         assert list(index.members("k")) == ["r6", "r7", "r8", "r9"]
         assert len(gone) == 6
+
+    def test_add_reports_per_block_evictions(self):
+        # evicted_into sees *every* rotation out of this block — also
+        # members other blocks still reference (which "gone" hides) —
+        # because shard replicas mirror per-block membership.
+        index = BlockIndex(shards=1, retention=1)
+        index.add("a", "r0")
+        index.add("b", "r0")
+        evicted = []
+        gone = index.add("a", "r1", evicted_into=evicted)
+        assert evicted == ["r0"]  # left block 'a'...
+        assert gone == []  # ... but survives via block 'b'
+
+    def test_compact_reports_key_member_evictions(self):
+        index = BlockIndex(shards=2)
+        for i in range(4):
+            index.add("k", f"r{i}")
+        evicted = []
+        index.compact(retention=2, evicted_into=evicted)
+        assert evicted == [("k", "r0"), ("k", "r1")]
 
     def test_resolver_block_retention_bounds_frontier(self):
         from repro.resolution.similarity import overlap

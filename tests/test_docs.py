@@ -125,3 +125,56 @@ def test_docs_mention_the_sharded_stream():
     assert "--shards" in readme
     assert "docs/architecture.md" in readme
     assert "docs/paper-mapping.md" in readme
+
+
+#: Flags the docs teach for the LSH / shard-resident release; each
+#: must appear in the documentation AND be a real `repro stream` flag.
+STREAM_FLAGS = (
+    "--blocking",
+    "--lsh-bands",
+    "--lsh-rows",
+    "--lsh-shingle",
+    "--similarity-threshold",
+    "--block-retention",
+    "--stats",
+    "--shards",
+)
+
+
+def test_documented_stream_flags_exist():
+    """`repro stream --help` must offer every flag the docs teach, and
+    the flagship ones must actually be taught somewhere."""
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "stream", "--help"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+        timeout=60,
+    )
+    assert proc.returncode == 0, proc.stderr
+    for flag in STREAM_FLAGS:
+        assert flag in proc.stdout, (
+            f"documented flag {flag} missing from `repro stream --help`"
+        )
+    docs_text = "\n".join(
+        doc.read_text(encoding="utf-8") for doc in DOC_FILES
+    )
+    for flag in ("--blocking", "--stats", "--block-retention"):
+        assert flag in docs_text, f"{flag} is undocumented"
+
+
+def test_docs_cover_the_lsh_blocking_mode():
+    arch = (REPO / "docs" / "architecture.md").read_text(encoding="utf-8")
+    assert "--blocking lsh" in arch
+    assert "MinHash" in arch
+    mapping = (REPO / "docs" / "paper-mapping.md").read_text(
+        encoding="utf-8"
+    )
+    assert "lsh_keys" in mapping
+    assert "Shard-resident" in mapping
