@@ -18,7 +18,12 @@ Commands:
 * ``stream`` — incremental consolidation over a record stream: batches
   are folded into persistent cluster / candidate / decision state, new
   confirmations publish fresh model versions with hot engine reload,
-  and repeated variation never costs a second oracle question.
+  and repeated variation never costs a second oracle question.  With
+  ``--columns a,b,c`` the stream turns multi-column: one shared
+  resolver, one incremental standardizer per column, golden records
+  fused per batch (``--fusion``), one atomic model bundle published
+  per confirming batch, and ``--golden-out`` dumping the final golden
+  records as JSON lines.
 
 Synthetic-data commands operate on the built-in datasets (``--dataset``
 one of ``Address``, ``AuthorList``, ``JournalTitle``); ``--scale``
@@ -184,6 +189,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--batches", type=int, default=5, help="number of arrival batches"
     )
     stream_p.add_argument(
+        "--columns",
+        help="comma-separated column list (e.g. address,authors,title) "
+        "switching to multi-column golden-record mode: one shared "
+        "resolver, one incremental standardizer per column, golden "
+        "records fused per batch, and one atomic model bundle "
+        "published per confirming batch (--dataset is ignored; the "
+        "multi-column golden_stream generator supplies the data)",
+    )
+    stream_p.add_argument(
+        "--golden-out",
+        help="write the final golden records as JSON lines here "
+        "(multi-column mode only)",
+    )
+    stream_p.add_argument(
+        "--fusion",
+        choices=("majority", "truthfinder", "accu"),
+        default=None,
+        help="truth-discovery method for golden records (multi-column "
+        "mode; default majority, which fuses incrementally per "
+        "touched cluster — the global methods re-fuse every live "
+        "cluster per batch)",
+    )
+    stream_p.add_argument(
         "--budget",
         type=int,
         default=50,
@@ -265,7 +293,9 @@ def build_parser() -> argparse.ArgumentParser:
     stream_p.add_argument(
         "--decision-log",
         help="JSON-lines file for durable oracle verdicts (default: "
-        "<registry>/<name>/decisions.jsonl when --registry is given)",
+        "<registry>/<name>/decisions.jsonl when --registry is given); "
+        "with --columns it names the *directory* holding the "
+        "per-column decisions-<column>.jsonl logs",
     )
     stream_p.add_argument(
         "--no-decision-log",
@@ -548,6 +578,20 @@ def cmd_stream(args) -> int:
         ground_truth_oracle_factory,
     )
 
+    if args.columns:
+        return _cmd_stream_golden(args)
+    # The golden-only flags must not silently no-op in single-column
+    # mode (the symmetric check — --drift-threshold with --columns —
+    # lives in _cmd_stream_golden).
+    for flag, value in (
+        ("--golden-out", args.golden_out),
+        ("--fusion", args.fusion),
+    ):
+        if value is not None:
+            raise SystemExit(
+                f"error: {flag} requires --columns (multi-column "
+                "golden-record mode)"
+            )
     dataset = _make_dataset(args)
     stream = dataset_stream(dataset, batches=args.batches, seed=args.seed)
     monitor = None
@@ -625,6 +669,140 @@ def cmd_stream(args) -> int:
         print(f"model versions published under: {args.registry}")
         if consolidator.decision_log is not None:
             print(f"decision log: {consolidator.decision_log}")
+    return 0
+
+
+def _cmd_stream_golden(args) -> int:
+    """Multi-column golden-record streaming (``--columns a,b,c``)."""
+    from .datagen.stream import GOLDEN_COLUMN_FAMILIES, golden_stream
+    from .fusion import accu, majority, truthfinder
+    from .serve.bundle import BundleRegistry
+    from .stream import (
+        GoldenStreamConsolidator,
+        golden_ground_truth_oracle_factory,
+    )
+
+    if args.drift_threshold is not None:
+        raise SystemExit(
+            "error: --drift-threshold is not supported with --columns "
+            "(per-column drift monitoring is not wired yet)"
+        )
+    columns = [c.strip() for c in args.columns.split(",") if c.strip()]
+    if not columns:
+        raise SystemExit(
+            "error: --columns needs at least one column name "
+            f"(available: {sorted(GOLDEN_COLUMN_FAMILIES)})"
+        )
+    unknown = [c for c in columns if c not in GOLDEN_COLUMN_FAMILIES]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown golden columns {unknown}; available: "
+            f"{sorted(GOLDEN_COLUMN_FAMILIES)}"
+        )
+    seed = _resolve_seed(args)
+    stream = golden_stream(
+        batches=args.batches,
+        n_clusters=max(8, round(200 * args.scale)),
+        columns=columns,
+        seed=seed,
+    )
+    fusion = {
+        "majority": majority.fuse,
+        "truthfinder": truthfinder.fuse,
+        "accu": accu.fuse,
+    }[args.fusion or "majority"]
+    resolution_kwargs = {}
+    if args.blocking == "key":
+        resolution_kwargs["key_attribute"] = stream.key_column
+    else:
+        # Similarity mode: the shared resolver matches whole records by
+        # blocked similarity on the first consolidated column.
+        resolution_kwargs["attribute"] = columns[0]
+        resolution_kwargs["similarity_threshold"] = (
+            args.similarity_threshold
+        )
+        resolution_kwargs["block_keys"] = make_block_keys(
+            args.blocking,
+            bands=args.lsh_bands,
+            rows=args.lsh_rows,
+            shingle=args.lsh_shingle,
+        )
+    consolidator = GoldenStreamConsolidator(
+        columns=columns,
+        oracle_factory=golden_ground_truth_oracle_factory(
+            stream.canonical_by_rid,
+            seed=seed,
+            error_rate=args.error_rate,
+        ),
+        budget_per_batch=args.budget,
+        fusion=fusion,
+        registry=BundleRegistry(args.registry) if args.registry else None,
+        bundle_name=args.name or "-".join(columns),
+        use_engine=not args.no_engine,
+        shards=args.shards,
+        block_retention=args.block_retention,
+        decision_log_dir=args.decision_log,
+        persist_decisions=not args.no_decision_log,
+        resume=not args.fresh,
+        **resolution_kwargs,
+    )
+    print(
+        f"streaming {stream.num_records} records in "
+        f"{len(stream.batches)} batches "
+        f"({len(columns)} columns: {', '.join(columns)})"
+        + (f", {args.shards} learner shards" if args.shards > 1 else "")
+        + (
+            f", {args.blocking} blocking"
+            if args.blocking != "key"
+            else ""
+        )
+    )
+    start = time.perf_counter()
+    with consolidator:
+        for batch in stream.batches:
+            report = consolidator.process_batch(batch)
+            print(f"{report.describe()}  [{report.seconds:.3f}s]")
+            if args.stats:
+                print("stats: " + json.dumps(report.stats(), sort_keys=True))
+        if consolidator.resumed_from is not None:
+            replayed = sum(
+                consolidator.standardizers[c].decisions.replayed
+                for c in columns
+            )
+            print(
+                f"resumed from bundle v{consolidator.resumed_from} "
+                f"(+{replayed} replayed verdicts)"
+            )
+        golden = consolidator.golden_records()
+    elapsed = time.perf_counter() - start
+    print(
+        f"stream done in {elapsed:.2f}s: "
+        f"{len(golden)} golden records, "
+        f"{consolidator.questions_asked} oracle questions asked, "
+        f"{consolidator.questions_saved} saved by reuse, "
+        f"{consolidator.clusters_refused} cluster re-fusions, "
+        f"bundle at v{consolidator.bundle_version}"
+    )
+    if args.golden_out:
+        with open(args.golden_out, "w", encoding="utf-8") as handle:
+            for record in golden:
+                handle.write(
+                    json.dumps(
+                        {
+                            "cluster": record.cluster,
+                            "key": record.key,
+                            **record.values,
+                        },
+                        ensure_ascii=False,
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+        print(f"golden records written: {args.golden_out}")
+    if args.registry:
+        print(f"bundle versions published under: {args.registry}")
+        if consolidator.decision_log_dir is not None:
+            print(f"decision logs: {consolidator.decision_log_dir}")
     return 0
 
 

@@ -87,14 +87,29 @@ class ClusterTable:
             for ri in range(len(self.clusters[cluster].records))
         ]
 
+    def _check_column(self, column: str) -> None:
+        """Missing *cells* are tolerated, unknown *columns* are not: a
+        typo'd column name must raise, not read every cell as ""."""
+        if column not in self.columns:
+            raise KeyError(
+                f"unknown column {column!r} (have: {list(self.columns)})"
+            )
+
     def cluster_values(self, cluster: int, column: str) -> List[str]:
+        """One cluster's values; records missing the column read as ""
+        (multi-column sources accept records with arbitrary keys)."""
+        self._check_column(column)
         return [
-            record.values[column] for record in self.clusters[cluster].records
+            record.values.get(column, "")
+            for record in self.clusters[cluster].records
         ]
 
     def column_values(self, column: str) -> List[str]:
+        """All values of one column, cluster-major; missing cells read
+        as "" like :meth:`cluster_values`."""
+        self._check_column(column)
         return [
-            record.values[column]
+            record.values.get(column, "")
             for cluster in self.clusters
             for record in cluster.records
         ]

@@ -4,7 +4,13 @@ from .address import address_dataset
 from .authorlist import authorlist_dataset
 from .base import GeneratedDataset, GeneratorSpec
 from .journaltitle import journaltitle_dataset
-from .stream import RecordStream, dataset_stream
+from .stream import (
+    GOLDEN_COLUMNS,
+    MultiColumnStream,
+    RecordStream,
+    dataset_stream,
+    golden_stream,
+)
 
 DATASETS = {
     "Address": address_dataset,

@@ -11,20 +11,53 @@ relearn.
 Ground truth moves to record-id keying (cells of a growing table are
 not stable identifiers): ``canonical_by_rid`` for the oracle and
 ``golden_by_key`` for end-state checks.
+
+:func:`golden_stream` is the multi-column batch emitter behind
+``repro stream --columns``: it composes the address / author-list /
+journal-title generators **per column with shared entity identity** —
+one entity per cluster per column, every record rendering all columns
+at once — which is the workload
+:class:`~repro.stream.golden.GoldenStreamConsolidator` consolidates
+into streaming golden records.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Sequence, Tuple
 
 from ..data.table import CellRef, ClusterTable, Record
 from ..resolution.matcher import cluster_by_key
-from .base import GeneratedDataset
+from . import address, authorlist, journaltitle
+from .base import GeneratedDataset, GeneratorSpec, cluster_sizes
 
 #: Default name of the synthesized entity-key attribute.
 KEY_COLUMN = "entity_key"
+
+#: The column families ``golden_stream`` can compose: column name ->
+#: (make entity, canonical renderer, variant renderer), straight from
+#: the single-column generators so the dirt families stay the paper's.
+GOLDEN_COLUMN_FAMILIES = {
+    "address": (
+        address.make_address,
+        address.canonical_address,
+        address.render_variant,
+    ),
+    "authors": (
+        authorlist.make_author_list,
+        authorlist.canonical_authors,
+        authorlist.render_variant,
+    ),
+    "title": (
+        journaltitle.make_journal,
+        journaltitle.canonical_journal,
+        journaltitle.render_variant,
+    ),
+}
+
+#: Default column set of a golden stream (all three families).
+GOLDEN_COLUMNS = tuple(GOLDEN_COLUMN_FAMILIES)
 
 
 @dataclass
@@ -114,6 +147,174 @@ def dataset_stream(
     return RecordStream(
         name=f"{dataset.name}-stream",
         column=dataset.column,
+        key_column=key_column,
+        batches=cut,
+        canonical_by_rid=canonical_by_rid,
+        golden_by_key=golden_by_key,
+    )
+
+
+@dataclass
+class MultiColumnStream:
+    """A multi-column record stream with full per-column ground truth.
+
+    The multi-column analogue of :class:`RecordStream`: every record
+    carries all ``columns`` plus the entity key, ground truth is keyed
+    by record id *per column* (``canonical_by_rid[column][rid]``), and
+    the golden record of each cluster is the canonical rendering of the
+    cluster's primary entity in every column
+    (``golden_by_key[key][column]``).
+    """
+
+    name: str
+    columns: Tuple[str, ...]
+    key_column: str
+    batches: List[List[Record]]
+    #: column -> record id -> canonical string of the denoted entity
+    canonical_by_rid: Dict[str, Dict[str, str]]
+    #: cluster key -> column -> the cluster's golden value
+    golden_by_key: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    @property
+    def records(self) -> List[Record]:
+        """All records in arrival order."""
+        return [record for batch in self.batches for record in batch]
+
+    @property
+    def num_records(self) -> int:
+        return sum(len(batch) for batch in self.batches)
+
+    def table(self) -> ClusterTable:
+        """One-shot clustering of the whole stream — the table a
+        one-shot :class:`~repro.pipeline.consolidate.GoldenRecordCreation`
+        run (the equivalence baseline) operates on."""
+        return cluster_by_key(
+            [
+                Record(r.rid, dict(r.values), r.source)
+                for r in self.records
+            ],
+            self.key_column,
+        )
+
+    def canonical_cells(
+        self, table: ClusterTable, column: str
+    ) -> Dict[CellRef, str]:
+        """Cell-keyed ground truth of one column for ``table`` (the
+        one-shot oracle's view)."""
+        by_rid = self.canonical_by_rid.get(column, {})
+        canonical: Dict[CellRef, str] = {}
+        for ci, cluster in enumerate(table.clusters):
+            for ri, record in enumerate(cluster.records):
+                canon = by_rid.get(record.rid)
+                if canon is not None:
+                    canonical[CellRef(ci, ri, column)] = canon
+        return canonical
+
+
+def golden_stream(
+    batches: int,
+    n_clusters: int = 60,
+    mean_cluster_size: float = 4.0,
+    conflict_rate: float = 0.0,
+    variant_rate: float = 0.75,
+    columns: Sequence[str] = GOLDEN_COLUMNS,
+    key_column: str = KEY_COLUMN,
+    seed: int = 0,
+    shuffle: bool = True,
+    n_sources: int = 12,
+) -> MultiColumnStream:
+    """Generate a multi-column record stream with shared entity identity.
+
+    Each cluster draws one entity **per column** (an address, an author
+    list, a journal title — the same real-world thing described along
+    several attributes); each record renders every column, canonically
+    or as a variant (``variant_rate``), or — with ``conflict_rate`` —
+    as a different entity of the same family (the conflict pairs a
+    golden-record oracle must reject).  Cluster keys are zero-padded so
+    first-seen order and lexicographic order agree: an unshuffled
+    stream consolidated incrementally builds the *same table layout* as
+    :func:`~repro.resolution.matcher.cluster_by_key` over the
+    concatenated records, which is what lets the equivalence harness
+    compare streamed and one-shot runs cell for cell.
+
+    Records are (optionally) shuffled before slicing into ``batches``
+    so every batch mixes entities, exactly like :func:`dataset_stream`.
+    """
+    if batches < 1:
+        raise ValueError("batches must be >= 1")
+    unknown = [c for c in columns if c not in GOLDEN_COLUMN_FAMILIES]
+    if unknown:
+        raise ValueError(
+            f"unknown golden columns {unknown}; available: "
+            f"{sorted(GOLDEN_COLUMN_FAMILIES)}"
+        )
+    if not columns:
+        raise ValueError("at least one column is required")
+    columns = tuple(columns)
+    rng = random.Random(seed)
+    spec = GeneratorSpec(
+        n_clusters=n_clusters,
+        mean_cluster_size=mean_cluster_size,
+        conflict_rate=conflict_rate,
+        variant_rate=variant_rate,
+        n_sources=n_sources,
+        seed=seed,
+    )
+    flat: List[Record] = []
+    canonical_by_rid: Dict[str, Dict[str, str]] = {c: {} for c in columns}
+    golden_by_key: Dict[str, Dict[str, str]] = {}
+    rid = 0
+    for ci, size in enumerate(cluster_sizes(spec, rng)):
+        key = f"c{ci:05d}"
+        primaries = {}
+        alternates: Dict[str, List[object]] = {c: [] for c in columns}
+        for column in columns:
+            make_entity, canonical_of, _render = GOLDEN_COLUMN_FAMILIES[
+                column
+            ]
+            primaries[column] = make_entity(rng)
+        golden_by_key[key] = {
+            column: GOLDEN_COLUMN_FAMILIES[column][1](primaries[column])
+            for column in columns
+        }
+        for _ in range(size):
+            values = {key_column: key}
+            record_id = f"g{rid}"
+            rid += 1
+            for column in columns:
+                make_entity, canonical_of, render_variant = (
+                    GOLDEN_COLUMN_FAMILIES[column]
+                )
+                if size > 1 and rng.random() < spec.conflict_rate:
+                    pool = alternates[column]
+                    if len(pool) < spec.max_alternates_per_cluster and (
+                        not pool or rng.random() < 0.5
+                    ):
+                        pool.append(make_entity(rng))
+                    entity = rng.choice(pool)
+                else:
+                    entity = primaries[column]
+                canon = canonical_of(entity)
+                if rng.random() < spec.variant_rate:
+                    values[column] = render_variant(entity, rng)
+                else:
+                    values[column] = canon
+                canonical_by_rid[column][record_id] = canon
+            source = f"src{rng.randrange(spec.n_sources)}"
+            flat.append(Record(record_id, values, source))
+    if shuffle:
+        random.Random(seed).shuffle(flat)
+    base, extra = divmod(len(flat), batches)
+    cut: List[List[Record]] = []
+    start = 0
+    for i in range(batches):
+        size = base + (1 if i < extra else 0)
+        if size:
+            cut.append(flat[start : start + size])
+        start += size
+    return MultiColumnStream(
+        name="golden-stream",
+        columns=columns,
         key_column=key_column,
         batches=cut,
         canonical_by_rid=canonical_by_rid,

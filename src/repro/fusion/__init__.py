@@ -1,4 +1,4 @@
 """Truth discovery / data fusion substrate (majority, TruthFinder, Accu)."""
 
 from . import accu, majority, truthfinder
-from .base import Claim, claims_from_table, group_claims
+from .base import Claim, canonical_claims, claims_from_table, group_claims

@@ -15,7 +15,7 @@ import math
 from typing import Dict, Iterable, List, Optional
 
 from ..data.table import ClusterTable
-from .base import claims_from_table, group_claims
+from .base import canonical_claims, claims_from_table, group_claims
 
 
 class Accu:
@@ -38,8 +38,10 @@ class Accu:
 
     def fuse(self, table: ClusterTable, column: str) -> Dict[int, Optional[str]]:
         claims = claims_from_table(table, column)
-        grouped = group_claims(claims)
-        sources = {c.source for c in claims}
+        # Canonical claim order: fused truth is a function of what was
+        # claimed, never of record arrival order (float-sum stability).
+        grouped = canonical_claims(group_claims(claims))
+        sources = sorted({c.source for c in claims})
         self.accuracy = {s: self.initial_accuracy for s in sources}
 
         probabilities: Dict[int, Dict[str, float]] = {}
@@ -57,12 +59,19 @@ class Accu:
             if delta < self.tolerance:
                 break
 
+        # Every cluster is mapped, claimless ones to None: consumers
+        # (and the fusion property suite) rely on uniform coverage
+        # across fusion methods.
         golden: Dict[int, Optional[str]] = {}
-        for obj, by_value in grouped.items():
+        for obj in range(table.num_clusters):
+            by_value = grouped.get(obj)
+            if not by_value:
+                golden[obj] = None
+                continue
             probs = probabilities.get(obj, {})
             golden[obj] = max(
                 by_value, key=lambda v: (probs.get(v, 0.0), v)
-            ) if by_value else None
+            )
         return golden
 
     # -- internals ----------------------------------------------------------

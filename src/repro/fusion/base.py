@@ -45,3 +45,25 @@ def group_claims(claims: List[Claim]) -> Dict[int, Dict[str, List[str]]]:
             claim.source
         )
     return grouped
+
+
+def canonical_claims(
+    grouped: Dict[int, Dict[str, List[str]]]
+) -> Dict[int, Dict[str, List[str]]]:
+    """The claim groups in a canonical (permutation-stable) order.
+
+    Objects ascend, values ascend within an object, and each value's
+    claimant list is sorted.  The iterative fusers accumulate
+    floating-point sums over these structures; without a canonical
+    order, re-arriving the same records in a different sequence changes
+    the *summation order*, and the last-ulp drift can flip a
+    near-tie — fused truth must be a function of what was claimed, not
+    of arrival order (pinned by
+    ``tests/property/test_fusion_properties.py``).
+    """
+    return {
+        obj: {
+            value: sorted(by_value[value]) for value in sorted(by_value)
+        }
+        for obj, by_value in sorted(grouped.items())
+    }

@@ -9,17 +9,25 @@ mass, which is exactly the mechanism behind Table 8's improvement.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
 from ..data.table import ClusterTable
 
 
-def majority_value(values: Iterable[str]) -> Optional[str]:
-    """The strictly most frequent value, or ``None`` on a tie/empty."""
+def majority_value(values: Iterable[Optional[str]]) -> Optional[str]:
+    """The strictly most frequent value, or ``None`` on a tie/empty.
+
+    Empty and ``None`` cells never vote.  Ranking is order-stable —
+    ``(count desc, value asc)`` — so the result is a pure function of
+    the value *multiset*: permuting the input (records arriving in a
+    different order, clusters merged in a different sequence) can never
+    change the winner, which the incremental golden-record path and the
+    fusion property suite both rely on.
+    """
     counts = Counter(v for v in values if v)
     if not counts:
         return None
-    ranked = counts.most_common(2)
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
     if len(ranked) > 1 and ranked[0][1] == ranked[1][1]:
         return None
     return ranked[0][0]

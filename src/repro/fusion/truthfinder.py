@@ -19,7 +19,7 @@ import math
 from typing import Callable, Dict, Iterable, List, Optional
 
 from ..data.table import ClusterTable
-from .base import claims_from_table, group_claims
+from .base import canonical_claims, claims_from_table, group_claims
 
 Implication = Callable[[str, str], float]
 
@@ -58,8 +58,10 @@ class TruthFinder:
     def fuse(self, table: ClusterTable, column: str) -> Dict[int, Optional[str]]:
         """Golden value per cluster: the highest-confidence claim."""
         claims = claims_from_table(table, column)
-        grouped = group_claims(claims)
-        sources = {c.source for c in claims}
+        # Canonical claim order: fused truth is a function of what was
+        # claimed, never of record arrival order (float-sum stability).
+        grouped = canonical_claims(group_claims(claims))
+        sources = sorted({c.source for c in claims})
         self.trust = {s: self.initial_trust for s in sources}
 
         confidences: Dict[int, Dict[str, float]] = {}
@@ -74,12 +76,19 @@ class TruthFinder:
             if delta < self.tolerance:
                 break
 
+        # Every cluster is mapped, claimless ones to None: consumers
+        # (and the fusion property suite) rely on uniform coverage
+        # across fusion methods.
         golden: Dict[int, Optional[str]] = {}
-        for obj, by_value in grouped.items():
+        for obj in range(table.num_clusters):
+            by_value = grouped.get(obj)
+            if not by_value:
+                golden[obj] = None
+                continue
             scores = confidences.get(obj, {})
             golden[obj] = max(
                 by_value, key=lambda v: (scores.get(v, 0.0), v)
-            ) if by_value else None
+            )
         return golden
 
     # -- internals ----------------------------------------------------------

@@ -153,7 +153,10 @@ class Standardizer:
 
 
 def apply_group_recorded(
-    store: ReplacementStore, group: Group, decision: Decision
+    store: ReplacementStore,
+    group: Group,
+    decision: Decision,
+    changed_into: Optional[List] = None,
 ) -> "Tuple[int, List[AppliedReplacement]]":
     """Apply a group against a store and record the direction-resolved
     replacement sequence with its provenance kinds (model fodder).
@@ -161,6 +164,9 @@ def apply_group_recorded(
     Shared by the one-shot :class:`Standardizer` and the streaming
     :class:`repro.stream.standardizer.IncrementalStandardizer` so both
     paths produce byte-identical :class:`AppliedReplacement` traces.
+    ``changed_into`` (when given) collects the rewritten cell refs —
+    the incremental golden-record fuser re-fuses exactly the clusters
+    those cells live in.
     """
     changed = 0
     applied: List[AppliedReplacement] = []
@@ -177,4 +183,6 @@ def apply_group_recorded(
             AppliedReplacement(resolved, whole, token, len(cells))
         )
         changed += len(cells)
+        if changed_into is not None:
+            changed_into.extend(cells)
     return changed, applied

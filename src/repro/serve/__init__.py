@@ -14,10 +14,19 @@ reusable asset:
   multiprocessing sharding;
 * :mod:`repro.serve.replay` — provenance-aware re-application that
   reproduces a learning run's cell edits exactly on an identical table;
+* :mod:`repro.serve.bundle` — per-column models published as one
+  atomic multi-column artifact, with a record-level apply engine whose
+  single ``reload`` flips every column together;
 * :mod:`repro.serve.service` — a long-running JSON-lines worker
   answering transform requests over stdin/stdout.
 """
 
+from .bundle import (
+    BundleApplyEngine,
+    BundleRegistry,
+    ModelBundle,
+    build_bundle,
+)
 from .engine import ApplyEngine, ApplyStats
 from .model import TransformationModel, build_model
 from .registry import ModelRegistry
@@ -27,10 +36,14 @@ from .service import serve_forever
 __all__ = [
     "ApplyEngine",
     "ApplyStats",
+    "BundleApplyEngine",
+    "BundleRegistry",
+    "ModelBundle",
     "ModelRegistry",
     "ModelReplayer",
     "ReplayReport",
     "TransformationModel",
+    "build_bundle",
     "build_model",
     "serve_forever",
 ]

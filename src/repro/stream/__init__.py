@@ -31,7 +31,11 @@ re-learn:
   shard-resident, so per-batch IPC ships only new values;
 * :mod:`repro.stream.decisions` — the durable JSON-lines decision
   cache: a restarted stream keeps the zero-question guarantee for
-  already-judged variation.
+  already-judged variation;
+* :mod:`repro.stream.golden` — multi-column streaming golden records:
+  per-column standardizers over the one shared resolver, incremental
+  (touched-clusters-only) truth discovery, and atomic per-column model
+  bundles — Algorithm 1 end to end, folded over the stream.
 """
 
 from .batches import (
@@ -46,8 +50,13 @@ from .consolidator import (
     ground_truth_oracle_factory,
 )
 from .decisions import DecisionCache
+from .golden import (
+    GoldenBatchReport,
+    GoldenStreamConsolidator,
+    golden_ground_truth_oracle_factory,
+)
 from .monitor import DriftMonitor, DriftReport
-from .publisher import ModelPublisher
+from .publisher import BundlePublisher, ModelPublisher
 from .resolver import BatchResolution, IncrementalResolver
 from .shards import ShardPool, ShardedGroupFeed, ShardStandardizer
 from .standardizer import IncrementalStandardizer
@@ -55,9 +64,12 @@ from .standardizer import IncrementalStandardizer
 __all__ = [
     "BatchReport",
     "BatchResolution",
+    "BundlePublisher",
     "DecisionCache",
     "DriftMonitor",
     "DriftReport",
+    "GoldenBatchReport",
+    "GoldenStreamConsolidator",
     "IncrementalResolver",
     "IncrementalStandardizer",
     "ModelPublisher",
@@ -66,6 +78,7 @@ __all__ = [
     "ShardedGroupFeed",
     "StreamConsolidator",
     "batches_from_records",
+    "golden_ground_truth_oracle_factory",
     "ground_truth_oracle_factory",
     "iter_jsonl_batches",
     "read_jsonl_records",

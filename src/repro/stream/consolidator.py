@@ -72,7 +72,7 @@ from ..resolution.matcher import SimilarityFn, hybrid_similarity
 from ..serve.engine import ApplyEngine
 from ..serve.model import TransformationModel, build_model
 from ..serve.registry import ModelRegistry, slugify
-from .decisions import DecisionCache
+from .decisions import DecisionCache, archive_log
 from .monitor import DriftMonitor
 from .publisher import ModelPublisher
 from .resolver import IncrementalResolver
@@ -460,26 +460,10 @@ class StreamConsolidator:
         self.oracle = self.oracle_factory(self)
 
     def _archive_decision_log(self) -> None:
-        """Move an existing verdict log aside for a ``resume=False`` run.
-
-        A fresh run must neither *replay* the old verdicts (it was
-        asked to start over) nor *append* to the same file (first-wins
-        replay would then favor the stale verdicts over the fresh run's
-        on every later resume).  The old log is renamed — never
-        deleted: it is paid-for human review history — to the first
-        free ``<name>.pre-fresh-<k>`` slot.
-        """
-        if self.decision_log is None or not self.decision_log.exists():
-            return
-        k = 1
-        while True:
-            backup = self.decision_log.with_name(
-                f"{self.decision_log.name}.pre-fresh-{k}"
-            )
-            if not backup.exists():
-                break
-            k += 1
-        self.decision_log.rename(backup)
+        """Move an existing verdict log aside for a ``resume=False``
+        run (see :func:`repro.stream.decisions.archive_log` for the
+        first-free ``*.pre-fresh-<k>`` discipline)."""
+        archive_log(self.decision_log)
 
     def _maybe_resume(self) -> None:
         """Warm-start from the registry's latest published model.

@@ -22,6 +22,17 @@ variation from the cache — zero repeat oracle questions.
 The cache is *first-wins* (matching the in-memory ``dict.setdefault``
 semantics it replaces): once a member replacement has a verdict, later
 verdicts for the same member are ignored, in memory and on disk.
+
+Lookup is **orientation-aware**: a verdict on ``A -> B`` also answers
+``B -> A``, with the direction flipped so both resolve to the *same*
+rewrite.  The store derives a value pair in whichever orientation its
+cells were indexed, so later batches can resurface a judged pair
+reversed; without the flip that re-ask costs a second question and —
+worse — when neither side is canonical the oracle's direction default
+approves both orientations, planting an A⇄B rewrite cycle that the
+replay fixed-point in
+:meth:`~repro.stream.standardizer.IncrementalStandardizer.reuse_confirmed`
+could never escape.
 """
 
 from __future__ import annotations
@@ -35,6 +46,30 @@ from ..core.replacement import Replacement
 from ..pipeline.oracle import FORWARD, REVERSE, Decision
 
 PathLike = Union[str, Path]
+
+
+def archive_log(path: Optional[Path]) -> Optional[Path]:
+    """Move an existing verdict log aside for a fresh (``resume=False``)
+    run; returns the backup path (None if there was nothing to move).
+
+    A fresh run must neither *replay* the old verdicts (it was asked to
+    start over) nor *append* to the same file (first-wins replay would
+    then favor the stale verdicts over the fresh run's on every later
+    resume).  The old log is renamed — never deleted: it is paid-for
+    human review history — to the first free ``<name>.pre-fresh-<k>``
+    slot.  Shared by the single-column and golden consolidators so the
+    archival discipline cannot diverge.
+    """
+    if path is None or not path.exists():
+        return None
+    k = 1
+    while True:
+        backup = path.with_name(f"{path.name}.pre-fresh-{k}")
+        if not backup.exists():
+            break
+        k += 1
+    path.rename(backup)
+    return backup
 
 
 class DecisionCache:
@@ -53,7 +88,18 @@ class DecisionCache:
         if self.path is not None and self.path.exists():
             entries, repair = self._read(self.path)
             for replacement, decision in entries:
-                self._decisions.setdefault(replacement, decision)
+                # First wins in *either* orientation, exactly like
+                # :meth:`record`: a log written before lookups were
+                # orientation-aware can hold both A->B and B->A
+                # (approved with conflicting resolved directions);
+                # loading both would replant the rewrite cycle the
+                # mirrored lookup exists to prevent.
+                if (
+                    replacement in self._decisions
+                    or replacement.reversed() in self._decisions
+                ):
+                    continue
+                self._decisions[replacement] = decision
             self.replayed = len(self._decisions)
             # Repair a crash-torn tail *now*: tolerating it on load but
             # leaving it in place would let the next append glue JSON
@@ -73,13 +119,28 @@ class DecisionCache:
     # -- dict face ---------------------------------------------------------
 
     def get(self, replacement: Replacement) -> Optional[Decision]:
-        return self._decisions.get(replacement)
+        decision = self._decisions.get(replacement)
+        if decision is not None:
+            return decision
+        mirrored = self._decisions.get(replacement.reversed())
+        if mirrored is None:
+            return None
+        # The judged pair, re-derived in the opposite orientation: the
+        # same verdict applies, with the direction flipped so the
+        # resolved rewrite is identical to the recorded one.
+        return Decision(
+            mirrored.approved,
+            REVERSE if mirrored.direction == FORWARD else FORWARD,
+        )
 
     def items(self):
         return self._decisions.items()
 
     def __contains__(self, replacement: Replacement) -> bool:
-        return replacement in self._decisions
+        return (
+            replacement in self._decisions
+            or replacement.reversed() in self._decisions
+        )
 
     def __len__(self) -> int:
         return len(self._decisions)
@@ -94,8 +155,11 @@ class DecisionCache:
         crash directly after the oracle answered still keeps the
         answer.
         """
-        if replacement in self._decisions:
-            return False
+        if (
+            replacement in self._decisions
+            or replacement.reversed() in self._decisions
+        ):
+            return False  # first verdict wins, in either orientation
         self._decisions[replacement] = decision
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,750 @@
+"""Multi-column streaming golden records (``repro stream --columns``).
+
+The paper's Algorithm 1 is *per-column standardization, then truth
+discovery* — :class:`~repro.pipeline.consolidate.GoldenRecordCreation`
+runs it once over a static table.  :class:`GoldenStreamConsolidator`
+is the same algorithm folded over a record stream:
+
+* **one resolver, N standardizers** — a single
+  :class:`~repro.stream.resolver.IncrementalResolver` (one blocking
+  index, one union-find, one cumulative
+  :class:`~repro.data.table.ClusterTable`) is shared by one
+  :class:`~repro.stream.standardizer.IncrementalStandardizer` *per
+  column* (Algorithm 1 line 2's column loop).  Records are clustered
+  once per batch; every column then ingests the same appends and merge
+  moves into its own replacement store and decision cache;
+* **incremental fusion** — golden records are maintained per cluster,
+  and a batch re-fuses **only the clusters it touched**: clusters that
+  gained records, clusters involved in a merge (both the surviving and
+  the emptied slot), and clusters whose cell values a confirmed or
+  replayed replacement rewrote (the ``changed_into`` deltas the
+  standardizers report).  Cluster-local fusion kernels (majority
+  consensus) make this exact; global iterative methods (Accu,
+  TruthFinder estimate source weights across clusters) re-fuse
+  everything, trading the delta win for correctness — the
+  ``clusters_refused`` counter in :class:`GoldenBatchReport` makes the
+  difference observable either way;
+* **atomic bundle publication** — each confirming batch publishes one
+  :class:`~repro.serve.bundle.ModelBundle` (all columns, one artifact)
+  through a :class:`~repro.stream.publisher.BundlePublisher`, so
+  subscribed :class:`~repro.serve.bundle.BundleApplyEngine` consumers
+  hot-reload every column together — never a half-upgraded column set;
+* **sharding unchanged** — the per-column matching / alignment /
+  grouping stages route through the *same*
+  :class:`~repro.stream.shards.ShardPool` the single-column
+  consolidator uses (the resolver's resident-replica ``resolve``
+  scripts, the stateless ``derive`` kernel, and one grouping ``round``
+  per column per batch), so ``--shards N`` publishes byte-identical
+  bundles and asks identical questions at any shard count, under every
+  blocking mode.
+
+Durability mirrors the single-column path: per-column decision logs
+(``decisions-<column>.jsonl``) next to the published bundle, and a
+consolidator pointed at a registry that already holds its bundle
+resumes — rehydrated per-column logs, replayed verdicts, zero repeat
+questions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from ..config import DEFAULT_CONFIG, Config
+from ..core.terms import DEFAULT_VOCABULARY, TermVocabulary
+from ..data.table import CellRef, ClusterTable, Record
+from ..fusion import majority
+from ..pipeline.consolidate import GoldenRecord
+from ..pipeline.golden import FusionFn
+from ..pipeline.oracle import GroundTruthOracle, Oracle
+from ..resolution.blocking import BlockKeyFn
+from ..resolution.matcher import SimilarityFn, hybrid_similarity
+from ..serve.bundle import (
+    BundleApplyEngine,
+    BundleRegistry,
+    ModelBundle,
+    build_bundle,
+)
+from ..serve.model import TransformationModel, build_model
+from ..serve.registry import slugify
+from .consolidator import _CellCanonical, _log_from_model
+from .decisions import DecisionCache, archive_log
+from .publisher import BundlePublisher
+from .resolver import IncrementalResolver
+from .shards import ShardPool
+from .standardizer import IncrementalStandardizer
+
+#: Builds the reviewing oracle for one column once the consolidator's
+#: state exists (the oracle usually needs that column's store).
+GoldenOracleFactory = Callable[["GoldenStreamConsolidator", str], Oracle]
+
+#: A cluster-local fusion kernel: the cluster's current values in, the
+#: golden value out.  Kernels make incremental (touched-clusters-only)
+#: fusion exact, because a cluster's golden value then depends on that
+#: cluster alone.
+ClusterFusionFn = Callable[[Sequence[str]], Optional[str]]
+
+PathLike = Union[str, Path]
+
+#: Table-level fusion functions with a known-equivalent cluster-local
+#: kernel.  ``majority.fuse`` is per-cluster by construction; Accu and
+#: TruthFinder couple clusters through source accuracy/trust and have
+#: no exact local kernel.
+CLUSTER_KERNELS: Dict[FusionFn, ClusterFusionFn] = {
+    majority.fuse: majority.majority_value,
+}
+
+
+def golden_ground_truth_oracle_factory(
+    canonical_by_rid: Dict[str, Dict[str, str]],
+    seed: int = 0,
+    error_rate: float = 0.0,
+) -> GoldenOracleFactory:
+    """A :data:`GoldenOracleFactory` simulating the expert per column
+    from ``column -> rid -> canonical`` ground truth (the multi-column
+    analogue of
+    :func:`~repro.stream.consolidator.ground_truth_oracle_factory`)."""
+
+    def factory(
+        consolidator: "GoldenStreamConsolidator", column: str
+    ) -> Oracle:
+        return GroundTruthOracle(
+            _CellCanonical(
+                consolidator.resolver, canonical_by_rid.get(column, {})
+            ),
+            consolidator.standardizers[column].store,
+            error_rate=error_rate,
+            seed=seed,
+        )
+
+    return factory
+
+
+@dataclass
+class GoldenBatchReport:
+    """Everything one multi-column batch did (observability +
+    assertions; the golden analogue of
+    :class:`~repro.stream.consolidator.BatchReport`)."""
+
+    index: int
+    records: int
+    merges: int = 0
+    new_clusters: int = 0
+    pairs_compared: int = 0
+    values_shipped: int = 0
+    bytes_shipped: int = 0
+    #: cells rewritten by the serve fast path, all columns
+    explained_cells: int = 0
+    #: cells that minted unseen candidate keys, all columns
+    unmatched_cells: int = 0
+    #: oracle questions spent this batch, per column
+    questions_by_column: Dict[str, int] = field(default_factory=dict)
+    groups_approved: int = 0
+    reused_replacements: int = 0
+    rejected_skips: int = 0
+    cells_changed: int = 0
+    #: clusters whose golden record was recomputed this batch (the
+    #: incremental-fusion delta; equals the live cluster count when the
+    #: fusion method is global)
+    clusters_refused: int = 0
+    #: live (non-empty) clusters after the batch, for delta context
+    clusters_live: int = 0
+    #: wall-clock spent inside the fusion refresh
+    fusion_seconds: float = 0.0
+    bundle_version: Optional[int] = None
+    seconds: float = 0.0
+
+    @property
+    def questions_asked(self) -> int:
+        """Total oracle questions across every column."""
+        return sum(self.questions_by_column.values())
+
+    def describe(self) -> str:
+        version = (
+            f"v{self.bundle_version}" if self.bundle_version else "unchanged"
+        )
+        per_column = ", ".join(
+            f"{column}:{count}"
+            for column, count in self.questions_by_column.items()
+        )
+        return (
+            f"batch {self.index}: {self.records} records, "
+            f"{self.merges} merges, "
+            f"{self.questions_asked} questions ({per_column}), "
+            f"{self.clusters_refused}/{self.clusters_live} clusters "
+            f"re-fused, bundle {version}"
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """The batch's counters as a JSON-friendly dict (one row of
+        ``repro stream --columns ... --stats`` output)."""
+        return {
+            "batch": self.index,
+            "records": self.records,
+            "merges": self.merges,
+            "candidate_pairs": self.pairs_compared,
+            "values_shipped": self.values_shipped,
+            "bytes_shipped": self.bytes_shipped,
+            "explained_cells": self.explained_cells,
+            "unmatched_cells": self.unmatched_cells,
+            "questions_asked": self.questions_asked,
+            "questions_by_column": dict(self.questions_by_column),
+            "reused_replacements": self.reused_replacements,
+            "cells_changed": self.cells_changed,
+            "clusters_refused": self.clusters_refused,
+            "clusters_live": self.clusters_live,
+            "fusion_seconds": round(self.fusion_seconds, 6),
+            "bundle_version": self.bundle_version,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+class GoldenStreamConsolidator:
+    """Streams Algorithm 1: N columns standardized incrementally over
+    one shared resolver, golden records fused per batch.
+
+    Parameters
+    ----------
+    columns:
+        The columns being standardized (Algorithm 1 line 2's loop),
+        also the fusion columns of every golden record.
+    oracle_factory:
+        Builds one reviewing oracle per column once the consolidator's
+        state exists (see :func:`golden_ground_truth_oracle_factory`).
+    key_attribute / attribute, similarity_threshold, similarity,
+    block_keys, max_block_size, block_retention:
+        Resolution mode and knobs, exactly as on
+        :class:`~repro.stream.consolidator.StreamConsolidator` — the
+        single shared resolver clusters whole records; in similarity
+        mode ``attribute`` names the column arrivals match on.
+    budget_per_batch:
+        Oracle questions allowed per **column** per batch (the
+        streaming analogue of ``GoldenRecordCreation``'s
+        ``budget_per_column``).
+    fusion / cluster_fusion:
+        The truth-discovery method.  ``fusion`` is the table-level
+        :data:`~repro.pipeline.golden.FusionFn` used for full
+        re-fusion cross-checks; ``cluster_fusion`` is the per-cluster
+        kernel incremental fusion uses.  When ``cluster_fusion`` is
+        omitted it is looked up in :data:`CLUSTER_KERNELS`; fusion
+        functions without a kernel (Accu, TruthFinder — they couple
+        clusters through source weights) fall back to re-fusing every
+        live cluster each batch, which is slower but exact.
+    registry / bundle_name:
+        Publish :class:`~repro.serve.bundle.ModelBundle` versions into
+        this :class:`~repro.serve.bundle.BundleRegistry` under this
+        name.  With a registry, per-column decision logs default to
+        ``<registry>/<name>/decisions-<column>.jsonl`` and an existing
+        bundle resumes (see ``resume``).
+    use_engine / engine_use_programs:
+        Serve fast path: standardize arrivals with the live
+        :class:`~repro.serve.bundle.BundleApplyEngine` before
+        resolution (all columns, one atomic reload per publish).
+    shards / shard_processes:
+        One :class:`~repro.stream.shards.ShardPool` shared by the
+        resolver and every column's alignment / grouping stages.
+        Sharding never changes published bytes or question counts.
+    decision_log_dir / persist_decisions:
+        Override the directory the per-column verdict logs live in;
+        falsy ``persist_decisions`` keeps verdicts in memory only.
+    resume:
+        When the registry already holds ``bundle_name``, warm-start
+        every column from its latest bundle (engine + cumulative logs
+        + publisher version) instead of starting over.
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        oracle_factory: GoldenOracleFactory,
+        key_attribute: Optional[str] = None,
+        attribute: Optional[str] = None,
+        similarity_threshold: float = 0.8,
+        similarity: SimilarityFn = hybrid_similarity,
+        block_keys: Optional[BlockKeyFn] = None,
+        max_block_size: int = 50,
+        budget_per_batch: int = 50,
+        fusion: FusionFn = majority.fuse,
+        cluster_fusion: Optional[ClusterFusionFn] = None,
+        config: Config = DEFAULT_CONFIG,
+        vocabulary: TermVocabulary = DEFAULT_VOCABULARY,
+        registry: Optional[BundleRegistry] = None,
+        bundle_name: Optional[str] = None,
+        use_engine: bool = True,
+        engine_use_programs: bool = True,
+        shards: int = 1,
+        shard_processes: bool = True,
+        decision_log_dir: Optional[PathLike] = None,
+        persist_decisions: bool = True,
+        block_retention: Optional[int] = None,
+        resume: bool = True,
+    ) -> None:
+        if not columns:
+            raise ValueError("at least one column is required")
+        if len(set(columns)) != len(tuple(columns)):
+            raise ValueError(f"duplicate columns: {list(columns)}")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.columns = tuple(columns)
+        self.oracle_factory = oracle_factory
+        self.budget_per_batch = budget_per_batch
+        self.fusion = fusion
+        self.cluster_fusion = (
+            cluster_fusion
+            if cluster_fusion is not None
+            else CLUSTER_KERNELS.get(fusion)
+        )
+        self.config = config
+        self.vocabulary = vocabulary
+        self.bundle_name = bundle_name or "-".join(self.columns)
+        self.use_engine = use_engine
+        self.engine_use_programs = engine_use_programs
+        self.shards = shards
+        self.shard_processes = shard_processes
+        self.block_retention = block_retention
+        self.resume = resume
+        self._key_attribute = key_attribute
+        self._attribute = attribute
+        self._similarity_threshold = similarity_threshold
+        self._similarity = similarity
+        self._block_keys = block_keys
+        self._max_block_size = max_block_size
+
+        self.registry = registry
+        if persist_decisions and decision_log_dir is None and (
+            registry is not None
+        ):
+            decision_log_dir = registry.root / slugify(self.bundle_name)
+        self.decision_log_dir = (
+            Path(decision_log_dir)
+            if (persist_decisions and decision_log_dir is not None)
+            else None
+        )
+
+        self.publisher = BundlePublisher(registry, self.bundle_name)
+        self.engine: Optional[BundleApplyEngine] = None
+        self.resolver: Optional[IncrementalResolver] = None
+        self.standardizers: Dict[str, IncrementalStandardizer] = {}
+        self.oracles: Dict[str, Oracle] = {}
+        self.pool: Optional[ShardPool] = None
+        self.resumed_from: Optional[int] = None
+        self.reports: List[GoldenBatchReport] = []
+        #: cluster slot -> column -> current golden value (live slots)
+        self._golden: Dict[int, Dict[str, Optional[str]]] = {}
+
+    # -- state accessors ---------------------------------------------------
+
+    @property
+    def table(self) -> ClusterTable:
+        """The cumulative cluster table (after >= 1 batch)."""
+        self._require_ready()
+        return self.resolver.table
+
+    @property
+    def bundle_version(self) -> int:
+        """Version of the most recently published bundle (0 = none)."""
+        return self.publisher.version
+
+    def decision_log_path(self, column: str) -> Optional[Path]:
+        """The column's durable verdict log, or ``None`` in-memory."""
+        if self.decision_log_dir is None:
+            return None
+        return self.decision_log_dir / f"decisions-{slugify(column)}.jsonl"
+
+    def _require_ready(self) -> None:
+        if self.resolver is None:
+            raise RuntimeError("no batch processed yet")
+
+    # -- models ------------------------------------------------------------
+
+    def build_column_model(self, column: str) -> TransformationModel:
+        """The cumulative model of one column (everything confirmed)."""
+        self._require_ready()
+        standardizer = self.standardizers[column]
+        provenance = {
+            "source": "GoldenStreamConsolidator",
+            "batches": len(self.reports),
+            "records": self.resolver.num_records,
+            "questions_asked": standardizer.questions_asked,
+        }
+        if self.resumed_from is not None:
+            provenance["resumed_from_version"] = self.resumed_from
+        return build_model(
+            standardizer.log,
+            column,
+            name=f"{self.bundle_name}-{column}",
+            config=self.config,
+            vocabulary=self.vocabulary,
+            provenance=provenance,
+        )
+
+    def build_bundle(self) -> ModelBundle:
+        """The cumulative bundle: every column's confirmed knowledge."""
+        self._require_ready()
+        provenance = {
+            "source": "GoldenStreamConsolidator",
+            "batches": len(self.reports),
+            "records": self.resolver.num_records,
+            "questions_by_column": {
+                column: self.standardizers[column].questions_asked
+                for column in self.columns
+            },
+        }
+        if self.resumed_from is not None:
+            provenance["resumed_from_version"] = self.resumed_from
+        return build_bundle(
+            {
+                column: self.build_column_model(column)
+                for column in self.columns
+            },
+            self.bundle_name,
+            provenance=provenance,
+        )
+
+    # -- golden records ----------------------------------------------------
+
+    def golden_records(self) -> List[GoldenRecord]:
+        """The incrementally maintained golden record per live cluster
+        (table order; emptied merge-loser slots are skipped)."""
+        self._require_ready()
+        records: List[GoldenRecord] = []
+        for ci, cluster in enumerate(self.resolver.table.clusters):
+            if not cluster.records:
+                continue
+            values = self._golden.get(ci, {})
+            records.append(
+                GoldenRecord(
+                    ci,
+                    cluster.key,
+                    {col: values.get(col) for col in self.columns},
+                )
+            )
+        return records
+
+    def golden_by_key(self) -> Dict[str, Dict[str, Optional[str]]]:
+        """``cluster key -> column -> golden value`` for live clusters."""
+        return {
+            record.key: dict(record.values)
+            for record in self.golden_records()
+        }
+
+    def full_refusion(self) -> Dict[int, Dict[str, Optional[str]]]:
+        """Fuse every live cluster from scratch with the table-level
+        fusion function — the cross-check incremental fusion must
+        match (and the slow path global methods fall back to)."""
+        self._require_ready()
+        per_column = {
+            column: self.fusion(self.resolver.table, column)
+            for column in self.columns
+        }
+        return {
+            ci: {
+                column: per_column[column].get(ci)
+                for column in self.columns
+            }
+            for ci, cluster in enumerate(self.resolver.table.clusters)
+            if cluster.records
+        }
+
+    def _refuse_clusters(
+        self, touched: Set[int], report: GoldenBatchReport
+    ) -> None:
+        """Refresh golden records for the batch's touched clusters.
+
+        With a cluster-local kernel only ``touched`` is recomputed —
+        each such cluster's golden value is a pure function of its own
+        cells, so untouched clusters cannot have changed.  Without one
+        (global fusion), everything live is re-fused.
+        """
+        start = time.perf_counter()
+        table = self.resolver.table
+        if self.cluster_fusion is None:
+            refreshed = self.full_refusion()
+            self._golden = refreshed
+            report.clusters_refused = len(refreshed)
+        else:
+            kernel = self.cluster_fusion
+            refused = 0
+            for ci in sorted(touched):
+                cluster = table.clusters[ci]
+                if not cluster.records:
+                    # A merge emptied the slot; its golden record dies
+                    # (no fusion work, so it does not count as re-fused).
+                    self._golden.pop(ci, None)
+                    continue
+                self._golden[ci] = {
+                    column: kernel(table.cluster_values(ci, column))
+                    for column in self.columns
+                }
+                refused += 1
+            report.clusters_refused = refused
+        report.clusters_live = sum(
+            1 for c in table.clusters if c.records
+        )
+        report.fusion_seconds = time.perf_counter() - start
+
+    # -- lazy wiring -------------------------------------------------------
+
+    def _ensure_ready(self, records: Sequence[Record]) -> None:
+        if self.resolver is not None:
+            return
+        table_columns: List[str] = list(self.columns)
+        for record in records:
+            for name in record.values:
+                if name not in table_columns:
+                    table_columns.append(name)
+        resolver_kwargs = {}
+        if self._block_keys is not None:
+            resolver_kwargs["block_keys"] = self._block_keys
+        self.resolver = IncrementalResolver(
+            tuple(table_columns),
+            key_attribute=self._key_attribute,
+            attribute=self._attribute,
+            threshold=self._similarity_threshold,
+            similarity=self._similarity,
+            max_block_size=self._max_block_size,
+            shards=self.shards,
+            block_retention=self.block_retention,
+            **resolver_kwargs,
+        )
+        if not self.resume:
+            for column in self.columns:
+                archive_log(self.decision_log_path(column))
+        for column in self.columns:
+            self.standardizers[column] = IncrementalStandardizer(
+                self.resolver.table,
+                column,
+                self.config,
+                self.vocabulary,
+                decisions=DecisionCache(self.decision_log_path(column)),
+            )
+        if self.shards > 1:
+            self.pool = ShardPool(
+                self.shards,
+                self.config,
+                self.vocabulary,
+                similarity=(
+                    self._similarity if self._attribute is not None else None
+                ),
+                processes=self.shard_processes,
+            )
+        self._maybe_resume()
+        for column in self.columns:
+            self.oracles[column] = self.oracle_factory(self, column)
+
+    def _maybe_resume(self) -> None:
+        """Warm-start every column from the registry's latest bundle.
+
+        The soundness rule is the single-column one, applied to the
+        bundle as a unit: rehydrating a column's group sequence is only
+        safe when that column's verdicts are in its decision cache
+        (otherwise re-judged variation appends to the rehydrated
+        sequence and groups come out twice).  A bundle where *any*
+        non-empty column lacks its verdicts starts over as a whole —
+        per-column partial resumes would publish a bundle mixing
+        resumed and restarted histories.
+        """
+        if not self.resume or self.registry is None:
+            return
+        versions = self.registry.versions(self.bundle_name)
+        if not versions:
+            return
+        bundle = self.registry.load(self.bundle_name)
+        for column in self.columns:
+            model = bundle.models.get(column)
+            if (
+                model is not None
+                and model.groups
+                and len(self.standardizers[column].decisions) == 0
+            ):
+                return
+        self.resumed_from = versions[-1]
+        self.publisher.version = versions[-1]
+        for column in self.columns:
+            model = bundle.models.get(column)
+            if model is not None:
+                self.standardizers[column].log = _log_from_model(model)
+        if self.use_engine and self.engine is None:
+            self.engine = BundleApplyEngine(
+                bundle, use_programs=self.engine_use_programs
+            )
+            self.publisher.subscribe(self.engine)
+
+    # -- the lifecycle -----------------------------------------------------
+
+    def process_batch(self, records: Sequence[Record]) -> GoldenBatchReport:
+        """Fold one record batch into the golden consolidation state."""
+        start = time.perf_counter()
+        # Copy (standardization must not mutate the caller's batch) and
+        # normalize every consolidated column to "" when absent.
+        records = [
+            Record(
+                r.rid,
+                {**{column: "" for column in self.columns}, **r.values},
+                r.source,
+            )
+            for r in records
+        ]
+        self._ensure_ready(records)
+        report = GoldenBatchReport(
+            index=len(self.reports), records=len(records)
+        )
+
+        # 1. serve fast path: the live bundle standardizes arrivals —
+        # all columns, before any of them reaches the learner.
+        if self.engine is not None and records:
+            for column in self.columns:
+                engine = self.engine.engine(column)
+                if engine is None:
+                    continue
+                values = [r.values.get(column, "") for r in records]
+                outputs = engine.apply_values(values)
+                for record, value, out in zip(records, values, outputs):
+                    if out != value:
+                        record.values[column] = out
+                        report.explained_cells += 1
+
+        # 2. incremental resolution, once for the whole record.
+        pool_bytes_before = (
+            self.pool.shipped_bytes if self.pool is not None else 0
+        )
+        resolution = self.resolver.add_batch(records, pool=self.pool)
+        report.merges = resolution.merges
+        report.new_clusters = resolution.new_clusters
+        report.pairs_compared = resolution.pairs_compared
+        report.values_shipped = resolution.values_shipped
+
+        # The fusion delta starts from the membership changes: clusters
+        # that gained records, plus both sides of every merge move.
+        touched: Set[int] = {slot for _, slot, _ in resolution.appended}
+        for _rid, old_cluster, _orow, new_cluster, _nrow in resolution.moved:
+            touched.add(old_cluster)
+            touched.add(new_cluster)
+
+        # 3-5. the per-column standardization loop (Algorithm 1 line 2):
+        # every column ingests the same appends/moves into its own
+        # store, replays its own decision cache, and learns over its
+        # own novel remainder — sharing the one resolver and pool.
+        appended_rids = {rid for rid, _, _ in resolution.appended}
+        first_old: Dict[str, Tuple[int, int]] = {}
+        for rid, oc, orow, _nc, _nrow in resolution.moved:
+            if rid not in appended_rids:
+                first_old.setdefault(rid, (oc, orow))
+        changed_cells: List[CellRef] = []
+        for column in self.columns:
+            standardizer = self.standardizers[column]
+            moves = [
+                (
+                    CellRef(oc, orow, column),
+                    CellRef(*self.resolver.position(rid), column),
+                )
+                for rid, (oc, orow) in first_old.items()
+            ]
+            if moves:
+                standardizer.move_cells(moves)
+            new_cells = []
+            for rid, _, _ in resolution.appended:
+                cluster, row = self.resolver.position(rid)
+                new_cells.append(CellRef(cluster, row, column))
+            _indexed, unexplained = standardizer.ingest(
+                new_cells, pool=self.pool
+            )
+            report.unmatched_cells += unexplained
+
+            approved, rejected_count, undecided = (
+                standardizer.partition_live()
+            )
+            reused, reused_cells = standardizer.reuse_confirmed(
+                approved, changed_into=changed_cells
+            )
+            report.reused_replacements += reused
+            report.rejected_skips += rejected_count
+            report.cells_changed += reused_cells
+            if reused_cells:
+                undecided = standardizer.undecided()
+
+            steps = standardizer.learn(
+                self.oracles[column],
+                self.budget_per_batch,
+                novel=undecided,
+                pool=self.pool,
+                changed_into=changed_cells,
+            )
+            report.questions_by_column[column] = len(steps)
+            report.groups_approved += sum(
+                1 for s in steps if s.decision.approved
+            )
+            report.cells_changed += sum(s.cells_changed for s in steps)
+
+        touched.update(cell.cluster for cell in changed_cells)
+
+        # 6. incremental fusion over exactly the touched clusters.
+        self._refuse_clusters(touched, report)
+
+        # 7. publish one bundle; every column hot-reloads atomically.
+        if report.groups_approved:
+            bundle = self.build_bundle()
+            version, _path = self.publisher.publish(bundle)
+            report.bundle_version = version
+            if self.engine is None and self.use_engine:
+                self.engine = BundleApplyEngine(
+                    bundle, use_programs=self.engine_use_programs
+                )
+                self.publisher.subscribe(self.engine)
+
+        if self.pool is not None:
+            report.bytes_shipped = (
+                self.pool.shipped_bytes - pool_bytes_before
+            )
+        report.seconds = time.perf_counter() - start
+        self.reports.append(report)
+        return report
+
+    def run(self, batches) -> List[GoldenBatchReport]:
+        """Process every batch of an iterable; returns the reports."""
+        return [self.process_batch(batch) for batch in batches]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the shard pool's worker processes (idempotent)."""
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
+
+    def __enter__(self) -> "GoldenStreamConsolidator":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- roll-ups ----------------------------------------------------------
+
+    @property
+    def questions_asked(self) -> int:
+        """Total oracle questions spent across batches and columns."""
+        return sum(r.questions_asked for r in self.reports)
+
+    @property
+    def questions_saved(self) -> int:
+        """Oracle work the incremental state avoided (cached approvals
+        re-applied plus cached rejections silenced, all columns)."""
+        return sum(
+            r.reused_replacements + r.rejected_skips for r in self.reports
+        )
+
+    @property
+    def clusters_refused(self) -> int:
+        """Total golden-record recomputations across batches."""
+        return sum(r.clusters_refused for r in self.reports)

@@ -161,11 +161,16 @@ class IncrementalStandardizer:
         return approved, rejected, undecided
 
     def reuse_confirmed(
-        self, approved: Optional[List[Replacement]] = None
+        self,
+        approved: Optional[List[Replacement]] = None,
+        changed_into: Optional[List[CellRef]] = None,
     ) -> Tuple[int, int]:
         """Re-apply cached verdicts to the current candidate set.
 
-        Returns ``(replacements reused, cells changed)``.  Approved
+        Returns ``(replacements reused, cells changed)``;
+        ``changed_into`` (when given) collects the rewritten cell refs
+        for delta consumers like the incremental golden-record fuser.
+        Approved
         replacements are applied in their confirmed direction wherever
         the new provenance supports them; rejected ones are left alone
         (their cached verdict keeps them out of the question feed).
@@ -199,7 +204,15 @@ class IncrementalStandardizer:
         ]
         reused = 0
         changed = 0
-        while True:
+        # Termination backstop: a legitimate cascade rewrites any cell
+        # along an acyclic chain of rules, so it settles within one
+        # round per approved verdict (+1 to observe the fixed point).
+        # The cache's orientation-aware lookup prevents A<->B rewrite
+        # cycles from ever being recorded, but a pathological verdict
+        # history (hand-edited log, inconsistent oracle) must degrade
+        # to a bounded walk, not an infinite loop.
+        max_rounds = len(approved_verdicts) + 1
+        for _round in range(max_rounds):
             progress = False
             for replacement, decision in approved_verdicts:
                 if replacement not in self.store:
@@ -215,8 +228,11 @@ class IncrementalStandardizer:
                     reused += 1
                     changed += len(cells)
                     progress = True
+                    if changed_into is not None:
+                        changed_into.extend(cells)
             if not progress:
-                return reused, changed
+                break
+        return reused, changed
 
     # -- learning ----------------------------------------------------------
 
@@ -234,6 +250,7 @@ class IncrementalStandardizer:
         budget: int,
         novel: Optional[List[Replacement]] = None,
         pool=None,
+        changed_into: Optional[List[CellRef]] = None,
     ) -> List[StepRecord]:
         """Present up to ``budget`` groups of *novel* candidates.
 
@@ -278,7 +295,7 @@ class IncrementalStandardizer:
             applied = []
             if decision.approved:
                 changed, applied = apply_group_recorded(
-                    self.store, group, decision
+                    self.store, group, decision, changed_into=changed_into
                 )
                 feed.remove_replacements(self.store.drain_dead())
             for member in group.replacements:

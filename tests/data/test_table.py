@@ -41,6 +41,17 @@ class TestAccess:
     def test_column_values(self, table):
         assert table.column_values("city") == ["x", "y", "z"]
 
+    def test_unknown_column_raises_missing_cells_tolerated(self, table):
+        """Missing *cells* read as "" (multi-column sources accept
+        records with arbitrary keys); unknown *columns* raise — a
+        typo'd fusion column must not silently fuse to all-None."""
+        import pytest
+
+        with pytest.raises(KeyError, match="unknown column"):
+            table.cluster_values(0, "nmae")
+        with pytest.raises(KeyError, match="unknown column"):
+            table.column_values("nmae")
+
     def test_cluster_cells(self, table):
         assert table.cluster_cells(1, "name") == [CellRef(1, 0, "name")]
 

@@ -77,3 +77,106 @@ class TestDatasetStream:
     def test_batches_validated(self, dataset):
         with pytest.raises(ValueError):
             dataset_stream(dataset, batches=0)
+
+
+class TestGoldenStream:
+    """The multi-column emitter behind ``repro stream --columns``."""
+
+    @pytest.fixture(scope="class")
+    def stream(self):
+        from repro.datagen import golden_stream
+
+        return golden_stream(
+            batches=4, n_clusters=12, conflict_rate=0.1, seed=5
+        )
+
+    def test_every_record_renders_every_column(self, stream):
+        for record in stream.records:
+            for column in stream.columns:
+                assert record.values[column]
+            assert record.values[stream.key_column]
+            assert record.source
+
+    def test_shared_entity_identity_per_cluster(self, stream):
+        """One primary entity per cluster *per column*: the cluster's
+        golden value denotes it, and every record's per-column ground
+        truth is a canonical of that column's entity pool."""
+        assert set(stream.golden_by_key) == {
+            r.values[stream.key_column] for r in stream.records
+        }
+        for key, golden in stream.golden_by_key.items():
+            assert set(golden) == set(stream.columns)
+
+    def test_ground_truth_keyed_per_column_per_rid(self, stream):
+        rids = {r.rid for r in stream.records}
+        assert set(stream.canonical_by_rid) == set(stream.columns)
+        for column in stream.columns:
+            assert set(stream.canonical_by_rid[column]) == rids
+
+    def test_conflict_free_records_denote_the_primary(self):
+        from repro.datagen import golden_stream
+
+        clean = golden_stream(
+            batches=2, n_clusters=8, conflict_rate=0.0, seed=3
+        )
+        for record in clean.records:
+            key = record.values[clean.key_column]
+            for column in clean.columns:
+                assert (
+                    clean.canonical_by_rid[column][record.rid]
+                    == clean.golden_by_key[key][column]
+                )
+
+    def test_one_shot_table_matches_batches(self, stream):
+        table = stream.table()
+        assert table.num_records == stream.num_records
+        assert {c.key for c in table.clusters} == set(
+            stream.golden_by_key
+        )
+
+    def test_canonical_cells_cover_the_table_per_column(self, stream):
+        table = stream.table()
+        for column in stream.columns:
+            assert len(stream.canonical_cells(table, column)) == (
+                table.num_records
+            )
+
+    def test_unshuffled_keys_sort_like_first_seen(self):
+        from repro.datagen import golden_stream
+
+        stream = golden_stream(
+            batches=2, n_clusters=11, seed=1, shuffle=False
+        )
+        keys = []
+        for record in stream.records:
+            key = record.values[stream.key_column]
+            if key not in keys:
+                keys.append(key)
+        assert keys == sorted(keys)
+
+    def test_determinism_and_seed_sensitivity(self):
+        from repro.datagen import golden_stream
+
+        a = golden_stream(batches=3, n_clusters=10, seed=4)
+        b = golden_stream(batches=3, n_clusters=10, seed=4)
+        c = golden_stream(batches=3, n_clusters=10, seed=5)
+        assert [r.values for r in a.records] == [
+            r.values for r in b.records
+        ]
+        assert [r.values for r in a.records] != [
+            r.values for r in c.records
+        ]
+
+    def test_column_subset_and_validation(self):
+        from repro.datagen import golden_stream
+
+        two = golden_stream(
+            batches=2, n_clusters=6, columns=("address", "title"), seed=2
+        )
+        assert two.columns == ("address", "title")
+        with pytest.raises(ValueError, match="unknown golden columns"):
+            golden_stream(batches=2, columns=("nope",))
+        with pytest.raises(ValueError, match="at least one column"):
+            golden_stream(batches=2, columns=())
+        with pytest.raises(ValueError, match="batches"):
+            golden_stream(batches=0)

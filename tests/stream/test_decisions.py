@@ -301,3 +301,136 @@ class TestRestartResume:
         ) as restarted:
             restarted.run(stream.batches)
             assert restarted.questions_asked == 0
+
+
+class TestOrientation:
+    """A verdict answers the judged pair in *either* orientation.
+
+    The store derives a value pair in whichever orientation its cells
+    were indexed, so later batches can resurface a judged pair
+    reversed.  Without orientation-aware lookup that re-ask costs a
+    second question, and — because the oracle's direction defaults to
+    FORWARD when neither side is canonical — approves *both*
+    orientations, planting an A⇄B rewrite cycle that the replay fixed
+    point in ``reuse_confirmed`` could never escape (the bug this
+    class pins).
+    """
+
+    def test_reversed_lookup_flips_the_direction(self):
+        cache = DecisionCache()
+        cache.record(Replacement("a", "b"), Decision(True, FORWARD))
+        mirrored = cache.get(Replacement("b", "a"))
+        assert mirrored == Decision(True, REVERSE)
+        # Both orientations resolve to the SAME rewrite: apply a -> b.
+        resolved = (
+            Replacement("b", "a").reversed()
+            if mirrored.direction == REVERSE
+            else Replacement("b", "a")
+        )
+        assert resolved == Replacement("a", "b")
+
+    def test_reversed_lookup_of_a_reverse_verdict(self):
+        cache = DecisionCache()
+        cache.record(Replacement("a", "b"), Decision(True, REVERSE))
+        assert cache.get(Replacement("b", "a")) == Decision(True, FORWARD)
+
+    def test_rejections_mirror_too(self):
+        cache = DecisionCache()
+        cache.record(Replacement("a", "b"), Decision(False, FORWARD))
+        mirrored = cache.get(Replacement("b", "a"))
+        assert mirrored is not None and not mirrored.approved
+        assert Replacement("b", "a") in cache
+
+    def test_record_is_first_wins_across_orientations(self, tmp_path):
+        path = tmp_path / "decisions.jsonl"
+        cache = DecisionCache(path)
+        assert cache.record(Replacement("a", "b"), Decision(True, FORWARD))
+        # The mirrored verdict is already known: not recorded, not
+        # appended to the durable log.
+        assert not cache.record(
+            Replacement("b", "a"), Decision(True, FORWARD)
+        )
+        assert len(path.read_text().splitlines()) == 1
+        assert len(cache) == 1
+
+    def test_replayed_log_stays_orientation_aware(self, tmp_path):
+        path = tmp_path / "decisions.jsonl"
+        DecisionCache(path).record(
+            Replacement("a", "b"), Decision(True, FORWARD)
+        )
+        reloaded = DecisionCache(path)
+        assert reloaded.get(Replacement("b", "a")) == Decision(
+            True, REVERSE
+        )
+
+    def test_conflicting_orientations_cannot_ping_pong_replay(self):
+        """Defense in depth: even a pathological verdict history with
+        both orientations approved (hand-edited log) must degrade to a
+        bounded replay walk, not an infinite loop."""
+        from repro.config import DEFAULT_CONFIG
+        from repro.data.table import ClusterTable, Record
+        from repro.stream.standardizer import IncrementalStandardizer
+
+        table = ClusterTable(["v"])
+        table.add_cluster(
+            "c0",
+            [
+                Record("r0", {"v": "aa bb"}),
+                Record("r1", {"v": "aa cc"}),
+                Record("r2", {"v": "aa bb"}),
+            ],
+        )
+        standardizer = IncrementalStandardizer(
+            table, "v", DEFAULT_CONFIG
+        )
+        from repro.data.table import CellRef
+
+        standardizer.ingest(
+            [CellRef(0, 0, "v"), CellRef(0, 1, "v"), CellRef(0, 2, "v")]
+        )
+        # Forge the pathological history the cache normally prevents:
+        # both orientations approved FORWARD.
+        standardizer.decisions._decisions[
+            Replacement("aa bb", "aa cc")
+        ] = Decision(True, FORWARD)
+        standardizer.decisions._decisions[
+            Replacement("aa cc", "aa bb")
+        ] = Decision(True, FORWARD)
+        reused, changed = standardizer.reuse_confirmed()
+        # Terminated (the assertion is that we got here) with a
+        # deterministic, bounded amount of rewriting.
+        assert changed >= 0
+
+    def test_legacy_log_with_both_orientations_loads_first_only(
+        self, tmp_path
+    ):
+        """A log written before lookups were orientation-aware can hold
+        both A->B and B->A (both approved FORWARD).  Replay must keep
+        only the first — loading both would replant the rewrite cycle
+        the mirrored lookup exists to prevent."""
+        path = tmp_path / "decisions.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "lhs": "a",
+                    "rhs": "b",
+                    "approved": True,
+                    "direction": FORWARD,
+                }
+            )
+            + "\n"
+            + json.dumps(
+                {
+                    "lhs": "b",
+                    "rhs": "a",
+                    "approved": True,
+                    "direction": FORWARD,
+                }
+            )
+            + "\n"
+        )
+        cache = DecisionCache(path)
+        assert len(cache) == 1
+        assert cache.get(Replacement("a", "b")) == Decision(True, FORWARD)
+        # The mirrored key answers with the SAME resolved rewrite.
+        assert cache.get(Replacement("b", "a")) == Decision(True, REVERSE)

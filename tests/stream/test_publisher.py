@@ -145,3 +145,85 @@ class TestPublisher:
         publisher.unsubscribe(engine)
         publisher.publish(extend(v1, [("9th Ave", "9th Avenue")]))
         assert engine.model is v1
+
+
+def make_bundle(rules_by_column, name="golden"):
+    from repro.serve.bundle import build_bundle
+
+    return build_bundle(
+        {
+            column: make_model(rules, name=f"{name}-{column}", column=column)
+            for column, rules in rules_by_column.items()
+        },
+        name,
+    )
+
+
+class TestBundlePublisher:
+    """One publish flips every column's model together."""
+
+    def test_in_process_publisher_versions_and_reloads(self):
+        from repro.serve.bundle import BundleApplyEngine
+        from repro.stream import BundlePublisher
+
+        publisher = BundlePublisher()
+        v1 = make_bundle({"addr": [("st", "street")], "title": []})
+        engine = BundleApplyEngine(v1)
+        publisher.subscribe(engine)
+        version, path = publisher.publish(v1)
+        assert (version, path) == (1, None)
+        v2 = make_bundle(
+            {"addr": [("st", "street")], "title": [("intl", "international")]}
+        )
+        version, path = publisher.publish(v2)
+        assert (version, path) == (2, None)
+        # The subscriber serves both columns' new rules at once.
+        assert engine.apply_record({"addr": "st", "title": "intl"}) == {
+            "addr": "street",
+            "title": "international",
+        }
+
+    def test_registry_publisher_bumps_registry_versions(self, tmp_path):
+        from repro.serve.bundle import BundleRegistry
+        from repro.stream import BundlePublisher
+
+        registry = BundleRegistry(tmp_path)
+        publisher = BundlePublisher(registry, "golden")
+        bundle = make_bundle({"addr": [("st", "street")]})
+        version, path = publisher.publish(bundle)
+        assert version == 1 and path is not None and path.exists()
+        version, path = publisher.publish(bundle)
+        assert version == 2
+        assert registry.versions("golden") == [1, 2]
+        assert publisher.last_path == path
+
+    def test_durability_ordering_registry_before_reload(self, tmp_path):
+        """The registry write happens before any subscriber reload: a
+        crash between the two leaves durable state *ahead* of served
+        state, never behind."""
+        from repro.serve.bundle import BundleRegistry
+        from repro.stream import BundlePublisher
+
+        registry = BundleRegistry(tmp_path)
+        publisher = BundlePublisher(registry, "golden")
+
+        class Exploding:
+            def reload(self, bundle):
+                raise RuntimeError("subscriber died")
+
+        publisher.subscribe(Exploding())
+        with pytest.raises(RuntimeError, match="subscriber died"):
+            publisher.publish(make_bundle({"addr": [("st", "street")]}))
+        assert registry.versions("golden") == [1]
+
+    def test_unsubscribe_stops_reloads(self):
+        from repro.serve.bundle import BundleApplyEngine
+        from repro.stream import BundlePublisher
+
+        publisher = BundlePublisher()
+        v1 = make_bundle({"addr": [("st", "street")]})
+        engine = BundleApplyEngine(v1)
+        publisher.subscribe(engine)
+        publisher.unsubscribe(engine)
+        publisher.publish(make_bundle({"addr": [("rd", "road")]}))
+        assert engine.bundle is v1

@@ -249,3 +249,112 @@ class TestStreamCommand:
         )
         out = capsys.readouterr().out
         assert "stats: {" in out and '"exact_hits"' in out
+
+
+class TestGoldenStreamCommand:
+    """``repro stream --columns``: the multi-column golden-record mode."""
+
+    def test_golden_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "stream",
+                "--columns",
+                "address,title",
+                "--golden-out",
+                "g.jsonl",
+                "--fusion",
+                "truthfinder",
+            ]
+        )
+        assert args.columns == "address,title"
+        assert args.golden_out == "g.jsonl"
+        assert args.fusion == "truthfinder"
+
+    def test_golden_stream_runs_and_writes_records(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        registry = tmp_path / "registry"
+        out = tmp_path / "golden.jsonl"
+        assert (
+            main(
+                [
+                    "stream",
+                    "--columns",
+                    "address,title",
+                    "--scale",
+                    "0.05",
+                    "--seed",
+                    "6",
+                    "--batches",
+                    "3",
+                    "--budget",
+                    "30",
+                    "--registry",
+                    str(registry),
+                    "--golden-out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "2 columns: address, title" in printed
+        assert "golden records" in printed
+        # One atomic bundle version per confirming batch.
+        assert sorted((registry / "address-title").glob("v*.json"))
+        # Per-column decision logs next to the bundle.
+        assert (registry / "address-title" / "decisions-address.jsonl").exists()
+        assert (registry / "address-title" / "decisions-title.jsonl").exists()
+        rows = [
+            json.loads(line)
+            for line in out.read_text().splitlines()
+        ]
+        assert rows
+        for row in rows:
+            assert {"cluster", "key", "address", "title"} <= set(row)
+
+    def test_golden_stream_rejects_unknown_columns(self):
+        with pytest.raises(SystemExit, match="unknown golden columns"):
+            main(
+                [
+                    "stream",
+                    "--columns",
+                    "address,bogus",
+                    "--seed",
+                    "1",
+                ]
+            )
+
+    def test_golden_stream_rejects_drift_monitoring(self):
+        with pytest.raises(SystemExit, match="drift-threshold"):
+            main(
+                [
+                    "stream",
+                    "--columns",
+                    "address",
+                    "--drift-threshold",
+                    "0.5",
+                    "--seed",
+                    "1",
+                ]
+            )
+
+    def test_empty_columns_list_rejected(self):
+        with pytest.raises(SystemExit, match="at least one column"):
+            main(["stream", "--columns", ",", "--seed", "1"])
+
+    def test_golden_only_flags_rejected_without_columns(self):
+        with pytest.raises(SystemExit, match="--golden-out requires"):
+            main(
+                [
+                    "stream",
+                    "--golden-out",
+                    "g.jsonl",
+                    "--seed",
+                    "1",
+                ]
+            )
+        with pytest.raises(SystemExit, match="--fusion requires"):
+            main(["stream", "--fusion", "accu", "--seed", "1"])

@@ -127,8 +127,9 @@ def test_docs_mention_the_sharded_stream():
     assert "docs/paper-mapping.md" in readme
 
 
-#: Flags the docs teach for the LSH / shard-resident release; each
-#: must appear in the documentation AND be a real `repro stream` flag.
+#: Flags the docs teach for the LSH / shard-resident and multi-column
+#: golden-record releases; each must appear in the documentation AND
+#: be a real `repro stream` flag.
 STREAM_FLAGS = (
     "--blocking",
     "--lsh-bands",
@@ -138,6 +139,9 @@ STREAM_FLAGS = (
     "--block-retention",
     "--stats",
     "--shards",
+    "--columns",
+    "--golden-out",
+    "--fusion",
 )
 
 
@@ -165,7 +169,13 @@ def test_documented_stream_flags_exist():
     docs_text = "\n".join(
         doc.read_text(encoding="utf-8") for doc in DOC_FILES
     )
-    for flag in ("--blocking", "--stats", "--block-retention"):
+    for flag in (
+        "--blocking",
+        "--stats",
+        "--block-retention",
+        "--columns",
+        "--golden-out",
+    ):
         assert flag in docs_text, f"{flag} is undocumented"
 
 
@@ -178,3 +188,18 @@ def test_docs_cover_the_lsh_blocking_mode():
     )
     assert "lsh_keys" in mapping
     assert "Shard-resident" in mapping
+
+
+def test_docs_cover_the_multi_column_golden_stream():
+    """The multi-column release is taught where users will look."""
+    arch = (REPO / "docs" / "architecture.md").read_text(encoding="utf-8")
+    assert "--columns" in arch
+    assert "GoldenStreamConsolidator" in arch
+    assert "ModelBundle" in arch
+    mapping = (REPO / "docs" / "paper-mapping.md").read_text(
+        encoding="utf-8"
+    )
+    assert "golden_stream" in mapping
+    assert "test_golden_stream" in mapping
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    assert "--columns" in readme and "--golden-out" in readme
