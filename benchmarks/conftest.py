@@ -19,9 +19,11 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
+from typing import List, Optional
 
 import pytest
 
@@ -32,20 +34,53 @@ SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 #: Where the per-benchmark JSON-lines result files accumulate.
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+#: Provenance fields newer rows carry; :func:`load_results` backfills
+#: them as ``None`` on rows recorded before the field existed, so
+#: trajectory consumers never KeyError across schema generations.
+PROVENANCE_FIELDS = ("git", "python", "cpus", "scale")
+
+_GIT_SHA: Optional[str] = None
+_GIT_SHA_RESOLVED = False
+
+
+def _git_sha() -> Optional[str]:
+    """The repo's short HEAD SHA, or ``None`` outside a usable git
+    checkout (results stay recordable from tarballs and CI caches)."""
+    global _GIT_SHA, _GIT_SHA_RESOLVED
+    if _GIT_SHA_RESOLVED:
+        return _GIT_SHA
+    _GIT_SHA_RESOLVED = True
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+            timeout=10,
+        )
+        if proc.returncode == 0:
+            _GIT_SHA = proc.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        _GIT_SHA = None
+    return _GIT_SHA
+
 
 def record_result(bench: str, **fields) -> dict:
     """Append one result row to ``results/BENCH_<bench>.json``.
 
-    Every row carries the timestamp, bench scale, and interpreter so
-    rows from different machines/runs stay comparable; ``fields`` adds
-    the benchmark's own numbers (timings, sizes, speedups).  Rows are
-    JSON-lines — one object per line, append-only.
+    Every row carries the timestamp, bench scale, interpreter, git
+    SHA, and CPU count, so rows from different machines/runs/commits
+    stay comparable; ``fields`` adds the benchmark's own numbers
+    (timings, sizes, speedups).  Rows are JSON-lines — one object per
+    line, append-only.
     """
     row = {
         "bench": bench,
         "timestamp": round(time.time(), 3),
         "scale": SCALE,
         "python": platform.python_version(),
+        "git": _git_sha(),
+        "cpus": os.cpu_count(),
         **fields,
     }
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
@@ -53,6 +88,35 @@ def record_result(bench: str, **fields) -> dict:
     with path.open("a", encoding="utf-8") as handle:
         handle.write(json.dumps(row, sort_keys=True) + "\n")
     return row
+
+
+def load_results(bench: str) -> List[dict]:
+    """Read ``results/BENCH_<bench>.json`` back as a list of rows.
+
+    Backfill-tolerant in both directions: rows recorded before a
+    provenance field existed get it as ``None`` (so consumers can rely
+    on the current schema), and corrupt lines — a torn tail from a
+    killed run, a merge artifact — are skipped instead of sinking the
+    whole trajectory.
+    """
+    path = RESULTS_DIR / f"BENCH_{bench}.json"
+    if not path.exists():
+        return []
+    rows: List[dict] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except ValueError:
+            continue
+        if not isinstance(row, dict):
+            continue
+        for field in PROVENANCE_FIELDS:
+            row.setdefault(field, None)
+        rows.append(row)
+    return rows
 
 
 def pytest_runtest_logreport(report):

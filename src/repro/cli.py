@@ -83,8 +83,26 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=0.15)
         p.add_argument("--seed", type=int, default=None)
 
-    stats = sub.add_parser("stats", help="Table 6 row for a dataset")
+    stats = sub.add_parser(
+        "stats",
+        help="Table 6 row for a dataset, or summarize a recorded "
+        "metrics file (--metrics)",
+    )
     add_common(stats)
+    stats.add_argument(
+        "--metrics",
+        help="summarize this JSON-lines metrics file (written by "
+        "`repro stream --metrics`) instead of a dataset: per-stage "
+        "runtime breakdown, oracle questions per column, apply-tier "
+        "hit ratios",
+    )
+    stats.add_argument(
+        "--check",
+        action="store_true",
+        help="with --metrics: validate every row against the "
+        "documented schema and exit non-zero on violations (the CI "
+        "perf-smoke gate)",
+    )
 
     groups = sub.add_parser("groups", help="show the top groups found")
     add_common(groups)
@@ -291,6 +309,18 @@ def build_parser() -> argparse.ArgumentParser:
         "questions, reuse)",
     )
     stream_p.add_argument(
+        "--metrics",
+        help="record the run's observability stream (batch rows, "
+        "events, a final metrics snapshot) to this JSON-lines file; "
+        "summarize it later with `repro stats --metrics FILE`",
+    )
+    stream_p.add_argument(
+        "--trace",
+        action="store_true",
+        help="also record one span row per timed stage (requires "
+        "--metrics)",
+    )
+    stream_p.add_argument(
         "--decision-log",
         help="JSON-lines file for durable oracle verdicts (default: "
         "<registry>/<name>/decisions.jsonl when --registry is given); "
@@ -343,7 +373,43 @@ def _make_dataset(args):
     return maker(scale=args.scale, seed=_resolve_seed(args))
 
 
+def _cmd_stats_metrics(args) -> int:
+    """``repro stats --metrics FILE``: summarize (and optionally
+    schema-check) a recorded observability stream."""
+    from .obs.summary import (
+        format_summary,
+        iter_rows,
+        summarize,
+        validate_rows,
+    )
+
+    try:
+        rows = list(iter_rows(args.metrics))
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such metrics file: {args.metrics}")
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.check:
+        problems = validate_rows(rows)
+        if problems:
+            for problem in problems:
+                print(f"schema violation: {problem}", file=sys.stderr)
+            print(
+                f"{args.metrics}: {len(problems)} schema violation(s) "
+                f"in {len(rows)} rows",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{args.metrics}: {len(rows)} rows, schema OK")
+    print(format_summary(summarize(rows)))
+    return 0
+
+
 def cmd_stats(args) -> int:
+    if args.metrics:
+        return _cmd_stats_metrics(args)
+    if args.check:
+        raise SystemExit("error: --check requires --metrics FILE")
     dataset = _make_dataset(args)
     stats = dataset_stats(dataset.table, dataset.column, dataset.labeler())
     print(f"dataset: {dataset.name} ({dataset.table})")
@@ -570,6 +636,18 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _make_obs(args):
+    """The stream run's observability context (:data:`NULL_OBS` unless
+    ``--metrics`` asks for a recording)."""
+    from .obs import NULL_OBS, JsonlSink, Obs
+
+    if args.trace and not args.metrics:
+        raise SystemExit("error: --trace requires --metrics FILE")
+    if not args.metrics:
+        return NULL_OBS
+    return Obs(sink=JsonlSink(args.metrics), trace=args.trace)
+
+
 def cmd_stream(args) -> int:
     from .datagen.stream import dataset_stream
     from .stream import (
@@ -592,8 +670,23 @@ def cmd_stream(args) -> int:
                 f"error: {flag} requires --columns (multi-column "
                 "golden-record mode)"
             )
+    obs = _make_obs(args)
     dataset = _make_dataset(args)
     stream = dataset_stream(dataset, batches=args.batches, seed=args.seed)
+    obs.emit(
+        {
+            "type": "meta",
+            "command": "stream",
+            "dataset": args.dataset,
+            "column": stream.column,
+            "scale": args.scale,
+            "seed": args.seed,
+            "batches": args.batches,
+            "shards": args.shards,
+            "budget": args.budget,
+            "blocking": args.blocking,
+        }
+    )
     monitor = None
     if args.drift_threshold is not None:
         monitor = DriftMonitor(
@@ -633,6 +726,7 @@ def cmd_stream(args) -> int:
         decision_log=args.decision_log,
         persist_decisions=not args.no_decision_log,
         resume=not args.fresh,
+        obs=obs,
         **resolution_kwargs,
     )
     print(
@@ -659,12 +753,19 @@ def cmd_stream(args) -> int:
                 "replayed verdicts)"
             )
     elapsed = time.perf_counter() - start
+    obs.flush_snapshot()
+    obs.close()
     print(
         f"stream done in {elapsed:.2f}s: "
         f"{consolidator.questions_asked} oracle questions asked, "
         f"{consolidator.questions_saved} saved by reuse, "
         f"model at v{consolidator.model_version}"
     )
+    if args.metrics:
+        print(
+            f"metrics recorded: {args.metrics} "
+            f"(summarize with `repro stats --metrics {args.metrics}`)"
+        )
     if args.registry:
         print(f"model versions published under: {args.registry}")
         if consolidator.decision_log is not None:
@@ -699,12 +800,27 @@ def _cmd_stream_golden(args) -> int:
             f"error: unknown golden columns {unknown}; available: "
             f"{sorted(GOLDEN_COLUMN_FAMILIES)}"
         )
+    obs = _make_obs(args)
     seed = _resolve_seed(args)
     stream = golden_stream(
         batches=args.batches,
         n_clusters=max(8, round(200 * args.scale)),
         columns=columns,
         seed=seed,
+    )
+    obs.emit(
+        {
+            "type": "meta",
+            "command": "stream",
+            "columns": columns,
+            "scale": args.scale,
+            "seed": seed,
+            "batches": args.batches,
+            "shards": args.shards,
+            "budget": args.budget,
+            "blocking": args.blocking,
+            "fusion": args.fusion or "majority",
+        }
     )
     fusion = {
         "majority": majority.fuse,
@@ -744,6 +860,7 @@ def _cmd_stream_golden(args) -> int:
         decision_log_dir=args.decision_log,
         persist_decisions=not args.no_decision_log,
         resume=not args.fresh,
+        obs=obs,
         **resolution_kwargs,
     )
     print(
@@ -775,6 +892,8 @@ def _cmd_stream_golden(args) -> int:
             )
         golden = consolidator.golden_records()
     elapsed = time.perf_counter() - start
+    obs.flush_snapshot()
+    obs.close()
     print(
         f"stream done in {elapsed:.2f}s: "
         f"{len(golden)} golden records, "
@@ -783,6 +902,11 @@ def _cmd_stream_golden(args) -> int:
         f"{consolidator.clusters_refused} cluster re-fusions, "
         f"bundle at v{consolidator.bundle_version}"
     )
+    if args.metrics:
+        print(
+            f"metrics recorded: {args.metrics} "
+            f"(summarize with `repro stats --metrics {args.metrics}`)"
+        )
     if args.golden_out:
         with open(args.golden_out, "w", encoding="utf-8") as handle:
             for record in golden:

@@ -1,0 +1,128 @@
+"""Span-based stage tracing (``repro.obs``).
+
+A :class:`Span` is one timed region of the hot path —
+``with obs.span("stream.batch", batch=3):`` — and spans nest: the
+tracer maintains a stack, so each emitted row carries its parent and
+depth and a recorded run reconstructs the full stage tree (batch >
+stage > shard op) that ``repro stats`` folds into the Fig. 9-style
+per-stage breakdown.
+
+Two properties matter for the rest of the system:
+
+* **spans always time** — ``Span.seconds`` is valid even under the
+  null tracer, so consolidator stage timings (``BatchReport.
+  stage_seconds``) come from the very same spans whether or not
+  anyone is recording;
+* **recording is opt-in twice** — span *rows* are only emitted to the
+  sink when the tracer was built with ``trace=True``; the per-span
+  duration histograms land in the registry whenever one is attached.
+  With neither, a span is two ``perf_counter`` calls and an integer
+  push/pop.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from .metrics import NULL_REGISTRY
+
+Emit = Callable[[Dict[str, object]], None]
+
+
+class Span:
+    """One timed region.  Use as a context manager; after exit,
+    ``seconds`` holds the measured duration."""
+
+    __slots__ = ("name", "tags", "tracer", "seconds", "_start")
+
+    def __init__(
+        self,
+        name: str,
+        tags: Dict[str, object],
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
+        self.name = name
+        self.tags = tags
+        self.tracer = tracer
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        if self.tracer is not None:
+            self.tracer._enter(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.seconds = time.perf_counter() - self._start
+        if self.tracer is not None:
+            self.tracer._exit(self)
+
+
+class Tracer:
+    """Builds spans, tracks nesting, and fans span durations out to the
+    registry (histograms) and — when ``trace=True`` — the sink (rows).
+    """
+
+    def __init__(
+        self,
+        registry=NULL_REGISTRY,
+        emit: Optional[Emit] = None,
+        trace: bool = False,
+    ) -> None:
+        self.registry = registry
+        self._emit = emit
+        self.trace = trace and emit is not None
+        self._stack: List[Span] = []
+        self._sequence = 0
+
+    def span(self, name: str, **tags: object) -> Span:
+        return Span(name, tags, tracer=self)
+
+    # -- span lifecycle (called by Span) -----------------------------------
+
+    def _enter(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _exit(self, span: Span) -> None:
+        depth = len(self._stack) - 1
+        parent = self._stack[depth - 1].name if depth > 0 else None
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        else:  # pragma: no cover — misnested exit; recover, don't wedge
+            self._stack = [s for s in self._stack if s is not span]
+        if self.registry.enabled:
+            self.registry.histogram(
+                "span.seconds",
+                deterministic=False,
+                span=span.name,
+            ).observe(span.seconds)
+        if self.trace:
+            self._sequence += 1
+            row: Dict[str, object] = {
+                "type": "span",
+                "seq": self._sequence,
+                "span": span.name,
+                "parent": parent,
+                "depth": depth,
+                "seconds": round(span.seconds, 9),
+            }
+            if span.tags:
+                row["tags"] = {
+                    key: span.tags[key] for key in sorted(span.tags)
+                }
+            self._emit(row)
+
+
+class NullTracer:
+    """The disabled tracer: spans still time (callers read
+    ``span.seconds``), but nothing is recorded anywhere."""
+
+    trace = False
+
+    def span(self, name: str, **tags: object) -> Span:
+        return Span(name, tags, tracer=None)
+
+
+NULL_TRACER = NullTracer()

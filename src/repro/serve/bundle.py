@@ -207,16 +207,27 @@ class BundleApplyEngine:
         bundle: ModelBundle,
         use_programs: bool = True,
         cache_size: int = 65536,
+        obs=None,
     ) -> None:
         self.use_programs = use_programs
         self.cache_size = cache_size
+        self.obs = obs
         self.bundle = bundle
         self.engines: Dict[str, ApplyEngine] = {
-            column: ApplyEngine(
-                model, use_programs=use_programs, cache_size=cache_size
-            )
+            column: self._make_engine(column, model)
             for column, model in bundle.models.items()
         }
+
+    def _make_engine(self, column: str, model) -> ApplyEngine:
+        # Per-column engines share the bundle's obs context; the column
+        # label keeps their apply.* counters separable in one registry.
+        return ApplyEngine(
+            model,
+            use_programs=self.use_programs,
+            cache_size=self.cache_size,
+            obs=self.obs,
+            obs_labels={"column": column},
+        )
 
     @property
     def columns(self) -> List[str]:
@@ -239,11 +250,7 @@ class BundleApplyEngine:
         for column, model in bundle.models.items():
             engine = self.engines.get(column)
             if engine is None:
-                engine = ApplyEngine(
-                    model,
-                    use_programs=self.use_programs,
-                    cache_size=self.cache_size,
-                )
+                engine = self._make_engine(column, model)
             else:
                 engine.reload(model)
             engines[column] = engine
@@ -274,3 +281,9 @@ class BundleApplyEngine:
             column: engine.stats().as_dict()
             for column, engine in self.engines.items()
         }
+
+    def sync_obs(self) -> None:
+        """Flush every column engine's counter deltas to the registry
+        (see :meth:`ApplyEngine.sync_obs`)."""
+        for engine in self.engines.values():
+            engine.sync_obs()

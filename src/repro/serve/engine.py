@@ -35,6 +35,7 @@ reproduction of a learning run is required, use
 from __future__ import annotations
 
 import multiprocessing
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -44,6 +45,7 @@ from ..core.functions import ConstantStr
 from ..core.program import Program
 from ..core.structure import Signature, structure_signature
 from ..data.table import CellRef, ClusterTable
+from ..obs import NULL_OBS
 from ..pipeline.oracle import FORWARD
 from .model import TransformationModel
 
@@ -119,6 +121,8 @@ class ApplyEngine:
         model: TransformationModel,
         use_programs: bool = True,
         cache_size: int = 65536,
+        obs=NULL_OBS,
+        obs_labels: Optional[Dict[str, str]] = None,
     ) -> None:
         self.model = model
         self.use_programs = use_programs
@@ -126,6 +130,12 @@ class ApplyEngine:
         self._stats = ApplyStats()
         self._cache = LRUCache(cache_size)
         self._max_program_len = model.config.max_string_length
+        # Observability rides on the plain-int ApplyStats: the per-value
+        # hot path never touches a registry instrument; sync_obs mirrors
+        # the accumulated deltas at batch boundaries only.
+        self.obs = obs if obs is not None else NULL_OBS
+        self._obs_labels = dict(obs_labels or {})
+        self._obs_synced: Dict[str, int] = {}
 
         self.exact: Dict[str, str] = {}
         self.token_rules: List[Tuple[str, str]] = []
@@ -140,6 +150,30 @@ class ApplyEngine:
         """Counters over everything this engine has applied: cache
         hits, and exact / program / token-rule path counts vs misses."""
         return self._stats
+
+    def sync_obs(self, seconds: Optional[float] = None) -> None:
+        """Mirror the ApplyStats deltas since the last sync into the
+        attached registry as ``apply.*`` counters (tier mapping: exact,
+        program, token, passthrough=misses, LRU=cache_hits), plus an
+        ``apply.batch_seconds`` latency observation when ``seconds`` is
+        given.  A no-op without an enabled obs context."""
+        if not self.obs.enabled:
+            return
+        metrics = self.obs.metrics
+        current = self._stats.as_dict()
+        for name, value in current.items():
+            delta = value - self._obs_synced.get(name, 0)
+            if delta:
+                metrics.counter(
+                    f"apply.{name}", **self._obs_labels
+                ).inc(delta)
+        self._obs_synced = current
+        if seconds is not None:
+            metrics.histogram(
+                "apply.batch_seconds",
+                deterministic=False,
+                **self._obs_labels,
+            ).observe(seconds)
 
     # -- compilation -------------------------------------------------------
 
@@ -283,6 +317,7 @@ class ApplyEngine:
         sharded across a process pool; per-rule hit counters are then
         tracked inside the workers and not merged back.
         """
+        started = time.perf_counter() if self.obs.enabled else 0.0
         unique = list(dict.fromkeys(values))
         self._stats.rows += len(values)
         self._stats.unique_values += len(unique)
@@ -291,6 +326,8 @@ class ApplyEngine:
             self._stats.sharded_values += len(unique)
         else:
             mapping = {value: self.transform(value) for value in unique}
+        if self.obs.enabled:
+            self.sync_obs(time.perf_counter() - started)
         return [mapping[value] for value in values]
 
     def _apply_sharded(

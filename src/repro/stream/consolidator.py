@@ -53,12 +53,14 @@ log):
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..config import DEFAULT_CONFIG, Config
 from ..core.grouping import Group
+from ..obs import NULL_OBS
 from ..core.terms import DEFAULT_VOCABULARY, TermVocabulary
 from ..data.table import CellRef, ClusterTable, Record
 from ..pipeline.oracle import REVERSE, Decision, GroundTruthOracle, Oracle
@@ -115,6 +117,11 @@ class BatchReport:
     model_version: Optional[int] = None
     drift_triggered: bool = False
     seconds: float = 0.0
+    #: wall-clock per lifecycle stage (engine, resolve, derive, replay,
+    #: learn, oracle, drift, publish); ``oracle`` is the review time
+    #: *inside* learn/drift, split out because in production it is
+    #: human latency, not compute
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     def describe(self) -> str:
         version = (
@@ -148,7 +155,81 @@ class BatchReport:
             "cells_changed": self.cells_changed,
             "model_version": self.model_version,
             "seconds": round(self.seconds, 6),
+            "stage_seconds": {
+                stage: round(seconds, 6)
+                for stage, seconds in self.stage_seconds.items()
+            },
         }
+
+
+class _TimedOracle:
+    """Per-batch oracle wrapper accumulating ``review`` wall-clock.
+
+    Oracle time is split out of the learn stage because in production
+    it is *human latency*, not compute — Fig. 9-style breakdowns are
+    misleading when review time hides inside learning.  Everything but
+    ``review`` delegates to the wrapped oracle.
+    """
+
+    def __init__(self, inner: Oracle) -> None:
+        self._inner = inner
+        self.seconds = 0.0
+        self.reviews = 0
+
+    def review(self, group: Group) -> Decision:
+        started = time.perf_counter()
+        try:
+            return self._inner.review(group)
+        finally:
+            self.seconds += time.perf_counter() - started
+            self.reviews += 1
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+
+@contextmanager
+def _timed_stage(obs, stage_seconds: Dict[str, float], name: str):
+    """Time one lifecycle stage as a ``stream.<name>`` span and fold
+    its duration into the report's ``stage_seconds`` (accumulating:
+    the golden consolidator re-enters stages once per column)."""
+    with obs.span("stream." + name) as span:
+        yield span
+    stage_seconds[name] = stage_seconds.get(name, 0.0) + span.seconds
+
+
+def _sync_pool_metrics(obs, pool: Optional[ShardPool]) -> None:
+    """Mirror a pool's parent-side aggregates into the registry.
+
+    All gauges (set to the cumulative totals, so the sync is idempotent
+    per batch) and all *volatile*: IPC volume and shard compute time
+    legitimately differ across ``--shards`` values, and excluding them
+    from the deterministic snapshot is what keeps that snapshot
+    byte-identical at any shard count.
+    """
+    if pool is None or not obs.enabled:
+        return
+    metrics = obs.metrics
+    metrics.gauge("shards.values_shipped", deterministic=False).set(
+        pool.shipped_values
+    )
+    metrics.gauge(
+        "shards.candidate_ids_shipped", deterministic=False
+    ).set(pool.shipped_candidate_ids)
+    metrics.gauge("shards.bytes_shipped", deterministic=False).set(
+        pool.shipped_bytes
+    )
+    for op in sorted(pool.op_requests):
+        metrics.gauge("shards.requests", deterministic=False, op=op).set(
+            pool.op_requests[op]
+        )
+        metrics.gauge(
+            "shards.op_seconds", deterministic=False, op=op
+        ).set(round(pool.op_seconds.get(op, 0.0), 9))
+    for shard, seconds in enumerate(pool.shard_seconds):
+        metrics.gauge(
+            "shards.busy_seconds", deterministic=False, shard=str(shard)
+        ).set(round(seconds, 9))
 
 
 class _CellCanonical:
@@ -315,9 +396,15 @@ class StreamConsolidator:
         persist_decisions: bool = True,
         block_retention: Optional[int] = None,
         resume: bool = True,
+        obs=None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        #: observability context (metrics registry + tracer + sink);
+        #: defaults to the no-op NULL_OBS, under which the stage spans
+        #: still time (stage_seconds stays populated) but nothing is
+        #: recorded anywhere.
+        self.obs = obs if obs is not None else NULL_OBS
         self.column = column
         self.oracle_factory = oracle_factory
         self.budget_per_batch = budget_per_batch
@@ -458,6 +545,10 @@ class StreamConsolidator:
             )
         self._maybe_resume()
         self.oracle = self.oracle_factory(self)
+        if self.monitor is not None and not self.monitor.obs.enabled:
+            # Route the monitor's drift triggers through this stream's
+            # metrics/event stream (an explicitly attached obs wins).
+            self.monitor.obs = self.obs
 
     def _archive_decision_log(self) -> None:
         """Move an existing verdict log aside for a ``resume=False``
@@ -490,7 +581,9 @@ class StreamConsolidator:
         self.standardizer.log = _log_from_model(model)
         if self.use_engine and self.engine is None:
             self.engine = ApplyEngine(
-                model, use_programs=self.engine_use_programs
+                model,
+                use_programs=self.engine_use_programs,
+                obs=self.obs,
             )
             self.publisher.subscribe(self.engine)
 
@@ -498,7 +591,15 @@ class StreamConsolidator:
 
     def process_batch(self, records: Sequence[Record]) -> BatchReport:
         """Fold one record batch into the consolidation state."""
-        start = time.perf_counter()
+        with self.obs.span(
+            "stream.batch", batch=len(self.reports)
+        ) as batch_span:
+            report = self._process_batch(records)
+        report.seconds = batch_span.seconds
+        self._record_batch(report)
+        return report
+
+    def _process_batch(self, records: Sequence[Record]) -> BatchReport:
         # The table owns its records: copy so standardization never
         # mutates the caller's objects (batches stay replayable), and
         # normalize the consolidated column to "" when absent (JSON-
@@ -513,21 +614,24 @@ class StreamConsolidator:
         ]
         self._ensure_ready(records)
         report = BatchReport(index=len(self.reports), records=len(records))
+        stage = report.stage_seconds
 
         # 1. serve fast path: standardize arrivals with the live model.
-        if self.engine is not None and records:
-            values = [r.values.get(self.column, "") for r in records]
-            outputs = self.engine.apply_values(values)
-            for record, value, out in zip(records, values, outputs):
-                if out != value:
-                    record.values[self.column] = out
-                    report.explained_cells += 1
+        with _timed_stage(self.obs, stage, "engine"):
+            if self.engine is not None and records:
+                values = [r.values.get(self.column, "") for r in records]
+                outputs = self.engine.apply_values(values)
+                for record, value, out in zip(records, values, outputs):
+                    if out != value:
+                        record.values[self.column] = out
+                        report.explained_cells += 1
 
         # 2. incremental resolution (new-record pairs only).
         pool_bytes_before = (
             self.pool.shipped_bytes if self.pool is not None else 0
         )
-        resolution = self.resolver.add_batch(records, pool=self.pool)
+        with _timed_stage(self.obs, stage, "resolve"):
+            resolution = self.resolver.add_batch(records, pool=self.pool)
         report.merges = resolution.merges
         report.new_clusters = resolution.new_clusters
         report.pairs_compared = resolution.pairs_compared
@@ -537,61 +641,75 @@ class StreamConsolidator:
         # can be appended *and* merge-moved within one batch, so moves
         # are only re-homing for pre-existing (already indexed) cells,
         # and appended cells are indexed at their *current* position.
-        appended_rids = {rid for rid, _, _ in resolution.appended}
-        first_old = {}  # pre-batch position per moved pre-existing rid
-        for rid, oc, orow, _nc, _nrow in resolution.moved:
-            if rid not in appended_rids:
-                first_old.setdefault(rid, (oc, orow))
-        moves = [
-            (
-                CellRef(oc, orow, self.column),
-                CellRef(*self.resolver.position(rid), self.column),
+        with _timed_stage(self.obs, stage, "derive"):
+            appended_rids = {rid for rid, _, _ in resolution.appended}
+            first_old = {}  # pre-batch position per moved existing rid
+            for rid, oc, orow, _nc, _nrow in resolution.moved:
+                if rid not in appended_rids:
+                    first_old.setdefault(rid, (oc, orow))
+            moves = [
+                (
+                    CellRef(oc, orow, self.column),
+                    CellRef(*self.resolver.position(rid), self.column),
+                )
+                for rid, (oc, orow) in first_old.items()
+            ]
+            if moves:
+                self.standardizer.move_cells(moves)
+            new_cells = []
+            for rid, _, _ in resolution.appended:
+                cluster, row = self.resolver.position(rid)
+                new_cells.append(CellRef(cluster, row, self.column))
+            _indexed, unexplained = self.standardizer.ingest(
+                new_cells, pool=self.pool
             )
-            for rid, (oc, orow) in first_old.items()
-        ]
-        if moves:
-            self.standardizer.move_cells(moves)
-        new_cells = []
-        for rid, _, _ in resolution.appended:
-            cluster, row = self.resolver.position(rid)
-            new_cells.append(CellRef(cluster, row, self.column))
-        _indexed, unexplained = self.standardizer.ingest(
-            new_cells, pool=self.pool
-        )
         report.unmatched_cells = unexplained
 
         # 4. decision-cache replay: judged variation is free.
-        approved, rejected_count, undecided = (
-            self.standardizer.partition_live()
-        )
-        reused, reused_cells = self.standardizer.reuse_confirmed(approved)
-        report.reused_replacements = reused
-        report.reused_cells = reused_cells
-        report.rejected_skips = rejected_count
-        if reused_cells:
-            # Applying cached verdicts changed the store; refresh the
-            # novel set (otherwise the step-4 partition is still valid).
-            undecided = self.standardizer.undecided()
+        with _timed_stage(self.obs, stage, "replay"):
+            approved, rejected_count, undecided = (
+                self.standardizer.partition_live()
+            )
+            reused, reused_cells = self.standardizer.reuse_confirmed(
+                approved
+            )
+            report.reused_replacements = reused
+            report.reused_cells = reused_cells
+            report.rejected_skips = rejected_count
+            if reused_cells:
+                # Applying cached verdicts changed the store; refresh
+                # the novel set (otherwise the step-4 partition is
+                # still valid).
+                undecided = self.standardizer.undecided()
 
-        # 5. budgeted learning over the novel remainder.
-        steps = self.standardizer.learn(
-            self.oracle,
-            self.budget_per_batch,
-            novel=undecided,
-            pool=self.pool,
-        )
+        # 5. budgeted learning over the novel remainder.  The oracle is
+        # wrapped so its review wall-clock is separable from learning.
+        oracle = _TimedOracle(self.oracle)
+        with _timed_stage(self.obs, stage, "learn"):
+            steps = self.standardizer.learn(
+                oracle,
+                self.budget_per_batch,
+                novel=undecided,
+                pool=self.pool,
+            )
 
         # 6. drift check: relearn deeper when the stream stops being
         # explained.  The signal (candidate-key novelty) is independent
         # of the engine, so monitoring works in --no-engine mode too.
-        if self.monitor is not None:
-            drift = self.monitor.record(len(records), report.unmatched_cells)
-            if drift.drifted:
-                report.drift_triggered = True
-                steps = steps + self.standardizer.learn(
-                    self.oracle, self.relearn_budget, pool=self.pool
+        with _timed_stage(self.obs, stage, "drift"):
+            if self.monitor is not None:
+                drift = self.monitor.record(
+                    len(records),
+                    report.unmatched_cells,
+                    batch=report.index,
                 )
-                self.monitor.reset()
+                if drift.drifted:
+                    report.drift_triggered = True
+                    steps = steps + self.standardizer.learn(
+                        oracle, self.relearn_budget, pool=self.pool
+                    )
+                    self.monitor.reset()
+        stage["oracle"] = oracle.seconds
 
         report.questions_asked = len(steps)
         report.groups_approved = sum(
@@ -602,15 +720,18 @@ class StreamConsolidator:
         )
 
         # 7. publish new confirmations; engines hot-reload in place.
-        if report.groups_approved:
-            model = self.build_model()
-            version, _path = self.publisher.publish(model)
-            report.model_version = version
-            if self.engine is None and self.use_engine:
-                self.engine = ApplyEngine(
-                    model, use_programs=self.engine_use_programs
-                )
-                self.publisher.subscribe(self.engine)
+        with _timed_stage(self.obs, stage, "publish"):
+            if report.groups_approved:
+                model = self.build_model()
+                version, _path = self.publisher.publish(model)
+                report.model_version = version
+                if self.engine is None and self.use_engine:
+                    self.engine = ApplyEngine(
+                        model,
+                        use_programs=self.engine_use_programs,
+                        obs=self.obs,
+                    )
+                    self.publisher.subscribe(self.engine)
 
         if self.pool is not None:
             # Data-plane bytes for the whole batch (resolve scripts
@@ -618,9 +739,63 @@ class StreamConsolidator:
             report.bytes_shipped = (
                 self.pool.shipped_bytes - pool_bytes_before
             )
-        report.seconds = time.perf_counter() - start
-        self.reports.append(report)
         return report
+
+    def _record_batch(self, report: BatchReport) -> None:
+        """Append the report; with an enabled obs context, mirror its
+        counters into the registry (stable key schema documented in
+        docs/observability.md) and emit the batch row."""
+        self.reports.append(report)
+        obs = self.obs
+        if not obs.enabled:
+            return
+        metrics = obs.metrics
+        # Deterministic counters: identical at any --shards value.
+        metrics.counter("stream.batches").inc()
+        metrics.counter("stream.records").inc(report.records)
+        metrics.counter("stream.explained_cells").inc(
+            report.explained_cells
+        )
+        metrics.counter("stream.unmatched_cells").inc(
+            report.unmatched_cells
+        )
+        metrics.counter("stream.merges").inc(report.merges)
+        metrics.counter("stream.new_clusters").inc(report.new_clusters)
+        metrics.counter("stream.candidate_pairs").inc(
+            report.pairs_compared
+        )
+        metrics.counter("stream.reused_replacements").inc(
+            report.reused_replacements
+        )
+        metrics.counter("stream.reused_cells").inc(report.reused_cells)
+        metrics.counter("stream.rejected_skips").inc(
+            report.rejected_skips
+        )
+        metrics.counter("stream.questions", column=self.column).inc(
+            report.questions_asked
+        )
+        metrics.counter("stream.groups_approved").inc(
+            report.groups_approved
+        )
+        metrics.counter("stream.cells_changed").inc(report.cells_changed)
+        if report.model_version is not None:
+            metrics.counter("stream.publishes").inc()
+        # Volatile: wall-clock and IPC volume vary run to run.
+        metrics.counter("stream.values_shipped", deterministic=False).inc(
+            report.values_shipped
+        )
+        metrics.counter("stream.bytes_shipped", deterministic=False).inc(
+            report.bytes_shipped
+        )
+        metrics.histogram(
+            "stream.batch_seconds", deterministic=False
+        ).observe(report.seconds)
+        for stage, seconds in report.stage_seconds.items():
+            metrics.counter(
+                "stream.stage_seconds", deterministic=False, stage=stage
+            ).inc(round(seconds, 9))
+        _sync_pool_metrics(obs, self.pool)
+        obs.emit({"type": "batch", **report.stats()})
 
     def run(self, batches) -> List[BatchReport]:
         """Process every batch of an iterable; returns the reports."""

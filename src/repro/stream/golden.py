@@ -63,6 +63,7 @@ from typing import (
 
 from ..config import DEFAULT_CONFIG, Config
 from ..core.terms import DEFAULT_VOCABULARY, TermVocabulary
+from ..obs import NULL_OBS
 from ..data.table import CellRef, ClusterTable, Record
 from ..fusion import majority
 from ..pipeline.consolidate import GoldenRecord
@@ -78,7 +79,13 @@ from ..serve.bundle import (
 )
 from ..serve.model import TransformationModel, build_model
 from ..serve.registry import slugify
-from .consolidator import _CellCanonical, _log_from_model
+from .consolidator import (
+    _CellCanonical,
+    _log_from_model,
+    _sync_pool_metrics,
+    _timed_stage,
+    _TimedOracle,
+)
 from .decisions import DecisionCache, archive_log
 from .publisher import BundlePublisher
 from .resolver import IncrementalResolver
@@ -164,6 +171,11 @@ class GoldenBatchReport:
     fusion_seconds: float = 0.0
     bundle_version: Optional[int] = None
     seconds: float = 0.0
+    #: wall-clock per lifecycle stage (engine, resolve, derive, replay,
+    #: learn, oracle, fuse, publish); per-column stages accumulate
+    #: across the column loop, and ``oracle`` is the review time inside
+    #: learn (human latency in production, split out of compute)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def questions_asked(self) -> int:
@@ -207,6 +219,10 @@ class GoldenBatchReport:
             "fusion_seconds": round(self.fusion_seconds, 6),
             "bundle_version": self.bundle_version,
             "seconds": round(self.seconds, 6),
+            "stage_seconds": {
+                stage: round(seconds, 6)
+                for stage, seconds in self.stage_seconds.items()
+            },
         }
 
 
@@ -289,7 +305,9 @@ class GoldenStreamConsolidator:
         persist_decisions: bool = True,
         block_retention: Optional[int] = None,
         resume: bool = True,
+        obs=None,
     ) -> None:
+        self.obs = obs if obs is not None else NULL_OBS
         if not columns:
             raise ValueError("at least one column is required")
         if len(set(columns)) != len(tuple(columns)):
@@ -577,7 +595,9 @@ class GoldenStreamConsolidator:
                 self.standardizers[column].log = _log_from_model(model)
         if self.use_engine and self.engine is None:
             self.engine = BundleApplyEngine(
-                bundle, use_programs=self.engine_use_programs
+                bundle,
+                use_programs=self.engine_use_programs,
+                obs=self.obs,
             )
             self.publisher.subscribe(self.engine)
 
@@ -585,7 +605,17 @@ class GoldenStreamConsolidator:
 
     def process_batch(self, records: Sequence[Record]) -> GoldenBatchReport:
         """Fold one record batch into the golden consolidation state."""
-        start = time.perf_counter()
+        with self.obs.span(
+            "stream.batch", batch=len(self.reports)
+        ) as batch_span:
+            report = self._process_batch(records)
+        report.seconds = batch_span.seconds
+        self._record_batch(report)
+        return report
+
+    def _process_batch(
+        self, records: Sequence[Record]
+    ) -> GoldenBatchReport:
         # Copy (standardization must not mutate the caller's batch) and
         # normalize every consolidated column to "" when absent.
         records = [
@@ -600,26 +630,31 @@ class GoldenStreamConsolidator:
         report = GoldenBatchReport(
             index=len(self.reports), records=len(records)
         )
+        stage = report.stage_seconds
 
         # 1. serve fast path: the live bundle standardizes arrivals —
         # all columns, before any of them reaches the learner.
-        if self.engine is not None and records:
-            for column in self.columns:
-                engine = self.engine.engine(column)
-                if engine is None:
-                    continue
-                values = [r.values.get(column, "") for r in records]
-                outputs = engine.apply_values(values)
-                for record, value, out in zip(records, values, outputs):
-                    if out != value:
-                        record.values[column] = out
-                        report.explained_cells += 1
+        with _timed_stage(self.obs, stage, "engine"):
+            if self.engine is not None and records:
+                for column in self.columns:
+                    engine = self.engine.engine(column)
+                    if engine is None:
+                        continue
+                    values = [r.values.get(column, "") for r in records]
+                    outputs = engine.apply_values(values)
+                    for record, value, out in zip(
+                        records, values, outputs
+                    ):
+                        if out != value:
+                            record.values[column] = out
+                            report.explained_cells += 1
 
         # 2. incremental resolution, once for the whole record.
         pool_bytes_before = (
             self.pool.shipped_bytes if self.pool is not None else 0
         )
-        resolution = self.resolver.add_batch(records, pool=self.pool)
+        with _timed_stage(self.obs, stage, "resolve"):
+            resolution = self.resolver.add_batch(records, pool=self.pool)
         report.merges = resolution.merges
         report.new_clusters = resolution.new_clusters
         report.pairs_compared = resolution.pairs_compared
@@ -636,80 +671,151 @@ class GoldenStreamConsolidator:
         # every column ingests the same appends/moves into its own
         # store, replays its own decision cache, and learns over its
         # own novel remainder — sharing the one resolver and pool.
+        # Stage timings accumulate across columns; oracle review time
+        # is split out per batch via the timed wrapper.
         appended_rids = {rid for rid, _, _ in resolution.appended}
         first_old: Dict[str, Tuple[int, int]] = {}
         for rid, oc, orow, _nc, _nrow in resolution.moved:
             if rid not in appended_rids:
                 first_old.setdefault(rid, (oc, orow))
         changed_cells: List[CellRef] = []
+        oracle_seconds = 0.0
         for column in self.columns:
             standardizer = self.standardizers[column]
-            moves = [
-                (
-                    CellRef(oc, orow, column),
-                    CellRef(*self.resolver.position(rid), column),
+            with _timed_stage(self.obs, stage, "derive"):
+                moves = [
+                    (
+                        CellRef(oc, orow, column),
+                        CellRef(*self.resolver.position(rid), column),
+                    )
+                    for rid, (oc, orow) in first_old.items()
+                ]
+                if moves:
+                    standardizer.move_cells(moves)
+                new_cells = []
+                for rid, _, _ in resolution.appended:
+                    cluster, row = self.resolver.position(rid)
+                    new_cells.append(CellRef(cluster, row, column))
+                _indexed, unexplained = standardizer.ingest(
+                    new_cells, pool=self.pool
                 )
-                for rid, (oc, orow) in first_old.items()
-            ]
-            if moves:
-                standardizer.move_cells(moves)
-            new_cells = []
-            for rid, _, _ in resolution.appended:
-                cluster, row = self.resolver.position(rid)
-                new_cells.append(CellRef(cluster, row, column))
-            _indexed, unexplained = standardizer.ingest(
-                new_cells, pool=self.pool
-            )
             report.unmatched_cells += unexplained
 
-            approved, rejected_count, undecided = (
-                standardizer.partition_live()
-            )
-            reused, reused_cells = standardizer.reuse_confirmed(
-                approved, changed_into=changed_cells
-            )
-            report.reused_replacements += reused
-            report.rejected_skips += rejected_count
-            report.cells_changed += reused_cells
-            if reused_cells:
-                undecided = standardizer.undecided()
+            with _timed_stage(self.obs, stage, "replay"):
+                approved, rejected_count, undecided = (
+                    standardizer.partition_live()
+                )
+                reused, reused_cells = standardizer.reuse_confirmed(
+                    approved, changed_into=changed_cells
+                )
+                report.reused_replacements += reused
+                report.rejected_skips += rejected_count
+                report.cells_changed += reused_cells
+                if reused_cells:
+                    undecided = standardizer.undecided()
 
-            steps = standardizer.learn(
-                self.oracles[column],
-                self.budget_per_batch,
-                novel=undecided,
-                pool=self.pool,
-                changed_into=changed_cells,
-            )
+            oracle = _TimedOracle(self.oracles[column])
+            with _timed_stage(self.obs, stage, "learn"):
+                steps = standardizer.learn(
+                    oracle,
+                    self.budget_per_batch,
+                    novel=undecided,
+                    pool=self.pool,
+                    changed_into=changed_cells,
+                )
+            oracle_seconds += oracle.seconds
             report.questions_by_column[column] = len(steps)
             report.groups_approved += sum(
                 1 for s in steps if s.decision.approved
             )
             report.cells_changed += sum(s.cells_changed for s in steps)
+        stage["oracle"] = oracle_seconds
 
         touched.update(cell.cluster for cell in changed_cells)
 
         # 6. incremental fusion over exactly the touched clusters.
-        self._refuse_clusters(touched, report)
+        with _timed_stage(self.obs, stage, "fuse"):
+            self._refuse_clusters(touched, report)
 
         # 7. publish one bundle; every column hot-reloads atomically.
-        if report.groups_approved:
-            bundle = self.build_bundle()
-            version, _path = self.publisher.publish(bundle)
-            report.bundle_version = version
-            if self.engine is None and self.use_engine:
-                self.engine = BundleApplyEngine(
-                    bundle, use_programs=self.engine_use_programs
-                )
-                self.publisher.subscribe(self.engine)
+        with _timed_stage(self.obs, stage, "publish"):
+            if report.groups_approved:
+                bundle = self.build_bundle()
+                version, _path = self.publisher.publish(bundle)
+                report.bundle_version = version
+                if self.engine is None and self.use_engine:
+                    self.engine = BundleApplyEngine(
+                        bundle,
+                        use_programs=self.engine_use_programs,
+                        obs=self.obs,
+                    )
+                    self.publisher.subscribe(self.engine)
 
         if self.pool is not None:
             report.bytes_shipped = (
                 self.pool.shipped_bytes - pool_bytes_before
             )
-        report.seconds = time.perf_counter() - start
-        self.reports.append(report)
         return report
+
+    def _record_batch(self, report: GoldenBatchReport) -> None:
+        """Append the report; with an enabled obs context, mirror its
+        counters into the registry (same key schema as the single-
+        column consolidator, plus the fusion counters) and emit the
+        batch row."""
+        self.reports.append(report)
+        obs = self.obs
+        if not obs.enabled:
+            return
+        metrics = obs.metrics
+        metrics.counter("stream.batches").inc()
+        metrics.counter("stream.records").inc(report.records)
+        metrics.counter("stream.explained_cells").inc(
+            report.explained_cells
+        )
+        metrics.counter("stream.unmatched_cells").inc(
+            report.unmatched_cells
+        )
+        metrics.counter("stream.merges").inc(report.merges)
+        metrics.counter("stream.new_clusters").inc(report.new_clusters)
+        metrics.counter("stream.candidate_pairs").inc(
+            report.pairs_compared
+        )
+        metrics.counter("stream.reused_replacements").inc(
+            report.reused_replacements
+        )
+        metrics.counter("stream.rejected_skips").inc(
+            report.rejected_skips
+        )
+        for column, asked in report.questions_by_column.items():
+            metrics.counter("stream.questions", column=column).inc(asked)
+        metrics.counter("stream.groups_approved").inc(
+            report.groups_approved
+        )
+        metrics.counter("stream.cells_changed").inc(report.cells_changed)
+        metrics.counter("stream.clusters_refused").inc(
+            report.clusters_refused
+        )
+        metrics.gauge("stream.clusters_live").set(report.clusters_live)
+        if report.bundle_version is not None:
+            metrics.counter("stream.publishes").inc()
+        metrics.counter("stream.values_shipped", deterministic=False).inc(
+            report.values_shipped
+        )
+        metrics.counter("stream.bytes_shipped", deterministic=False).inc(
+            report.bytes_shipped
+        )
+        metrics.histogram(
+            "stream.batch_seconds", deterministic=False
+        ).observe(report.seconds)
+        metrics.counter("stream.fusion_seconds", deterministic=False).inc(
+            round(report.fusion_seconds, 9)
+        )
+        for stage, seconds in report.stage_seconds.items():
+            metrics.counter(
+                "stream.stage_seconds", deterministic=False, stage=stage
+            ).inc(round(seconds, 9))
+        _sync_pool_metrics(obs, self.pool)
+        obs.emit({"type": "batch", **report.stats()})
 
     def run(self, batches) -> List[GoldenBatchReport]:
         """Process every batch of an iterable; returns the reports."""

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Tuple
+from typing import Deque, Optional, Tuple
+
+from ..obs import NULL_OBS
 
 
 @dataclass
@@ -35,6 +37,7 @@ class DriftMonitor:
         window: int = 5,
         miss_rate_threshold: float = 0.5,
         min_rows: int = 25,
+        obs=NULL_OBS,
     ) -> None:
         if not 0.0 <= miss_rate_threshold <= 1.0:
             raise ValueError("miss_rate_threshold must be within [0, 1]")
@@ -43,11 +46,20 @@ class DriftMonitor:
         self.min_rows = max(0, int(min_rows))
         self._batches: Deque[Tuple[int, int]] = deque(maxlen=self.window)
         self.triggered = 0
+        #: observability context; a consolidator binds its own here so
+        #: relearn triggers flow through the shared metrics stream.
+        self.obs = obs if obs is not None else NULL_OBS
 
     # -- feeding -----------------------------------------------------------
 
-    def record(self, rows: int, misses: int) -> DriftReport:
-        """Fold one batch's (rows seen, engine misses) into the window."""
+    def record(
+        self, rows: int, misses: int, batch: Optional[int] = None
+    ) -> DriftReport:
+        """Fold one batch's (rows seen, engine misses) into the window.
+
+        ``batch`` is optional context for the emitted drift event (the
+        monitor itself has no notion of batch numbering).
+        """
         rows = max(0, int(rows))
         misses = max(0, min(int(misses), rows))
         self._batches.append((rows, misses))
@@ -56,6 +68,23 @@ class DriftMonitor:
         )
         if report.drifted:
             self.triggered += 1
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.counter("drift.batches").inc()
+            metrics.gauge("drift.miss_rate").set(
+                round(report.miss_rate, 9)
+            )
+            if report.drifted:
+                metrics.counter("drift.relearns").inc()
+                event = {
+                    "rows": report.rows,
+                    "misses": report.misses,
+                    "miss_rate": round(report.miss_rate, 9),
+                    "window": len(self._batches),
+                }
+                if batch is not None:
+                    event["batch"] = batch
+                self.obs.event("drift", **event)
         return report
 
     def reset(self) -> None:

@@ -49,9 +49,11 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import time
 from collections import Counter
 from typing import (
     Any,
+    Callable,
     Dict,
     List,
     Optional,
@@ -86,6 +88,11 @@ MIN_PARALLEL_PAIRS = 64
 #: after the parent stopped tracking deltas, e.g. a long unpooled
 #: stretch overflowed its delta buffer).
 ResolveStep = Tuple[Any, ...]
+
+#: Parent-side timing callback: ``observer(shard, op, seconds)`` is
+#: invoked once per reply with the shard's compute time for that
+#: request (shipped back alongside the result; queue wait excluded).
+Observer = Callable[[int, str, float], None]
 
 
 class ShardStandardizer:
@@ -217,17 +224,30 @@ class ShardStandardizer:
 
 
 def _shard_main(requests, responses, config, vocabulary, similarity) -> None:
-    """Worker-process entry point: serve one shard until ``None``."""
+    """Worker-process entry point: serve one shard until ``None``.
+
+    Every reply is ``(ok, value, seconds)`` — the shard's compute time
+    rides back with the result (queue wait excluded), so the parent can
+    aggregate per-op / per-shard busy time without a second round trip.
+    """
     server = ShardStandardizer(config, vocabulary, similarity)
     while True:
         message = requests.get()
         if message is None:
             return
         op, payload = message
+        started = time.perf_counter()
         try:
-            responses.put((True, server.handle(op, payload)))
+            result = server.handle(op, payload)
+            responses.put((True, result, time.perf_counter() - started))
         except BaseException as exc:  # ship the failure to the parent
-            responses.put((False, f"{type(exc).__name__}: {exc}"))
+            responses.put(
+                (
+                    False,
+                    f"{type(exc).__name__}: {exc}",
+                    time.perf_counter() - started,
+                )
+            )
 
 
 class _InlineBackend:
@@ -239,19 +259,25 @@ class _InlineBackend:
         config: Config,
         vocabulary: TermVocabulary,
         similarity: Optional[SimilarityFn],
+        observer: Optional[Observer] = None,
     ) -> None:
         self._servers = [
             ShardStandardizer(config, vocabulary, similarity)
             for _ in range(shards)
         ]
+        self._observer = observer
 
     def request(self, shard: int, op: str, payload: Any) -> Any:
-        return self._servers[shard].handle(op, payload)
+        started = time.perf_counter()
+        result = self._servers[shard].handle(op, payload)
+        if self._observer is not None:
+            self._observer(shard, op, time.perf_counter() - started)
+        return result
 
     def broadcast(self, op: str, payloads: Sequence[Any]) -> List[Any]:
         return [
-            server.handle(op, payload)
-            for server, payload in zip(self._servers, payloads)
+            self.request(shard, op, payload)
+            for shard, payload in enumerate(payloads)
         ]
 
     def close(self) -> None:
@@ -267,8 +293,10 @@ class _ProcessBackend:
         config: Config,
         vocabulary: TermVocabulary,
         similarity: Optional[SimilarityFn],
+        observer: Optional[Observer] = None,
     ) -> None:
         context = multiprocessing.get_context()
+        self._observer = observer
         self._requests = []
         self._responses = []
         self._processes = []
@@ -299,16 +327,19 @@ class _ProcessBackend:
             self.close()
             raise
 
-    @staticmethod
-    def _unwrap(reply: Tuple[bool, Any]) -> Any:
-        ok, value = reply
+    def _unwrap(
+        self, shard: int, op: str, reply: Tuple[bool, Any, float]
+    ) -> Any:
+        ok, value, seconds = reply
+        if self._observer is not None:
+            self._observer(shard, op, seconds)
         if not ok:
             raise RuntimeError(f"shard worker failed: {value}")
         return value
 
     def request(self, shard: int, op: str, payload: Any) -> Any:
         self._requests[shard].put((op, payload))
-        return self._unwrap(self._responses[shard].get())
+        return self._unwrap(shard, op, self._responses[shard].get())
 
     def broadcast(self, op: str, payloads: Sequence[Any]) -> List[Any]:
         # Send everything first so the shards compute concurrently —
@@ -316,7 +347,8 @@ class _ProcessBackend:
         for requests, payload in zip(self._requests, payloads):
             requests.put((op, payload))
         return [
-            self._unwrap(responses.get()) for responses in self._responses
+            self._unwrap(shard, op, responses.get())
+            for shard, responses in enumerate(self._responses)
         ]
 
     def close(self) -> None:
@@ -365,6 +397,15 @@ class ShardPool:
             raise ValueError("shards must be >= 1")
         self.shards = shards
         self.config = config
+        #: per-op request counts / shard compute seconds, and per-shard
+        #: busy seconds — aggregated parent-side from the timings each
+        #: reply ships back, so the totals exist at any shard count and
+        #: on both backends.  The stream layer mirrors them into the
+        #: metrics registry (as *volatile* instruments: wall-clock and
+        #: IPC volume legitimately differ across ``--shards`` values).
+        self.op_requests: Dict[str, int] = {}
+        self.op_seconds: Dict[str, float] = {}
+        self.shard_seconds: List[float] = [0.0] * shards
         use_processes = (
             processes
             and shards > 1
@@ -373,13 +414,13 @@ class ShardPool:
         backend_cls = _ProcessBackend if use_processes else _InlineBackend
         try:
             self._backend = backend_cls(
-                shards, config, vocabulary, similarity
+                shards, config, vocabulary, similarity, observer=self._observe
             )
         except OSError:
             # Process spawn refused (containers without /dev/shm etc.):
             # shards still work, just without the parallelism.
             self._backend = _InlineBackend(
-                shards, config, vocabulary, similarity
+                shards, config, vocabulary, similarity, observer=self._observe
             )
         self.uses_processes = isinstance(self._backend, _ProcessBackend)
         #: cumulative shipping counters for the data-plane ops (resolve
@@ -392,6 +433,12 @@ class ShardPool:
         self.shipped_values = 0
         self.shipped_candidate_ids = 0
         self.shipped_bytes = 0
+
+    def _observe(self, shard: int, op: str, seconds: float) -> None:
+        """Fold one reply's shard compute time into the aggregates."""
+        self.op_requests[op] = self.op_requests.get(op, 0) + 1
+        self.op_seconds[op] = self.op_seconds.get(op, 0.0) + seconds
+        self.shard_seconds[shard] += seconds
 
     # -- the grouping feed -------------------------------------------------
 

@@ -1,0 +1,205 @@
+"""Tests for the metrics substrate (counters / gauges / histograms)."""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    HISTOGRAM_GROWTH,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    metric_key,
+)
+
+
+class TestMetricKey:
+    def test_unlabelled_key_is_the_name(self):
+        assert metric_key("stream.merges", {}) == "stream.merges"
+
+    def test_labels_sorted_into_key(self):
+        key = metric_key("apply.rows", {"column": "address", "a": "1"})
+        assert key == "apply.rows{a=1,column=address}"
+
+
+class TestCounter:
+    def test_counts_up(self):
+        registry = MetricsRegistry()
+        c = registry.counter("stream.merges")
+        c.inc()
+        c.inc(4)
+        assert c.as_value() == 5
+
+    def test_float_amounts_accumulate(self):
+        registry = MetricsRegistry()
+        c = registry.counter("stage.seconds", deterministic=False)
+        c.inc(0.25)
+        c.inc(0.5)
+        assert c.as_value() == pytest.approx(0.75)
+
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+    def test_labels_split_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("q", column="address").inc(3)
+        registry.counter("q", column="title").inc(7)
+        snap = registry.snapshot()
+        assert snap == {"q{column=address}": 3, "q{column=title}": 7}
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("clusters.live")
+        g.set(10)
+        g.set(7)
+        assert g.as_value() == 7
+
+    def test_inc_moves_the_gauge(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("depth")
+        g.inc(2)
+        g.inc(-1)
+        assert g.as_value() == 1
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("t", deterministic=False)
+        for value in (0.1, 0.2, 0.4):
+            h.observe(value)
+        value = h.as_value()
+        assert value["count"] == 3
+        assert value["total"] == pytest.approx(0.7)
+        assert value["min"] == pytest.approx(0.1)
+        assert value["max"] == pytest.approx(0.4)
+        assert value["mean"] == pytest.approx(0.7 / 3)
+
+    def test_quantile_error_bounded_by_bucket_width(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("t", deterministic=False)
+        rng = random.Random(7)
+        values = sorted(rng.uniform(0.001, 10.0) for _ in range(500))
+        for value in values:
+            h.observe(value)
+        for q in (0.5, 0.95, 0.99):
+            exact = values[max(0, math.ceil(q * len(values)) - 1)]
+            # Geometric buckets keep the estimate within half a bucket
+            # (~sqrt(GROWTH)) of the true quantile.
+            assert h.quantile(q) / exact <= HISTOGRAM_GROWTH
+            assert exact / h.quantile(q) <= HISTOGRAM_GROWTH
+
+    def test_quantiles_clamped_to_observed_range(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("t", deterministic=False)
+        h.observe(3.0)
+        assert h.p50 == 3.0
+        assert h.p99 == 3.0
+
+    def test_zero_observations_fold_into_underflow(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("t", deterministic=False)
+        h.observe(0.0)
+        h.observe(0.0)
+        assert h.count == 2
+        assert h.p50 == 0.0
+
+    def test_empty_histogram_quantile_is_zero(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("t", deterministic=False)
+        assert h.p95 == 0.0
+        assert h.as_value()["min"] is None
+
+    def test_quantile_rejects_out_of_range(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("t", deterministic=False)
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_merge_equals_union_of_observations(self):
+        registry = MetricsRegistry()
+        a = registry.histogram("a", deterministic=False)
+        b = registry.histogram("b", deterministic=False)
+        both = registry.histogram("c", deterministic=False)
+        rng = random.Random(3)
+        for _ in range(200):
+            value = rng.uniform(0.01, 5.0)
+            (a if rng.random() < 0.5 else b).observe(value)
+            both.observe(value)
+        a.merge(b)
+        assert a.as_value() == both.as_value()
+
+    def test_order_independent_state(self):
+        registry = MetricsRegistry()
+        forward = registry.histogram("f", deterministic=False)
+        backward = registry.histogram("b", deterministic=False)
+        values = [0.1 * i for i in range(1, 50)]
+        for value in values:
+            forward.observe(value)
+        for value in reversed(values):
+            backward.observe(value)
+        assert forward.as_value() == backward.as_value()
+
+
+class TestRegistry:
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="is a counter"):
+            registry.gauge("x")
+
+    def test_snapshot_sorted_and_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.gauge("a").set(2)
+        registry.histogram("c", deterministic=False).observe(0.5)
+        snap = registry.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)  # must not raise
+
+    def test_deterministic_only_drops_volatile(self):
+        registry = MetricsRegistry()
+        registry.counter("stream.merges").inc(3)
+        registry.counter("stream.bytes", deterministic=False).inc(100)
+        registry.histogram("t", deterministic=False).observe(0.1)
+        snap = registry.snapshot(deterministic_only=True)
+        assert snap == {"stream.merges": 3}
+
+    def test_volatile_marking_is_sticky(self):
+        registry = MetricsRegistry()
+        registry.counter("x", deterministic=False).inc()
+        # A later deterministic-looking access must not launder it.
+        registry.counter("x").inc()
+        assert registry.snapshot(deterministic_only=True) == {}
+
+    def test_instruments_in_stable_order(self):
+        registry = MetricsRegistry()
+        registry.counter("z")
+        registry.counter("a")
+        names = [i.name for i in registry.instruments()]
+        assert names == ["a", "z"]
+
+
+class TestNullRegistry:
+    def test_disabled_and_empty(self):
+        assert not NULL_REGISTRY.enabled
+        assert len(NULL_REGISTRY) == 0
+        assert NULL_REGISTRY.snapshot() == {}
+        assert tuple(NULL_REGISTRY.instruments()) == ()
+
+    def test_instruments_accept_writes_and_store_nothing(self):
+        NULL_REGISTRY.counter("a").inc(5)
+        NULL_REGISTRY.gauge("b").set(3)
+        NULL_REGISTRY.histogram("c").observe(0.1)
+        assert NULL_REGISTRY.counter("a").as_value() == 0
+        assert len(NULL_REGISTRY) == 0
+
+    def test_shared_singleton_instrument(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.gauge("b")

@@ -1,0 +1,109 @@
+"""Tests for the JSON-lines sink (torn-tail repair) and the
+Prometheus text writer."""
+
+import json
+
+from repro.obs import JsonlSink, MemorySink, MetricsRegistry, prometheus_text
+from repro.obs.summary import iter_rows
+
+
+class TestMemorySink:
+    def test_collects_rows(self):
+        sink = MemorySink()
+        sink.emit({"type": "meta"})
+        sink.emit({"type": "event"})
+        assert [row["type"] for row in sink.rows] == ["meta", "event"]
+        sink.close()
+        assert sink.closed
+
+
+class TestJsonlSink:
+    def test_writes_sorted_flushed_lines(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"b": 2, "a": 1, "type": "meta"})
+        # Flushed per emit: readable before close.
+        line = path.read_text(encoding="utf-8")
+        assert line == '{"a": 1, "b": 2, "type": "meta"}\n'
+        sink.close()
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "er" / "m.jsonl"
+        JsonlSink(path).close()
+        assert path.exists()
+
+    def test_append_preserves_existing_rows(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        first = JsonlSink(path)
+        first.emit({"type": "meta", "run": 1})
+        first.close()
+        second = JsonlSink(path)
+        second.emit({"type": "meta", "run": 2})
+        second.close()
+        runs = [row["run"] for row in iter_rows(path)]
+        assert runs == [1, 2]
+
+    def test_reopen_truncates_torn_fragment(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"type": "meta", "run": 1})
+        sink.close()
+        # A kill mid-write leaves a torn fragment with no newline.
+        with open(path, "ab") as handle:
+            handle.write(b'{"type": "batch", "ba')
+        repaired = JsonlSink(path)
+        repaired.emit({"type": "event", "event": "after"})
+        repaired.close()
+        rows = list(iter_rows(path))
+        assert [row["type"] for row in rows] == ["meta", "event"]
+
+    def test_reopen_terminates_intact_unterminated_row(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        # Complete JSON, missing only the newline: keep it.
+        path.write_bytes(b'{"type": "meta", "run": 1}')
+        sink = JsonlSink(path)
+        sink.emit({"type": "event", "event": "after"})
+        sink.close()
+        rows = list(iter_rows(path))
+        assert [row["type"] for row in rows] == ["meta", "event"]
+
+    def test_whole_file_torn_fragment_truncated_to_empty(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_bytes(b'{"type": "me')
+        sink = JsonlSink(path)
+        sink.close()
+        assert path.read_bytes() == b""
+
+
+class TestPrometheusText:
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("stream.merges").inc(4)
+        registry.gauge("clusters.live", column="address").set(9)
+        text = prometheus_text(registry)
+        assert "# TYPE stream_merges counter" in text
+        assert "stream_merges 4" in text
+        assert "# TYPE clusters_live gauge" in text
+        assert 'clusters_live{column="address"} 9' in text
+        assert text.endswith("\n")
+
+    def test_histograms_exposed_as_summaries(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("batch.seconds", deterministic=False)
+        h.observe(1.0)
+        h.observe(1.0)
+        text = prometheus_text(registry)
+        assert "# TYPE batch_seconds summary" in text
+        assert 'batch_seconds{quantile="0.5"}' in text
+        assert "batch_seconds_sum 2.0" in text
+        assert "batch_seconds_count 2" in text
+
+    def test_type_line_emitted_once_per_name(self):
+        registry = MetricsRegistry()
+        registry.counter("q", column="a").inc()
+        registry.counter("q", column="b").inc()
+        text = prometheus_text(registry)
+        assert text.count("# TYPE q counter") == 1
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""

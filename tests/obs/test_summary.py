@@ -1,0 +1,235 @@
+"""Tests for the metrics-file reader, validator, and summarizer."""
+
+import json
+
+import pytest
+
+from repro.obs.summary import (
+    format_summary,
+    iter_rows,
+    parse_metric_key,
+    summarize,
+    validate_rows,
+)
+
+
+def write_rows(path, rows):
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+
+
+class TestParseMetricKey:
+    def test_plain_key(self):
+        assert parse_metric_key("stream.merges") == ("stream.merges", {})
+
+    def test_labelled_key(self):
+        name, labels = parse_metric_key("q{a=1,column=address}")
+        assert name == "q"
+        assert labels == {"a": "1", "column": "address"}
+
+    def test_empty_label_set(self):
+        assert parse_metric_key("q{}") == ("q", {})
+
+
+class TestIterRows:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        rows = [{"type": "meta", "command": "stream"}, {"type": "event"}]
+        write_rows(path, rows)
+        assert list(iter_rows(path)) == rows
+
+    def test_torn_final_line_skipped(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        write_rows(path, [{"type": "meta", "command": "stream"}])
+        with open(path, "ab") as handle:
+            handle.write(b'{"type": "batch", "ba')
+        rows = list(iter_rows(path))
+        assert [row["type"] for row in rows] == ["meta"]
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(
+            '{"type": "meta", "command": "stream"}\n'
+            "not json\n"
+            '{"type": "event"}\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="corrupt metrics row"):
+            list(iter_rows(path))
+
+    def test_terminated_malformed_final_line_raises(self, tmp_path):
+        # A newline-terminated line was complete when flushed, so
+        # malformed means corruption, not a crash signature.
+        path = tmp_path / "m.jsonl"
+        path.write_text(
+            '{"type": "meta", "command": "stream"}\nnot json\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match="corrupt metrics row"):
+            list(iter_rows(path))
+
+    def test_non_object_row_raises(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text("[1, 2]\n{}\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            list(iter_rows(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_bytes(b"")
+        assert list(iter_rows(path)) == []
+
+
+class TestValidateRows:
+    def test_valid_rows_pass(self):
+        rows = [
+            {"type": "meta", "command": "stream"},
+            {"type": "batch", "batch": 0, "records": 10, "seconds": 0.5},
+            {
+                "type": "span",
+                "span": "stream.learn",
+                "seconds": 0.1,
+                "depth": 1,
+                "seq": 3,
+            },
+            {"type": "event", "event": "drift"},
+            {"type": "snapshot", "deterministic": True, "metrics": {}},
+        ]
+        assert validate_rows(rows) == []
+
+    def test_unknown_type_flagged(self):
+        problems = validate_rows([{"type": "bogus"}])
+        assert len(problems) == 1
+        assert "unknown type" in problems[0]
+
+    def test_missing_field_flagged(self):
+        problems = validate_rows([{"type": "meta"}])
+        assert any("missing field 'command'" in p for p in problems)
+
+    def test_wrong_type_flagged(self):
+        problems = validate_rows(
+            [{"type": "batch", "batch": "0", "records": 1, "seconds": 0.1}]
+        )
+        assert any("'batch'" in p for p in problems)
+
+    def test_bool_is_not_an_int(self):
+        problems = validate_rows(
+            [{"type": "batch", "batch": True, "records": 1, "seconds": 0.1}]
+        )
+        assert any("'batch'" in p for p in problems)
+
+
+class TestSummarize:
+    def rows(self):
+        return [
+            {"type": "meta", "command": "stream", "dataset": "Address"},
+            {
+                "type": "batch",
+                "batch": 0,
+                "records": 20,
+                "seconds": 1.0,
+                "questions_asked": 5,
+                "stage_seconds": {"learn": 0.8, "engine": 0.1},
+            },
+            {
+                "type": "batch",
+                "batch": 1,
+                "records": 30,
+                "seconds": 2.0,
+                "questions_asked": 3,
+                "stage_seconds": {"learn": 1.5, "engine": 0.2},
+            },
+            {
+                "type": "span",
+                "span": "stream.learn",
+                "seconds": 0.8,
+                "depth": 1,
+                "seq": 1,
+            },
+            {"type": "event", "event": "drift", "batch": 1, "miss_rate": 0.9},
+            {
+                "type": "snapshot",
+                "deterministic": False,
+                "metrics": {
+                    "stream.questions{column=address}": 8,
+                    "apply.rows": 40,
+                    "apply.exact_hits": 10,
+                    "apply.program_hits": 6,
+                    "apply.token_hits": 4,
+                    "apply.misses": 20,
+                    "apply.cache_hits": 3,
+                },
+            },
+        ]
+
+    def test_totals(self):
+        summary = summarize(self.rows())
+        assert summary["batches"] == 2
+        assert summary["records"] == 50
+        assert summary["total_seconds"] == pytest.approx(3.0)
+        assert summary["questions_asked"] == 8
+
+    def test_stage_breakdown(self):
+        summary = summarize(self.rows())
+        assert summary["stages"] == {
+            "engine": pytest.approx(0.3),
+            "learn": pytest.approx(2.3),
+        }
+
+    def test_snapshot_questions_win(self):
+        summary = summarize(self.rows())
+        assert summary["questions_by_column"] == {"address": 8}
+
+    def test_apply_hit_ratios(self):
+        summary = summarize(self.rows())
+        ratios = summary["apply"]["hit_ratios"]
+        assert ratios["exact_hits"] == pytest.approx(0.25)
+        assert ratios["misses"] == pytest.approx(0.5)
+
+    def test_labelled_apply_counters_aggregate(self):
+        rows = [
+            {
+                "type": "snapshot",
+                "deterministic": False,
+                "metrics": {
+                    "apply.rows{column=a}": 10,
+                    "apply.rows{column=b}": 30,
+                    "apply.exact_hits{column=a}": 10,
+                    "apply.exact_hits{column=b}": 10,
+                },
+            }
+        ]
+        summary = summarize(rows)
+        assert summary["apply"]["rows"] == 40
+        assert summary["apply"]["hit_ratios"]["exact_hits"] == (
+            pytest.approx(0.5)
+        )
+
+    def test_drift_events_and_spans(self):
+        summary = summarize(self.rows())
+        assert len(summary["drift_events"]) == 1
+        assert summary["spans"]["stream.learn"]["count"] == 1
+
+    def test_empty_input(self):
+        summary = summarize([])
+        assert summary["batches"] == 0
+        assert summary["stages"] == {}
+        assert summary["apply"] == {}
+
+
+class TestFormatSummary:
+    def test_renders_all_sections(self):
+        text = format_summary(summarize(TestSummarize().rows()))
+        assert "run: stream (Address)" in text
+        assert "per-stage runtime (Fig. 9 view):" in text
+        assert "learn" in text
+        assert "oracle questions per column:" in text
+        assert "address: 8" in text
+        assert "apply tiers over 40 rows:" in text
+        assert "drift events: 1" in text
+        assert "stream.learn" in text
+
+    def test_empty_run_renders(self):
+        text = format_summary(summarize([]))
+        assert "batches=0" in text

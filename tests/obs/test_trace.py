@@ -1,0 +1,122 @@
+"""Tests for span tracing (nesting, emission, histogram fan-out)."""
+
+import time
+
+from repro.obs import MemorySink, MetricsRegistry, NULL_OBS, Obs
+from repro.obs.trace import NULL_TRACER, Span, Tracer
+
+
+class TestSpanTiming:
+    def test_span_times_even_unattached(self):
+        span = Span("work", {}, tracer=None)
+        with span:
+            time.sleep(0.01)
+        assert span.seconds >= 0.005
+
+    def test_null_tracer_spans_time(self):
+        with NULL_TRACER.span("work") as span:
+            time.sleep(0.01)
+        assert span.seconds >= 0.005
+        assert not NULL_TRACER.trace
+
+    def test_null_obs_spans_time(self):
+        with NULL_OBS.span("work") as span:
+            time.sleep(0.01)
+        assert span.seconds >= 0.005
+
+
+class TestTracerEmission:
+    def test_no_rows_without_trace_flag(self):
+        sink = MemorySink()
+        tracer = Tracer(
+            registry=MetricsRegistry(), emit=sink.emit, trace=False
+        )
+        with tracer.span("a"):
+            pass
+        assert sink.rows == []
+
+    def test_trace_rows_carry_nesting(self):
+        sink = MemorySink()
+        tracer = Tracer(
+            registry=MetricsRegistry(), emit=sink.emit, trace=True
+        )
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        # Inner exits first, so it is the first row.
+        inner, outer = sink.rows
+        assert inner["span"] == "inner"
+        assert inner["parent"] == "outer"
+        assert inner["depth"] == 1
+        assert outer["span"] == "outer"
+        assert outer["parent"] is None
+        assert outer["depth"] == 0
+        assert inner["seq"] < outer["seq"]
+        assert all(row["type"] == "span" for row in sink.rows)
+
+    def test_tags_recorded_sorted(self):
+        sink = MemorySink()
+        tracer = Tracer(
+            registry=MetricsRegistry(), emit=sink.emit, trace=True
+        )
+        with tracer.span("batch", batch=3, column="address"):
+            pass
+        assert sink.rows[0]["tags"] == {"batch": 3, "column": "address"}
+        assert list(sink.rows[0]["tags"]) == ["batch", "column"]
+
+    def test_trace_without_emit_disables_rows(self):
+        tracer = Tracer(registry=MetricsRegistry(), emit=None, trace=True)
+        assert not tracer.trace
+        with tracer.span("a"):
+            pass  # must not raise trying to emit
+
+
+class TestTracerHistograms:
+    def test_span_durations_land_in_registry(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry)
+        with tracer.span("stream.learn"):
+            pass
+        with tracer.span("stream.learn"):
+            pass
+        snap = registry.snapshot()
+        assert snap["span.seconds{span=stream.learn}"]["count"] == 2
+
+    def test_span_histograms_are_volatile(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry)
+        with tracer.span("stream.learn"):
+            pass
+        assert registry.snapshot(deterministic_only=True) == {}
+
+
+class TestObsFacade:
+    def test_event_rows(self):
+        obs = Obs()
+        obs.event("drift", batch=3, miss_rate=0.8)
+        assert obs.sink.rows == [
+            {"type": "event", "event": "drift", "batch": 3, "miss_rate": 0.8}
+        ]
+
+    def test_flush_snapshot_row(self):
+        obs = Obs()
+        obs.metrics.counter("stream.merges").inc(2)
+        obs.metrics.counter("t", deterministic=False).inc(9)
+        obs.flush_snapshot(deterministic_only=True)
+        row = obs.sink.rows[-1]
+        assert row["type"] == "snapshot"
+        assert row["deterministic"] is True
+        assert row["metrics"] == {"stream.merges": 2}
+
+    def test_close_closes_sink(self):
+        obs = Obs()
+        obs.close()
+        assert obs.sink.closed
+
+    def test_null_obs_is_inert(self):
+        assert not NULL_OBS.enabled
+        NULL_OBS.emit({"type": "meta"})
+        NULL_OBS.event("drift")
+        NULL_OBS.flush_snapshot()
+        NULL_OBS.close()
+        assert NULL_OBS.metrics.snapshot() == {}

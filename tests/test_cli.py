@@ -157,6 +157,22 @@ class TestStreamParser:
         )
         assert args.stats
 
+    def test_metrics_flags(self):
+        args = build_parser().parse_args(
+            ["stream", "--metrics", "m.jsonl", "--trace"]
+        )
+        assert args.metrics == "m.jsonl"
+        assert args.trace
+        args = build_parser().parse_args(["stream"])
+        assert args.metrics is None and not args.trace
+
+    def test_stats_metrics_flags(self):
+        args = build_parser().parse_args(
+            ["stats", "--metrics", "m.jsonl", "--check"]
+        )
+        assert args.metrics == "m.jsonl"
+        assert args.check
+
 
 class TestStreamCommand:
     def test_stream_runs_and_publishes(self, capsys, tmp_path):
@@ -249,6 +265,110 @@ class TestStreamCommand:
         )
         out = capsys.readouterr().out
         assert "stats: {" in out and '"exact_hits"' in out
+
+
+class TestMetricsWorkflow:
+    """``stream --metrics`` recording and ``stats --metrics`` replay."""
+
+    def stream_args(self, metrics_path):
+        return [
+            "stream",
+            "--dataset",
+            "Address",
+            "--scale",
+            "0.04",
+            "--seed",
+            "4",
+            "--batches",
+            "3",
+            "--budget",
+            "30",
+            "--metrics",
+            str(metrics_path),
+        ]
+
+    def test_stream_records_and_stats_summarizes(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "run.jsonl"
+        assert main(self.stream_args(metrics) + ["--trace"]) == 0
+        assert "metrics recorded" in capsys.readouterr().out
+        rows = [
+            json.loads(line)
+            for line in metrics.read_text(encoding="utf-8").splitlines()
+        ]
+        kinds = [row["type"] for row in rows]
+        assert kinds[0] == "meta"
+        assert kinds[-1] == "snapshot"
+        assert kinds.count("batch") == 3
+        assert "span" in kinds
+        # Validate + summarize through the CLI.
+        assert main(["stats", "--metrics", str(metrics), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "schema OK" in out
+        assert "per-stage runtime (Fig. 9 view):" in out
+        assert "oracle questions per column:" in out
+
+    def test_golden_stream_records_metrics(self, capsys, tmp_path):
+        metrics = tmp_path / "golden.jsonl"
+        assert (
+            main(
+                [
+                    "stream",
+                    "--columns",
+                    "address,title",
+                    "--scale",
+                    "0.05",
+                    "--seed",
+                    "6",
+                    "--batches",
+                    "2",
+                    "--budget",
+                    "30",
+                    "--metrics",
+                    str(metrics),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["stats", "--metrics", str(metrics), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "schema OK" in out
+        assert "address" in out and "title" in out
+
+    def test_trace_requires_metrics(self):
+        with pytest.raises(SystemExit, match="--trace requires"):
+            main(["stream", "--trace", "--seed", "1"])
+        with pytest.raises(SystemExit, match="--trace requires"):
+            main(
+                [
+                    "stream",
+                    "--columns",
+                    "address",
+                    "--trace",
+                    "--seed",
+                    "1",
+                ]
+            )
+
+    def test_stats_check_requires_metrics(self):
+        with pytest.raises(SystemExit, match="--check requires"):
+            main(["stats", "--check"])
+
+    def test_stats_missing_metrics_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such metrics file"):
+            main(["stats", "--metrics", str(tmp_path / "nope.jsonl")])
+
+    def test_stats_check_fails_on_schema_violation(self, capsys, tmp_path):
+        metrics = tmp_path / "bad.jsonl"
+        metrics.write_text(
+            '{"type": "meta", "command": "stream"}\n{"type": "bogus"}\n',
+            encoding="utf-8",
+        )
+        assert main(["stats", "--metrics", str(metrics), "--check"]) == 1
+        err = capsys.readouterr().err
+        assert "schema violation" in err
 
 
 class TestGoldenStreamCommand:

@@ -142,6 +142,8 @@ STREAM_FLAGS = (
     "--columns",
     "--golden-out",
     "--fusion",
+    "--metrics",
+    "--trace",
 )
 
 
@@ -188,6 +190,26 @@ def test_docs_cover_the_lsh_blocking_mode():
     )
     assert "lsh_keys" in mapping
     assert "Shard-resident" in mapping
+
+
+def test_docs_cover_observability():
+    """The observability release is taught where users will look."""
+    obs_doc = REPO / "docs" / "observability.md"
+    assert obs_doc.is_file()
+    obs_text = obs_doc.read_text(encoding="utf-8")
+    assert "--metrics" in obs_text and "--trace" in obs_text
+    assert "repro stats --metrics" in obs_text
+    # The documented row types match the validator's schema.
+    from repro.obs.summary import ROW_TYPES
+
+    for row_type in ROW_TYPES:
+        assert f'"type": "{row_type}"' in obs_text, (
+            f"row type {row_type!r} undocumented in observability.md"
+        )
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    assert "docs/observability.md" in readme
+    arch = (REPO / "docs" / "architecture.md").read_text(encoding="utf-8")
+    assert "observability.md" in arch
 
 
 def test_docs_cover_the_multi_column_golden_stream():
