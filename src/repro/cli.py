@@ -103,6 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
         "documented schema and exit non-zero on violations (the CI "
         "perf-smoke gate)",
     )
+    stats.add_argument(
+        "--trace-tree",
+        action="store_true",
+        help="with --metrics: render the merged span forest (parent "
+        "stages with their re-attached per-shard worker spans) as a "
+        "tree with per-node count / total / self time; needs a "
+        "recording made with --trace",
+    )
 
     groups = sub.add_parser("groups", help="show the top groups found")
     add_common(groups)
@@ -317,8 +325,16 @@ def build_parser() -> argparse.ArgumentParser:
     stream_p.add_argument(
         "--trace",
         action="store_true",
-        help="also record one span row per timed stage (requires "
-        "--metrics)",
+        help="also record one span row per timed stage — including "
+        "shard-worker spans re-attached under their batch parent — "
+        "(requires --metrics; render with `repro stats --trace-tree`)",
+    )
+    stream_p.add_argument(
+        "--profile",
+        metavar="OUT",
+        help="sample the main thread's stack (~200 Hz) for the whole "
+        "run and write span-attributed collapsed-stack rows to this "
+        "JSON-lines file (flamegraph-ready)",
     )
     stream_p.add_argument(
         "--decision-log",
@@ -353,6 +369,97 @@ def build_parser() -> argparse.ArgumentParser:
         default=5,
         help="batches in the drift monitor's sliding window",
     )
+
+    top_p = sub.add_parser(
+        "top",
+        help="live terminal monitor: tail a --metrics JSON-lines file "
+        "and render per-stage p50/p95/p99, shard busy fractions, "
+        "drift events, and the questions-asked rate, refreshing "
+        "in place",
+    )
+    top_p.add_argument(
+        "--metrics",
+        required=True,
+        help="the JSON-lines file a concurrent `repro stream "
+        "--metrics` run is appending to",
+    )
+    top_p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between refreshes",
+    )
+    top_p.add_argument(
+        "--once",
+        action="store_true",
+        help="render one plain frame (no ANSI repaint) and exit — the "
+        "scriptable form",
+    )
+    top_p.add_argument(
+        "--refreshes",
+        type=int,
+        default=None,
+        help="exit after this many repaints (default: run until `q` "
+        "or Ctrl-C)",
+    )
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="perf-trajectory gates over the machine-readable BENCH "
+        "history in benchmarks/results/",
+    )
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+    bench_check = bench_sub.add_parser(
+        "check",
+        help="compare the latest row of every baselined series "
+        "against the committed baseline; exit non-zero on regression "
+        "(the CI perf gate)",
+    )
+    bench_check.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        help="directory holding the BENCH_*.json history",
+    )
+    bench_check.add_argument(
+        "--baseline",
+        default="benchmarks/baseline.json",
+        help="committed baseline file (write one with `repro bench "
+        "baseline --write`)",
+    )
+    bench_check.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.5,
+        help="multiplicative tolerance: a lower-is-better series "
+        "fails above baseline*T, a higher-is-better one below "
+        "baseline/T",
+    )
+    bench_base = bench_sub.add_parser(
+        "baseline",
+        help="compute the per-series medians (and direction) from the "
+        "recorded history; --write commits them as the reference",
+    )
+    bench_base.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        help="directory holding the BENCH_*.json history",
+    )
+    bench_base.add_argument(
+        "--max-spread",
+        type=float,
+        default=4.0,
+        help="exclude series whose history already varies by more "
+        "than this factor (too noisy to gate)",
+    )
+    bench_base.add_argument(
+        "--write",
+        nargs="?",
+        const="benchmarks/baseline.json",
+        default=None,
+        metavar="PATH",
+        help="write the baseline file (default path "
+        "benchmarks/baseline.json when given without a value)",
+    )
     return parser
 
 
@@ -375,9 +482,11 @@ def _make_dataset(args):
 
 def _cmd_stats_metrics(args) -> int:
     """``repro stats --metrics FILE``: summarize (and optionally
-    schema-check) a recorded observability stream."""
+    schema-check or trace-tree-render) a recorded observability
+    stream."""
     from .obs.summary import (
         format_summary,
+        format_trace_tree,
         iter_rows,
         summarize,
         validate_rows,
@@ -401,6 +510,9 @@ def _cmd_stats_metrics(args) -> int:
             )
             return 1
         print(f"{args.metrics}: {len(rows)} rows, schema OK")
+    if args.trace_tree:
+        print(format_trace_tree(rows))
+        return 0
     print(format_summary(summarize(rows)))
     return 0
 
@@ -410,6 +522,8 @@ def cmd_stats(args) -> int:
         return _cmd_stats_metrics(args)
     if args.check:
         raise SystemExit("error: --check requires --metrics FILE")
+    if args.trace_tree:
+        raise SystemExit("error: --trace-tree requires --metrics FILE")
     dataset = _make_dataset(args)
     stats = dataset_stats(dataset.table, dataset.column, dataset.labeler())
     print(f"dataset: {dataset.name} ({dataset.table})")
@@ -638,14 +752,47 @@ def cmd_serve(args) -> int:
 
 def _make_obs(args):
     """The stream run's observability context (:data:`NULL_OBS` unless
-    ``--metrics`` asks for a recording)."""
-    from .obs import NULL_OBS, JsonlSink, Obs
+    ``--metrics`` asks for a recording).
+
+    ``--profile`` without ``--metrics`` still gets a real (in-memory)
+    context: the profiler attributes samples to the active span, which
+    needs a live tracer stack even when no rows are recorded.
+    """
+    from .obs import NULL_OBS, JsonlSink, MemorySink, Obs
 
     if args.trace and not args.metrics:
         raise SystemExit("error: --trace requires --metrics FILE")
     if not args.metrics:
+        if getattr(args, "profile", None):
+            return Obs(sink=MemorySink())
         return NULL_OBS
     return Obs(sink=JsonlSink(args.metrics), trace=args.trace)
+
+
+def _make_profiler(args, obs):
+    """A started :class:`~repro.obs.profiler.SamplingProfiler` when
+    ``--profile OUT`` was given, else ``None``."""
+    if not getattr(args, "profile", None):
+        return None
+    from .obs.profiler import SamplingProfiler
+
+    profiler = SamplingProfiler(
+        tracer=obs.tracer if obs.enabled else None
+    )
+    profiler.start()
+    return profiler
+
+
+def _finish_profiler(profiler, args) -> None:
+    if profiler is None:
+        return
+    profiler.stop()
+    profiler.write(args.profile)
+    print(
+        f"profile written: {args.profile} "
+        f"({profiler.samples} samples; collapsed stacks, "
+        "flamegraph-ready)"
+    )
 
 
 def cmd_stream(args) -> int:
@@ -740,21 +887,30 @@ def cmd_stream(args) -> int:
         )
     )
     start = time.perf_counter()
-    with consolidator:
-        for batch in stream.batches:
-            report = consolidator.process_batch(batch)
-            print(f"{report.describe()}  [{report.seconds:.3f}s]")
-            if args.stats:
-                print("stats: " + json.dumps(report.stats(), sort_keys=True))
-        if consolidator.resumed_from is not None:
-            print(
-                f"resumed from model v{consolidator.resumed_from} "
-                f"(+{consolidator.standardizer.decisions.replayed} "
-                "replayed verdicts)"
-            )
+    profiler = _make_profiler(args, obs)
+    try:
+        with consolidator:
+            for batch in stream.batches:
+                report = consolidator.process_batch(batch)
+                print(f"{report.describe()}  [{report.seconds:.3f}s]")
+                if args.stats:
+                    print(
+                        "stats: "
+                        + json.dumps(report.stats(), sort_keys=True)
+                    )
+            if consolidator.resumed_from is not None:
+                print(
+                    f"resumed from model v{consolidator.resumed_from} "
+                    f"(+{consolidator.standardizer.decisions.replayed} "
+                    "replayed verdicts)"
+                )
+    finally:
+        # A crashed stream still flushes its final snapshot and closes
+        # the sink — partial recordings beat silently truncated ones.
+        _finish_profiler(profiler, args)
+        obs.flush_snapshot()
+        obs.close()
     elapsed = time.perf_counter() - start
-    obs.flush_snapshot()
-    obs.close()
     print(
         f"stream done in {elapsed:.2f}s: "
         f"{consolidator.questions_asked} oracle questions asked, "
@@ -875,25 +1031,32 @@ def _cmd_stream_golden(args) -> int:
         )
     )
     start = time.perf_counter()
-    with consolidator:
-        for batch in stream.batches:
-            report = consolidator.process_batch(batch)
-            print(f"{report.describe()}  [{report.seconds:.3f}s]")
-            if args.stats:
-                print("stats: " + json.dumps(report.stats(), sort_keys=True))
-        if consolidator.resumed_from is not None:
-            replayed = sum(
-                consolidator.standardizers[c].decisions.replayed
-                for c in columns
-            )
-            print(
-                f"resumed from bundle v{consolidator.resumed_from} "
-                f"(+{replayed} replayed verdicts)"
-            )
-        golden = consolidator.golden_records()
+    profiler = _make_profiler(args, obs)
+    try:
+        with consolidator:
+            for batch in stream.batches:
+                report = consolidator.process_batch(batch)
+                print(f"{report.describe()}  [{report.seconds:.3f}s]")
+                if args.stats:
+                    print(
+                        "stats: "
+                        + json.dumps(report.stats(), sort_keys=True)
+                    )
+            if consolidator.resumed_from is not None:
+                replayed = sum(
+                    consolidator.standardizers[c].decisions.replayed
+                    for c in columns
+                )
+                print(
+                    f"resumed from bundle v{consolidator.resumed_from} "
+                    f"(+{replayed} replayed verdicts)"
+                )
+            golden = consolidator.golden_records()
+    finally:
+        _finish_profiler(profiler, args)
+        obs.flush_snapshot()
+        obs.close()
     elapsed = time.perf_counter() - start
-    obs.flush_snapshot()
-    obs.close()
     print(
         f"stream done in {elapsed:.2f}s: "
         f"{len(golden)} golden records, "
@@ -930,6 +1093,73 @@ def _cmd_stream_golden(args) -> int:
     return 0
 
 
+def cmd_top(args) -> int:
+    from pathlib import Path
+
+    from .obs.top import run_top
+
+    if args.once and not Path(args.metrics).exists():
+        raise SystemExit(f"error: no such metrics file: {args.metrics}")
+    return run_top(
+        args.metrics,
+        interval=args.interval,
+        once=args.once,
+        max_refreshes=args.refreshes,
+    )
+
+
+def cmd_bench(args) -> int:
+    from .obs import baseline as bench_baseline
+
+    if args.bench_command == "baseline":
+        base = bench_baseline.build_baseline(
+            args.results_dir, max_spread=args.max_spread
+        )
+        metrics = base["metrics"]
+        for series, entry in sorted(metrics.items()):
+            print(
+                f"{series}: baseline={entry['baseline']:.6g} "
+                f"({entry['direction']} is better, "
+                f"{entry['points']} points)"
+            )
+        for series, reason in sorted(base["skipped"].items()):
+            print(f"skipped {series}: {reason}")
+        if not metrics:
+            print(f"no usable series under {args.results_dir}")
+            return 1
+        if args.write:
+            bench_baseline.save_baseline(base, args.write)
+            print(
+                f"baseline written: {args.write} "
+                f"({len(metrics)} series)"
+            )
+        return 0
+
+    try:
+        base = bench_baseline.load_baseline(args.baseline)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"error: no baseline file: {args.baseline} "
+            "(commit one with `repro bench baseline --write`)"
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    results, missing = bench_baseline.check(
+        args.results_dir, base, tolerance=args.tolerance
+    )
+    for result in results:
+        print(result.describe())
+    for series in missing:
+        print(f"no data    {series}: no row in {args.results_dir}")
+    regressions = [result for result in results if not result.ok]
+    print(
+        f"bench check: {len(results)} series checked, "
+        f"{len(regressions)} regression(s), {len(missing)} without "
+        f"data (tolerance {args.tolerance:g}x)"
+    )
+    return 1 if regressions else 0
+
+
 COMMANDS = {
     "stats": cmd_stats,
     "groups": cmd_groups,
@@ -939,6 +1169,8 @@ COMMANDS = {
     "apply": cmd_apply,
     "serve": cmd_serve,
     "stream": cmd_stream,
+    "top": cmd_top,
+    "bench": cmd_bench,
 }
 
 

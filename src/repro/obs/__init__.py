@@ -10,7 +10,13 @@ The observability layer the rest of the system reports into:
   like the decision log), in-memory sink for tests, and a
   Prometheus-style text writer for the future serve tier;
 * :mod:`~repro.obs.summary` — reader / schema validator / summarizer
-  behind ``repro stats --metrics``.
+  / trace-tree renderer behind ``repro stats --metrics``;
+* :mod:`~repro.obs.profiler` — sampling profiler (collapsed stacks,
+  span-attributed) behind ``repro stream --profile``;
+* :mod:`~repro.obs.baseline` — BENCH history regression gate behind
+  ``repro bench check``;
+* :mod:`~repro.obs.top` — the live terminal monitor behind
+  ``repro top``.
 
 Everything hangs off one :class:`Obs` facade::
 
@@ -116,6 +122,12 @@ class Obs:
     def close(self) -> None:
         self.sink.close()
 
+    def __enter__(self) -> "Obs":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
 
 class _NullObs:
     """The disabled context: timing spans, no recording, no sink."""
@@ -138,6 +150,12 @@ class _NullObs:
         pass
 
     def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullObs":
+        return self
+
+    def __exit__(self, *_exc) -> None:
         pass
 
 

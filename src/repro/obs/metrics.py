@@ -59,14 +59,33 @@ def _bucket_index(value: float) -> int:
     return math.ceil(math.log(value) / _LOG_GROWTH - 1e-12)
 
 
+#: Label values containing any of these must be quoted in a metric key
+#: or the key would no longer parse unambiguously.
+_KEY_STRUCTURAL = set(',={}"\\')
+
+
+def _key_value(value: str) -> str:
+    """A label value as it appears in a metric key: verbatim when it is
+    structurally inert, double-quoted with ``\\"``/``\\\\`` escapes
+    otherwise — :func:`repro.obs.summary.parse_metric_key` inverts
+    both forms, so values with commas, equals signs, braces, or quotes
+    round-trip instead of corrupting the key."""
+    value = str(value)
+    if not _KEY_STRUCTURAL.intersection(value):
+        return value
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
 def metric_key(name: str, labels: Dict[str, str]) -> str:
     """The stable string key of one instrument: ``name{k=v,...}`` with
     label keys sorted — the key format of snapshots, the Prometheus
-    writer, and the documented schema (docs/observability.md)."""
+    writer, and the documented schema (docs/observability.md).  Label
+    values with structural characters are quoted (:func:`_key_value`)."""
     if not labels:
         return name
     inner = ",".join(
-        f"{key}={labels[key]}" for key in sorted(labels)
+        f"{key}={_key_value(labels[key])}" for key in sorted(labels)
     )
     return f"{name}{{{inner}}}"
 

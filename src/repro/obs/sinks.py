@@ -16,6 +16,7 @@ from the :class:`~repro.obs.Obs` facade.  Three are provided:
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 from pathlib import Path
@@ -51,6 +52,12 @@ class JsonlSink:
     final line without a terminating newline is truncated away —
     because appending onto a fragment would glue two rows into one
     permanently unreadable line (the decision-log lesson).
+
+    Every open sink also registers an :mod:`atexit` close (undone once
+    closed), and the sink is its own context manager — so a short CLI
+    run, an uncaught exception, or a forgotten ``close()`` still gets
+    the final flush+fsync instead of leaving a tail for the next open
+    to repair away.
     """
 
     def __init__(self, path: PathLike) -> None:
@@ -58,6 +65,7 @@ class JsonlSink:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._repair_tail()
         self._handle = open(self.path, "a", encoding="utf-8")
+        atexit.register(self.close)
 
     def _repair_tail(self) -> None:
         if not self.path.exists():
@@ -88,6 +96,13 @@ class JsonlSink:
             self._handle.flush()
             os.fsync(self._handle.fileno())
             self._handle.close()
+        atexit.unregister(self.close)
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
 
 def prometheus_text(registry: MetricsRegistry) -> str:
@@ -101,6 +116,17 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     def flat(name: str) -> str:
         return name.replace(".", "_").replace("-", "_")
 
+    def escape(value) -> str:
+        # The exposition format's label escapes: backslash, the
+        # value-closing double quote, and raw newlines (which would
+        # otherwise terminate the sample line mid-value).
+        return (
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+
     def label_str(labels: Dict[str, str], extra: Optional[Dict] = None):
         merged = dict(labels)
         if extra:
@@ -108,7 +134,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
         if not merged:
             return ""
         inner = ",".join(
-            f'{flat(k)}="{merged[k]}"' for k in sorted(merged)
+            f'{flat(k)}="{escape(merged[k])}"' for k in sorted(merged)
         )
         return "{" + inner + "}"
 

@@ -15,16 +15,24 @@ Row types (the stable schema)::
     {"type": "meta",     "command": str, ...}          # run header
     {"type": "batch",    "batch": int, ...}            # BatchReport.stats()
     {"type": "span",     "span": str, "seconds": float, "depth": int,
-                         "parent": str|null, "seq": int, ...}
+                         "parent": str|null, "seq": int,
+                         "trace": str, "id": int,
+                         "parent_id": int|null, ...}
     {"type": "event",    "event": str, ...}            # e.g. drift
     {"type": "snapshot", "deterministic": bool,
                          "metrics": {key: value}}      # registry dump
+
+Span rows carry the distributed-trace identity (``trace`` = run trace
+id, ``id`` = per-trace span id, ``parent_id`` = the enclosing span's
+id — also for spans recorded inside shard *workers* and re-attached
+by the parent), so :func:`build_span_forest` reassembles the exact
+cross-process span tree and :func:`format_trace_tree` renders it with
+per-node count / total / self time (``repro stats --trace-tree``).
 """
 
 from __future__ import annotations
 
 import json
-import re
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
@@ -48,20 +56,51 @@ _REQUIRED = {
     "snapshot": {"deterministic": bool, "metrics": dict},
 }
 
-_LABELED_KEY_RE = re.compile(r"^(?P<name>[^{]+)\{(?P<labels>[^}]*)\}$")
-
-
 def parse_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
-    """Split a snapshot key back into ``(name, labels)``."""
-    match = _LABELED_KEY_RE.match(key)
-    if not match:
+    """Split a snapshot key back into ``(name, labels)``.
+
+    The exact inverse of :func:`repro.obs.metrics.metric_key`: plain
+    label values parse as-is, and values that contained structural
+    characters (commas, equals signs, braces, quotes, backslashes)
+    arrive double-quoted with ``\\"``/``\\\\`` escapes and are
+    unescaped here — so any label value round-trips byte-for-byte.
+    """
+    brace = key.find("{")
+    if brace < 0 or not key.endswith("}"):
         return key, {}
+    name = key[:brace]
+    body = key[brace + 1 : -1]
     labels: Dict[str, str] = {}
-    for part in match.group("labels").split(","):
-        if part:
-            label, _, value = part.partition("=")
-            labels[label] = value
-    return match.group("name"), labels
+    index = 0
+    while index < len(body):
+        eq = body.find("=", index)
+        if eq < 0:  # not our encoding; treat the remainder as opaque
+            break
+        label = body[index:eq]
+        index = eq + 1
+        if index < len(body) and body[index] == '"':
+            chars: List[str] = []
+            index += 1
+            while index < len(body):
+                char = body[index]
+                if char == "\\" and index + 1 < len(body):
+                    chars.append(body[index + 1])
+                    index += 2
+                    continue
+                if char == '"':
+                    index += 1
+                    break
+                chars.append(char)
+                index += 1
+            labels[label] = "".join(chars)
+        else:
+            comma = body.find(",", index)
+            end = comma if comma >= 0 else len(body)
+            labels[label] = body[index:end]
+            index = end
+        if index < len(body) and body[index] == ",":
+            index += 1
+    return name, labels
 
 
 def iter_rows(path: PathLike) -> Iterator[Row]:
@@ -119,7 +158,200 @@ def validate_rows(rows) -> List[str]:
                     f"row {number} ({kind}): field {field!r} has "
                     f"type {type(row[field]).__name__}"
                 )
+        if kind == "span":
+            # Trace-identity fields are optional (older recordings
+            # lack them) but must be well-typed when present.
+            for field, types in (
+                ("trace", str),
+                ("id", int),
+                ("parent_id", int),
+            ):
+                value = row.get(field)
+                if value is not None and (
+                    not isinstance(value, types) or isinstance(value, bool)
+                ):
+                    problems.append(
+                        f"row {number} (span): field {field!r} has "
+                        f"type {type(value).__name__}"
+                    )
     return problems
+
+
+# -- the merged span forest (distributed trace view) -----------------------
+
+#: tags that identify a span line in aggregated views (everything else
+#: — comparison counts, pair counts, batch numbers — is per-call data).
+_IDENTITY_TAGS = ("column", "shard")
+
+
+def build_span_forest(rows) -> List[Dict[str, object]]:
+    """Reassemble span rows into the run's span forest.
+
+    Returns a list of root nodes, each ``{"name", "seconds", "tags",
+    "seq", "children": [...]}`` with children in emission (seq) order.
+    Rows carrying trace identity (``trace``/``id``/``parent_id``) are
+    linked exactly — including worker-recorded ``shard.*`` spans the
+    parent re-attached, which is what makes the forest *merged* across
+    processes.  Rows from older recordings (no ids) fall back to the
+    exit-order + depth reconstruction: spans are emitted children
+    first, so a span at depth ``d`` adopts every pending span at depth
+    ``d + 1``.
+    """
+    nodes: List[Dict[str, object]] = []
+    by_id: Dict[Tuple[object, object], Dict[str, object]] = {}
+    records: List[Row] = []
+    for row in rows:
+        if row.get("type") != "span":
+            continue
+        records.append(row)
+        node: Dict[str, object] = {
+            "name": str(row.get("span")),
+            "seconds": float(row.get("seconds", 0.0)),
+            "tags": dict(row.get("tags") or {}),
+            "seq": int(row.get("seq", len(records))),
+            "children": [],
+        }
+        nodes.append(node)
+        if row.get("id") is not None:
+            by_id[(row.get("trace"), row["id"])] = node
+
+    roots: List[Dict[str, object]] = []
+    pending_by_depth: Dict[int, List[Dict[str, object]]] = {}
+    for row, node in zip(records, nodes):
+        if row.get("id") is not None:
+            parent = by_id.get((row.get("trace"), row.get("parent_id")))
+            if parent is None:
+                roots.append(node)
+            else:
+                parent["children"].append(node)
+            continue
+        depth = int(row.get("depth", 0))
+        node["children"].extend(pending_by_depth.pop(depth + 1, []))
+        if depth == 0:
+            roots.append(node)
+        else:
+            pending_by_depth.setdefault(depth, []).append(node)
+    # Torn recordings can leave children whose parent never exited.
+    for depth in sorted(pending_by_depth):
+        roots.extend(pending_by_depth[depth])
+    for node in nodes:
+        node["children"].sort(key=lambda child: child["seq"])
+    roots.sort(key=lambda root: root["seq"])
+    return roots
+
+
+def _span_label(node: Dict[str, object]) -> str:
+    tags = node.get("tags") or {}
+    extra = [
+        f"{tag}={tags[tag]}" for tag in _IDENTITY_TAGS if tag in tags
+    ]
+    name = str(node["name"])
+    return name + (f"[{', '.join(extra)}]" if extra else "")
+
+
+def format_trace_tree(rows) -> str:
+    """Render the merged span forest with per-node self/total time.
+
+    Nodes are aggregated by their path of labels (span name plus
+    identity tags — the per-column golden stages and the per-shard
+    worker spans stay separate lines), so a three-batch run renders as
+    one tree with ``n=3`` per stage.  ``self`` is the node's total
+    minus its children's totals: the time spent in that stage itself,
+    the column Fig. 9 cares about.
+    """
+    forest = build_span_forest(rows)
+    if not forest:
+        return "no span rows (record the run with --trace)"
+
+    def fold(
+        node: Dict[str, object], bucket: Dict[str, Dict[str, object]]
+    ) -> None:
+        label = _span_label(node)
+        agg = bucket.get(label)
+        if agg is None:
+            agg = bucket[label] = {
+                "count": 0,
+                "total": 0.0,
+                "child_seconds": 0.0,
+                "children": {},
+            }
+        agg["count"] += 1
+        agg["total"] += float(node["seconds"])
+        for child in node["children"]:
+            agg["child_seconds"] += float(child["seconds"])
+            fold(child, agg["children"])
+
+    top: Dict[str, Dict[str, object]] = {}
+    for root in forest:
+        fold(root, top)
+
+    lines = ["trace tree (n / total / self):"]
+
+    def render(bucket: Dict[str, Dict[str, object]], prefix: str) -> None:
+        items = sorted(
+            bucket.items(), key=lambda item: (-item[1]["total"], item[0])
+        )
+        for index, (label, agg) in enumerate(items):
+            last = index == len(items) - 1
+            branch = "`- " if last else "|- "
+            self_seconds = max(
+                0.0, float(agg["total"]) - float(agg["child_seconds"])
+            )
+            lines.append(
+                f"{prefix}{branch}{label}  n={agg['count']} "
+                f"total={float(agg['total']):.3f}s "
+                f"self={self_seconds:.3f}s"
+            )
+            render(
+                agg["children"], prefix + ("   " if last else "|  ")
+            )
+
+    render(top, "")
+    return "\n".join(lines)
+
+
+def forest_shape(rows, include_shards: bool = False):
+    """The timing-free shape of the span forest, for determinism tests.
+
+    Each node reduces to ``(name, identity tags, sorted child
+    shapes)``; the result is the sorted list of root shapes.  Two runs
+    that did the same work in the same nesting — whatever the clock
+    said — compare equal.  ``shard.*`` subtrees are excluded by
+    default: like the registry's volatile instruments, execution
+    topology (which shard did what, whether a pool exists at all)
+    legitimately differs across ``--shards`` values while the logical
+    stage structure must not.  Pass ``include_shards=True`` to keep
+    them (with their shard index as identity).
+    """
+
+    def shape(node: Dict[str, object]):
+        name = str(node["name"])
+        if not include_shards and name.startswith("shard."):
+            return None
+        tags = node.get("tags") or {}
+        identity = tuple(
+            (tag, str(tags[tag]))
+            for tag in _IDENTITY_TAGS
+            if tag in tags
+        )
+        children = tuple(
+            sorted(
+                child_shape
+                for child_shape in (
+                    shape(child) for child in node["children"]
+                )
+                if child_shape is not None
+            )
+        )
+        return (name, identity, children)
+
+    return sorted(
+        root_shape
+        for root_shape in (
+            shape(root) for root in build_span_forest(rows)
+        )
+        if root_shape is not None
+    )
 
 
 def summarize(rows) -> Dict[str, object]:

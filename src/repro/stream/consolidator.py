@@ -189,11 +189,12 @@ class _TimedOracle:
 
 
 @contextmanager
-def _timed_stage(obs, stage_seconds: Dict[str, float], name: str):
+def _timed_stage(obs, stage_seconds: Dict[str, float], name: str, **tags):
     """Time one lifecycle stage as a ``stream.<name>`` span and fold
     its duration into the report's ``stage_seconds`` (accumulating:
-    the golden consolidator re-enters stages once per column)."""
-    with obs.span("stream." + name) as span:
+    the golden consolidator re-enters stages once per column, tagging
+    each pass with ``column=...`` so a trace keeps them apart)."""
+    with obs.span("stream." + name, **tags) as span:
         yield span
     stage_seconds[name] = stage_seconds.get(name, 0.0) + span.seconds
 
@@ -542,6 +543,7 @@ class StreamConsolidator:
                     self._similarity if self._attribute is not None else None
                 ),
                 processes=self.shard_processes,
+                obs=self.obs,
             )
         self._maybe_resume()
         self.oracle = self.oracle_factory(self)

@@ -556,6 +556,7 @@ class GoldenStreamConsolidator:
                     self._similarity if self._attribute is not None else None
                 ),
                 processes=self.shard_processes,
+                obs=self.obs,
             )
         self._maybe_resume()
         for column in self.columns:
@@ -682,7 +683,7 @@ class GoldenStreamConsolidator:
         oracle_seconds = 0.0
         for column in self.columns:
             standardizer = self.standardizers[column]
-            with _timed_stage(self.obs, stage, "derive"):
+            with _timed_stage(self.obs, stage, "derive", column=column):
                 moves = [
                     (
                         CellRef(oc, orow, column),
@@ -701,7 +702,7 @@ class GoldenStreamConsolidator:
                 )
             report.unmatched_cells += unexplained
 
-            with _timed_stage(self.obs, stage, "replay"):
+            with _timed_stage(self.obs, stage, "replay", column=column):
                 approved, rejected_count, undecided = (
                     standardizer.partition_live()
                 )
@@ -715,7 +716,7 @@ class GoldenStreamConsolidator:
                     undecided = standardizer.undecided()
 
             oracle = _TimedOracle(self.oracles[column])
-            with _timed_stage(self.obs, stage, "learn"):
+            with _timed_stage(self.obs, stage, "learn", column=column):
                 steps = standardizer.learn(
                     oracle,
                     self.budget_per_batch,

@@ -68,6 +68,8 @@ from ..core.incremental import IncrementalGrouper
 from ..core.replacement import Replacement
 from ..core.structure import StructureKey, structure_key
 from ..core.terms import DEFAULT_VOCABULARY, TermVocabulary
+from ..obs import NULL_OBS
+from ..obs.trace import RemoteSpan, TraceContext
 from ..resolution.blocking import stable_hash
 from ..resolution.matcher import PairDecisionMemo, SimilarityFn
 
@@ -89,10 +91,13 @@ MIN_PARALLEL_PAIRS = 64
 #: stretch overflowed its delta buffer).
 ResolveStep = Tuple[Any, ...]
 
-#: Parent-side timing callback: ``observer(shard, op, seconds)`` is
-#: invoked once per reply with the shard's compute time for that
-#: request (shipped back alongside the result; queue wait excluded).
-Observer = Callable[[int, str, float], None]
+#: Parent-side reply callback: ``observer(shard, op, seconds, spans)``
+#: is invoked once per reply with the shard's compute time for that
+#: request (shipped back alongside the result; queue wait excluded)
+#: and — when the request carried trace context — the worker's
+#: recorded span list (:data:`~repro.obs.trace.RemoteSpan`), which the
+#: pool re-attaches under the parent's active span.
+Observer = Callable[[int, str, float, Optional[List[RemoteSpan]]], None]
 
 
 class ShardStandardizer:
@@ -106,8 +111,12 @@ class ShardStandardizer:
     index/evict steps of each batch's resolve script.  Matching reads
     candidate values from this replica, so the parent never re-ships a
     member value after its first arrival.  It speaks a small
-    ``(op, payload) -> reply`` protocol so the process and inline
-    backends stay byte-for-byte equivalent:
+    ``(op, payload, ctx) -> reply`` protocol so the process and inline
+    backends stay byte-for-byte equivalent (``ctx`` is the parent's
+    trace context — ``(trace id, parent span id)`` — or ``None`` when
+    nobody is recording; a live context makes the data-plane ops time
+    themselves as ``shard.*`` remote-span records that ride back with
+    the reply, see :func:`_serve_op`):
 
     ===========  ============================================  =========
     op           payload                                       reply
@@ -170,20 +179,27 @@ class ShardStandardizer:
             ]
         if op == "resolve":
             threshold, steps = payload
-            return self._resolve(threshold, steps)
+            return self._resolve(threshold, steps)[0]
         raise ValueError(f"unknown shard op: {op!r}")
 
     # -- resident blocked matching -----------------------------------------
 
     def _resolve(
-        self, threshold: float, steps: Sequence[ResolveStep]
-    ) -> List[Tuple[int, List[str]]]:
+        self,
+        threshold: float,
+        steps: Sequence[ResolveStep],
+        record: bool = False,
+    ) -> Tuple[List[Tuple[int, List[str]]], float, int]:
         """Execute one batch's resolve script against resident state.
 
         Step order is the parent's sequential interleave — a record's
         match step precedes its index step, which precedes the next
         record's match step — so intra-batch candidates and rotation
         evictions are seen exactly as a single process would see them.
+
+        Returns ``(replies, match seconds, comparisons)``; the timing
+        pair is only measured when ``record`` is set (tracing), so the
+        untraced hot path pays no extra clock reads.
         """
         decide = self._deciders.get(threshold)
         if decide is None:
@@ -194,13 +210,20 @@ class ShardStandardizer:
         values = self.values
         refs = self.value_refs
         replies: List[Tuple[int, List[str]]] = []
+        match_seconds = 0.0
+        comparisons = 0
         for step in steps:
             kind = step[0]
             if kind == "m":
                 _, task_id, value, rids = step
+                if record:
+                    match_start = time.perf_counter()
+                    comparisons += len(rids)
                 matched = [
                     rid for rid in rids if decide(value, values[rid])
                 ]
+                if record:
+                    match_seconds += time.perf_counter() - match_start
                 replies.append((task_id, matched))
             elif kind == "i":
                 _, rid, value = step
@@ -220,32 +243,101 @@ class ShardStandardizer:
                 refs.clear()
             else:
                 raise ValueError(f"unknown resolve step: {kind!r}")
-        return replies
+        return replies, match_seconds, comparisons
 
 
-def _shard_main(requests, responses, config, vocabulary, similarity) -> None:
+def _serve_op(
+    server: ShardStandardizer,
+    shard: int,
+    op: str,
+    payload: Any,
+    ctx: TraceContext,
+) -> Tuple[Any, float, Optional[List[RemoteSpan]]]:
+    """Serve one op on a shard, timing it either way.
+
+    When the request carries trace context and the op is one of the
+    data-plane kernels, the shard's real work is recorded as remote
+    span records: ``shard.resolve`` (whole script) with a
+    ``shard.match`` child (the similarity comparisons alone), and
+    ``shard.derive`` (pair alignment).  Records list children before
+    parents — the order a local tracer would emit them — with
+    ``parent`` as a relative index and ``None`` for the root that
+    re-attaches under the parent's requesting span.  Both backends call
+    this one function, so inline and process shards stay equivalent.
+    """
+    started = time.perf_counter()
+    if ctx is not None and op == "resolve":
+        threshold, steps = payload
+        replies, match_seconds, comparisons = server._resolve(
+            threshold, steps, record=True
+        )
+        seconds = time.perf_counter() - started
+        if not steps:
+            return replies, seconds, None
+        spans: List[RemoteSpan] = []
+        if comparisons:
+            spans.append(
+                {
+                    "span": "shard.match",
+                    "seconds": match_seconds,
+                    "tags": {"shard": shard, "comparisons": comparisons},
+                    "parent": 1,
+                }
+            )
+        spans.append(
+            {
+                "span": "shard.resolve",
+                "seconds": seconds,
+                "tags": {"shard": shard, "steps": len(steps)},
+                "parent": None,
+            }
+        )
+        return replies, seconds, spans
+    result = server.handle(op, payload)
+    seconds = time.perf_counter() - started
+    if ctx is not None and op == "derive" and payload:
+        spans = [
+            {
+                "span": "shard.derive",
+                "seconds": seconds,
+                "tags": {"shard": shard, "pairs": len(payload)},
+                "parent": None,
+            }
+        ]
+        return result, seconds, spans
+    return result, seconds, None
+
+
+def _shard_main(
+    shard, requests, responses, config, vocabulary, similarity
+) -> None:
     """Worker-process entry point: serve one shard until ``None``.
 
-    Every reply is ``(ok, value, seconds)`` — the shard's compute time
-    rides back with the result (queue wait excluded), so the parent can
-    aggregate per-op / per-shard busy time without a second round trip.
+    Every reply is ``(ok, value, seconds, spans)`` — the shard's
+    compute time rides back with the result (queue wait excluded), so
+    the parent can aggregate per-op / per-shard busy time without a
+    second round trip, and ``spans`` carries the worker's remote span
+    records when the request shipped trace context (else ``None``).
     """
     server = ShardStandardizer(config, vocabulary, similarity)
     while True:
         message = requests.get()
         if message is None:
             return
-        op, payload = message
+        op, payload, ctx = message
         started = time.perf_counter()
         try:
-            result = server.handle(op, payload)
-            responses.put((True, result, time.perf_counter() - started))
+            result, seconds, spans = _serve_op(
+                server, shard, op, payload, ctx
+            )
+            responses.put((True, result, seconds, spans))
         except BaseException as exc:  # ship the failure to the parent
             responses.put(
                 (
                     False,
                     f"{type(exc).__name__}: {exc}",
                     time.perf_counter() - started,
+                    None,
                 )
             )
 
@@ -267,16 +359,21 @@ class _InlineBackend:
         ]
         self._observer = observer
 
-    def request(self, shard: int, op: str, payload: Any) -> Any:
-        started = time.perf_counter()
-        result = self._servers[shard].handle(op, payload)
+    def request(
+        self, shard: int, op: str, payload: Any, ctx: TraceContext = None
+    ) -> Any:
+        result, seconds, spans = _serve_op(
+            self._servers[shard], shard, op, payload, ctx
+        )
         if self._observer is not None:
-            self._observer(shard, op, time.perf_counter() - started)
+            self._observer(shard, op, seconds, spans)
         return result
 
-    def broadcast(self, op: str, payloads: Sequence[Any]) -> List[Any]:
+    def broadcast(
+        self, op: str, payloads: Sequence[Any], ctx: TraceContext = None
+    ) -> List[Any]:
         return [
-            self.request(shard, op, payload)
+            self.request(shard, op, payload, ctx)
             for shard, payload in enumerate(payloads)
         ]
 
@@ -301,12 +398,13 @@ class _ProcessBackend:
         self._responses = []
         self._processes = []
         try:
-            for _ in range(shards):
+            for shard in range(shards):
                 requests = context.Queue()
                 responses = context.Queue()
                 process = context.Process(
                     target=_shard_main,
                     args=(
+                        shard,
                         requests,
                         responses,
                         config,
@@ -328,24 +426,31 @@ class _ProcessBackend:
             raise
 
     def _unwrap(
-        self, shard: int, op: str, reply: Tuple[bool, Any, float]
+        self,
+        shard: int,
+        op: str,
+        reply: Tuple[bool, Any, float, Optional[List[RemoteSpan]]],
     ) -> Any:
-        ok, value, seconds = reply
+        ok, value, seconds, spans = reply
         if self._observer is not None:
-            self._observer(shard, op, seconds)
+            self._observer(shard, op, seconds, spans)
         if not ok:
             raise RuntimeError(f"shard worker failed: {value}")
         return value
 
-    def request(self, shard: int, op: str, payload: Any) -> Any:
-        self._requests[shard].put((op, payload))
+    def request(
+        self, shard: int, op: str, payload: Any, ctx: TraceContext = None
+    ) -> Any:
+        self._requests[shard].put((op, payload, ctx))
         return self._unwrap(shard, op, self._responses[shard].get())
 
-    def broadcast(self, op: str, payloads: Sequence[Any]) -> List[Any]:
+    def broadcast(
+        self, op: str, payloads: Sequence[Any], ctx: TraceContext = None
+    ) -> List[Any]:
         # Send everything first so the shards compute concurrently —
         # this is where the wall-clock win comes from — then collect.
         for requests, payload in zip(self._requests, payloads):
-            requests.put((op, payload))
+            requests.put((op, payload, ctx))
         return [
             self._unwrap(shard, op, responses.get())
             for shard, responses in enumerate(self._responses)
@@ -392,11 +497,17 @@ class ShardPool:
         vocabulary: TermVocabulary = DEFAULT_VOCABULARY,
         similarity: Optional[SimilarityFn] = None,
         processes: bool = True,
+        obs=NULL_OBS,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.shards = shards
         self.config = config
+        #: observability facade — when its tracer records rows, the
+        #: data-plane ops ship trace context to the workers and the
+        #: returned ``shard.*`` spans re-attach under the parent's
+        #: active span (:meth:`~repro.obs.trace.Tracer.attach_remote`).
+        self.obs = obs
         #: per-op request counts / shard compute seconds, and per-shard
         #: busy seconds — aggregated parent-side from the timings each
         #: reply ships back, so the totals exist at any shard count and
@@ -434,11 +545,28 @@ class ShardPool:
         self.shipped_candidate_ids = 0
         self.shipped_bytes = 0
 
-    def _observe(self, shard: int, op: str, seconds: float) -> None:
-        """Fold one reply's shard compute time into the aggregates."""
+    def _observe(
+        self,
+        shard: int,
+        op: str,
+        seconds: float,
+        spans: Optional[List[RemoteSpan]] = None,
+    ) -> None:
+        """Fold one reply's shard compute time into the aggregates and
+        re-attach any worker-recorded spans under the parent span that
+        issued the request (replies are unwrapped synchronously, so the
+        requesting span is still the active one)."""
         self.op_requests[op] = self.op_requests.get(op, 0) + 1
         self.op_seconds[op] = self.op_seconds.get(op, 0.0) + seconds
         self.shard_seconds[shard] += seconds
+        if spans:
+            self.obs.tracer.attach_remote(spans)
+
+    def _trace_context(self) -> TraceContext:
+        """The context to ship with a data-plane request — ``None``
+        unless span rows are being recorded, so untraced runs ship
+        exactly what they shipped before."""
+        return self.obs.tracer.current_context()
 
     # -- the grouping feed -------------------------------------------------
 
@@ -473,7 +601,9 @@ class ShardPool:
             self.shipped_bytes += len(
                 pickle.dumps(chunk, pickle.HIGHEST_PROTOCOL)
             )
-        replies = self._backend.broadcast("derive", chunks)
+        replies = self._backend.broadcast(
+            "derive", chunks, ctx=self._trace_context()
+        )
         out: Dict[Tuple[str, str], TokenSegments] = {}
         for chunk, reply in zip(chunks, replies):
             out.update(zip(chunk, reply))
@@ -517,7 +647,9 @@ class ShardPool:
                         (threshold, steps), pickle.HIGHEST_PROTOCOL
                     )
                 )
-        replies = self._backend.broadcast("resolve", payloads)
+        replies = self._backend.broadcast(
+            "resolve", payloads, ctx=self._trace_context()
+        )
         for reply in replies:
             for task_id, matched in reply:
                 merged.setdefault(task_id, []).extend(matched)

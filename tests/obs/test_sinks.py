@@ -107,3 +107,47 @@ class TestPrometheusText:
 
     def test_empty_registry_renders_empty(self):
         assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("q", column='we"ird\\col\numn').inc(3)
+        text = prometheus_text(registry)
+        assert 'column="we\\"ird\\\\col\\numn"' in text
+
+    def test_quoted_metric_key_labels_unwrap(self):
+        # metric_key quotes structural characters; prometheus_text must
+        # render the raw value, not the quoted storage form.
+        registry = MetricsRegistry()
+        registry.counter("q", column="a,b=c").inc()
+        text = prometheus_text(registry)
+        assert 'column="a,b=c"' in text
+
+
+class TestSinkLifecycle:
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"type": "meta", "command": "stream"})
+        rows = list(iter_rows(path))
+        assert rows == [{"type": "meta", "command": "stream"}]
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "m.jsonl")
+        sink.emit({"type": "meta", "command": "stream"})
+        sink.close()
+        sink.close()
+
+    def test_atexit_flush_registered_until_closed(self, tmp_path,
+                                                  monkeypatch):
+        registered = []
+        unregistered = []
+        monkeypatch.setattr(
+            "repro.obs.sinks.atexit.register", registered.append
+        )
+        monkeypatch.setattr(
+            "repro.obs.sinks.atexit.unregister", unregistered.append
+        )
+        sink = JsonlSink(tmp_path / "m.jsonl")
+        assert registered == [sink.close]  # crash-safe flush is armed
+        sink.close()
+        assert unregistered == [sink.close]  # and disarmed on close

@@ -4,8 +4,12 @@ import json
 
 import pytest
 
+from repro.obs import metric_key
 from repro.obs.summary import (
+    build_span_forest,
+    forest_shape,
     format_summary,
+    format_trace_tree,
     iter_rows,
     parse_metric_key,
     summarize,
@@ -233,3 +237,135 @@ class TestFormatSummary:
     def test_empty_run_renders(self):
         text = format_summary(summarize([]))
         assert "batches=0" in text
+
+
+class TestMetricKeyRoundTrip:
+    """metric_key quotes structural label values; parse_metric_key
+    inverts it exactly."""
+
+    def round_trip(self, name, **labels):
+        key = metric_key(name, labels)
+        parsed_name, parsed = parse_metric_key(key)
+        assert parsed_name == name
+        assert parsed == {k: str(v) for k, v in labels.items()}
+        return key
+
+    def test_plain_values_stay_bare(self):
+        key = self.round_trip("q", column="address", shard=3)
+        assert '"' not in key
+
+    def test_comma_in_value(self):
+        self.round_trip("q", column="Main St, Apt 4")
+
+    def test_equals_in_value(self):
+        self.round_trip("q", column="a=b")
+
+    def test_quotes_and_backslashes_in_value(self):
+        self.round_trip("q", column='say "hi" \\ bye')
+
+    def test_braces_in_value(self):
+        self.round_trip("q", column="{weird}")
+
+    def test_mixed_quoted_and_bare_labels(self):
+        key = self.round_trip("q", a="plain", b="x,y", c="z")
+        name, labels = parse_metric_key(key)
+        assert labels == {"a": "plain", "b": "x,y", "c": "z"}
+
+    def test_quoted_value_parses(self):
+        name, labels = parse_metric_key('q{column="a,b=c"}')
+        assert (name, labels) == ("q", {"column": "a,b=c"})
+
+
+def span_row(seq, span, sid, parent_id, parent, depth, seconds=0.1,
+             tags=None, trace="t1"):
+    row = {
+        "type": "span",
+        "seq": seq,
+        "span": span,
+        "parent": parent,
+        "depth": depth,
+        "seconds": seconds,
+        "trace": trace,
+        "id": sid,
+        "parent_id": parent_id,
+    }
+    if tags:
+        row["tags"] = tags
+    return row
+
+
+class TestSpanForest:
+    def rows(self):
+        """One batch: stream.batch > stream.resolve > 2 shard.resolve
+        (one with a nested shard.match), exit-order emission."""
+        return [
+            span_row(1, "shard.match", 3, 2, "shard.resolve", 3,
+                     tags={"shard": 0, "comparisons": 5}),
+            span_row(2, "shard.resolve", 2, 1, "stream.resolve", 2,
+                     tags={"shard": 0}),
+            span_row(3, "shard.resolve", 4, 1, "stream.resolve", 2,
+                     tags={"shard": 1}),
+            span_row(4, "stream.resolve", 1, 5, "stream.batch", 1),
+            span_row(5, "stream.batch", 5, None, None, 0,
+                     seconds=0.5),
+        ]
+
+    def test_id_linking(self):
+        forest = build_span_forest(self.rows())
+        assert len(forest) == 1
+        batch = forest[0]
+        assert batch["name"] == "stream.batch"
+        resolve = batch["children"][0]
+        assert resolve["name"] == "stream.resolve"
+        assert [c["name"] for c in resolve["children"]] == [
+            "shard.resolve", "shard.resolve"
+        ]
+        assert resolve["children"][0]["children"][0]["name"] == (
+            "shard.match"
+        )
+
+    def test_depth_fallback_for_old_recordings(self):
+        rows = [
+            {"type": "span", "seq": 1, "span": "stream.resolve",
+             "parent": "stream.batch", "depth": 1, "seconds": 0.1},
+            {"type": "span", "seq": 2, "span": "stream.batch",
+             "parent": None, "depth": 0, "seconds": 0.5},
+        ]
+        forest = build_span_forest(rows)
+        assert len(forest) == 1
+        assert forest[0]["name"] == "stream.batch"
+        assert forest[0]["children"][0]["name"] == "stream.resolve"
+
+    def test_format_trace_tree(self):
+        tree = format_trace_tree(self.rows())
+        assert tree.startswith("trace tree")
+        assert "stream.batch" in tree
+        assert "shard.resolve[shard=0]" in tree
+        assert "shard.resolve[shard=1]" in tree
+        assert "shard.match[shard=0]" in tree
+        # self time: batch total 0.5 minus resolve 0.1 = 0.4.
+        assert "self=0.400s" in tree or "0.400" in tree
+
+    def test_format_trace_tree_empty(self):
+        assert "no span rows" in format_trace_tree([])
+
+    def test_forest_shape_excludes_shards_by_default(self):
+        shape = forest_shape(self.rows())
+        assert shape == [
+            ("stream.batch", (), (("stream.resolve", (), ()),))
+        ]
+        full = forest_shape(self.rows(), include_shards=True)
+        assert full != shape
+        assert "shard.resolve" in repr(full)
+
+    def test_forest_shape_sorts_identity_tags(self):
+        rows = [
+            span_row(1, "stream.derive", 1, 2, "stream.batch", 1,
+                     tags={"column": "b"}),
+            span_row(2, "stream.derive", 3, 2, "stream.batch", 1,
+                     tags={"column": "a"}),
+            span_row(3, "stream.batch", 2, None, None, 0),
+        ]
+        shape = forest_shape(rows)
+        children = shape[0][2]
+        assert children == tuple(sorted(children))

@@ -16,7 +16,12 @@ from repro.datagen.address import address_dataset
 from repro.datagen.base import GeneratorSpec
 from repro.datagen.stream import dataset_stream, golden_stream
 from repro.obs import JsonlSink, MemorySink, NULL_OBS, Obs
-from repro.obs.summary import iter_rows, validate_rows
+from repro.obs.summary import (
+    forest_shape,
+    format_trace_tree,
+    iter_rows,
+    validate_rows,
+)
 from repro.stream import (
     DriftMonitor,
     GoldenStreamConsolidator,
@@ -243,3 +248,99 @@ class TestTornTail:
         assert rows[:-1] == complete
         assert rows[-1] == {"type": "meta", "command": "stream"}
         assert validate_rows(rows) == []
+
+
+def run_similarity(stream, obs, shards=1, **kwargs):
+    """A similarity-blocked run: resolves arrivals by blocked matching
+    on the consolidated column, which is the mode that exercises the
+    shard pool's resolve/derive data plane (key-blocked runs resolve
+    by entity key and never ask the shards to match anything)."""
+    consolidator = StreamConsolidator(
+        column=stream.column,
+        oracle_factory=ground_truth_oracle_factory(
+            stream.canonical_by_rid, seed=0
+        ),
+        attribute=stream.column,
+        budget_per_batch=UNBOUNDED,
+        persist_decisions=False,
+        shards=shards,
+        obs=obs,
+        **kwargs,
+    )
+    with consolidator:
+        reports = consolidator.run(stream.batches)
+    return consolidator, reports
+
+
+class TestTracePropagation:
+    """Cross-process tracing: worker spans ship back with replies and
+    re-attach under the requesting parent, forming one merged forest
+    whose (shard-free) shape is identical at any shard count."""
+
+    @staticmethod
+    def span_rows(obs):
+        return [r for r in obs.sink.rows if r["type"] == "span"]
+
+    def test_shard_spans_merge_under_parent(self, stream):
+        obs = Obs(sink=MemorySink(), trace=True)
+        run_similarity(stream, obs, shards=4)
+        assert validate_rows(obs.sink.rows) == []
+        rows = self.span_rows(obs)
+        shard_rows = [r for r in rows if r["span"].startswith("shard.")]
+        assert shard_rows, "similarity run produced no shard spans"
+        # One merged trace: a single trace id across parent and workers.
+        assert len({r["trace"] for r in rows}) == 1
+        # Every shard span links to a real parent in the same recording.
+        by_id = {r["id"]: r for r in rows}
+        assert len(by_id) == len(rows)  # ids are unique
+        for row in shard_rows:
+            assert row["parent_id"] in by_id
+        resolves = [r for r in shard_rows if r["span"] == "shard.resolve"]
+        assert resolves
+        for row in resolves:
+            assert by_id[row["parent_id"]]["span"] == "stream.resolve"
+            assert "shard" in row["tags"]
+        # shard.match (when comparisons happened) nests in shard.resolve.
+        for row in shard_rows:
+            if row["span"] == "shard.match":
+                assert by_id[row["parent_id"]]["span"] == "shard.resolve"
+                assert row["tags"]["comparisons"] > 0
+        # The per-shard attribution covers more than one worker.
+        assert len({r["tags"]["shard"] for r in resolves}) > 1
+
+    def test_forest_shape_identical_shards_1_vs_4(self, stream):
+        obs1 = Obs(sink=MemorySink(), trace=True)
+        obs4 = Obs(sink=MemorySink(), trace=True)
+        run_similarity(stream, obs1, shards=1)
+        run_similarity(stream, obs4, shards=4)
+        shape1 = forest_shape(self.span_rows(obs1))
+        shape4 = forest_shape(self.span_rows(obs4))
+        assert shape1 == shape4
+        assert shape1, "trace produced an empty forest"
+        # The invariance is about execution topology: with shard
+        # subtrees included the four-shard run records strictly more.
+        full4 = forest_shape(self.span_rows(obs4), include_shards=True)
+        assert full4 != shape4
+
+    def test_golden_forest_shape_identical_shards_1_vs_4(self, gstream):
+        obs1 = Obs(sink=MemorySink(), trace=True)
+        obs4 = Obs(sink=MemorySink(), trace=True)
+        run_golden(gstream, obs1, shards=1)
+        run_golden(gstream, obs4, shards=4)
+        shape1 = forest_shape(self.span_rows(obs1))
+        shape4 = forest_shape(self.span_rows(obs4))
+        assert shape1 == shape4
+        assert shape1
+        # Per-column identity tags keep the golden stages separate.
+        flat = repr(shape1)
+        for column in gstream.columns:
+            assert repr(("column", column)) in flat
+
+    def test_trace_tree_renders_with_shard_attribution(self, stream):
+        obs = Obs(sink=MemorySink(), trace=True)
+        run_similarity(stream, obs, shards=4)
+        tree = format_trace_tree(self.span_rows(obs))
+        assert "stream.batch" in tree
+        assert "shard.resolve[shard=" in tree
+        # n / total / self columns are present on every line.
+        assert "n=3" in tree  # three batches aggregate into one node

@@ -478,3 +478,124 @@ class TestGoldenStreamCommand:
             )
         with pytest.raises(SystemExit, match="--fusion requires"):
             main(["stream", "--fusion", "accu", "--seed", "1"])
+
+
+class TestObservabilityCommands:
+    """The PR-7 surfaces: --trace-tree, --profile, top, and bench."""
+
+    def traced_run(self, tmp_path):
+        metrics = tmp_path / "run.jsonl"
+        args = [
+            "stream", "--dataset", "Address", "--scale", "0.04",
+            "--seed", "4", "--batches", "2", "--budget", "30",
+            "--metrics", str(metrics), "--trace",
+        ]
+        assert main(args) == 0
+        return metrics
+
+    def test_stats_trace_tree_renders(self, capsys, tmp_path):
+        metrics = self.traced_run(tmp_path)
+        capsys.readouterr()
+        assert main(["stats", "--metrics", str(metrics),
+                     "--trace-tree"]) == 0
+        out = capsys.readouterr().out
+        assert "trace tree" in out
+        assert "stream.batch" in out
+        assert "stream.resolve" in out
+
+    def test_stats_trace_tree_requires_metrics(self):
+        with pytest.raises(SystemExit, match="--trace-tree requires"):
+            main(["stats", "--trace-tree"])
+
+    def test_stream_profile_writes_collapsed_stacks(self, capsys,
+                                                    tmp_path):
+        import json
+
+        profile = tmp_path / "profile.jsonl"
+        args = [
+            "stream", "--dataset", "Address", "--scale", "0.04",
+            "--seed", "4", "--batches", "2", "--budget", "30",
+            "--profile", str(profile),
+        ]
+        assert main(args) == 0
+        assert "profile written" in capsys.readouterr().out
+        rows = [
+            json.loads(line)
+            for line in profile.read_text(encoding="utf-8").splitlines()
+        ]
+        assert rows[0]["type"] == "meta"
+        assert rows[0]["command"] == "profile"
+        assert all(row["type"] == "profile" for row in rows[1:])
+
+    def test_top_once_renders_dashboard(self, capsys, tmp_path):
+        metrics = self.traced_run(tmp_path)
+        capsys.readouterr()
+        assert main(["top", "--metrics", str(metrics), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top — stream" in out
+        assert "batches=2" in out
+
+    def test_top_once_missing_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such metrics file"):
+            main(["top", "--metrics", str(tmp_path / "nope.jsonl"),
+                  "--once"])
+
+    def bench_history(self, tmp_path, extra=None):
+        import json
+
+        results = tmp_path / "results"
+        results.mkdir()
+        rows = [
+            {"bench": "kernels", "test": "test_match",
+             "outcome": "passed", "seconds": 1.0 + 0.02 * run}
+            for run in range(3)
+        ]
+        rows += extra or []
+        with open(results / "BENCH_kernels.json", "w",
+                  encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row) + "\n")
+        return results
+
+    def test_bench_baseline_then_check_passes(self, capsys, tmp_path):
+        results = self.bench_history(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["bench", "baseline", "--results-dir", str(results),
+                     "--write", str(baseline)]) == 0
+        assert "baseline written" in capsys.readouterr().out
+        assert main(["bench", "check", "--results-dir", str(results),
+                     "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_bench_check_fails_on_injected_regression(self, capsys,
+                                                      tmp_path):
+        results = self.bench_history(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["bench", "baseline", "--results-dir", str(results),
+                     "--write", str(baseline)]) == 0
+        capsys.readouterr()
+        slow = {"bench": "kernels", "test": "test_match",
+                "outcome": "passed", "seconds": 2.1}
+        import json
+
+        with open(results / "BENCH_kernels.json", "a",
+                  encoding="utf-8") as handle:
+            handle.write(json.dumps(slow) + "\n")
+        assert main(["bench", "check", "--results-dir", str(results),
+                     "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_bench_check_missing_baseline_errors(self, tmp_path):
+        results = self.bench_history(tmp_path)
+        with pytest.raises(SystemExit, match="no baseline file"):
+            main(["bench", "check", "--results-dir", str(results),
+                  "--baseline", str(tmp_path / "nope.json")])
+
+    def test_bench_baseline_empty_results_fails(self, capsys, tmp_path):
+        empty = tmp_path / "results"
+        empty.mkdir()
+        assert main(["bench", "baseline", "--results-dir",
+                     str(empty)]) == 1
+        assert "no usable series" in capsys.readouterr().out

@@ -144,6 +144,7 @@ STREAM_FLAGS = (
     "--fusion",
     "--metrics",
     "--trace",
+    "--profile",
 )
 
 
@@ -225,3 +226,24 @@ def test_docs_cover_the_multi_column_golden_stream():
     assert "test_golden_stream" in mapping
     readme = (REPO / "README.md").read_text(encoding="utf-8")
     assert "--columns" in readme and "--golden-out" in readme
+
+
+def test_docs_cover_the_tracing_release():
+    """Trace propagation, profiler, top, and bench gates are taught."""
+    obs_text = (REPO / "docs" / "observability.md").read_text(
+        encoding="utf-8"
+    )
+    for needle in (
+        "--trace-tree",
+        "--profile",
+        "repro top",
+        "repro bench check",
+        "shard.resolve",
+        "shard.match",
+        "shard.derive",
+        "parent_id",
+    ):
+        assert needle in obs_text, f"{needle} undocumented"
+    arch = (REPO / "docs" / "architecture.md").read_text(encoding="utf-8")
+    assert "--trace-tree" in arch
+    assert "repro bench check" in arch
