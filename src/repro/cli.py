@@ -199,11 +199,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     serve_p = sub.add_parser(
-        "serve", help="JSON-lines transform worker on stdin/stdout"
+        "serve",
+        help="JSON-lines transform worker: stdin/stdout by default, "
+        "or a concurrent asyncio TCP service with --listen",
     )
     add_model_source(serve_p)
     serve_p.add_argument("--cache-size", type=int, default=65536)
     serve_p.add_argument("--no-programs", action="store_true")
+    serve_p.add_argument(
+        "--listen",
+        help="serve JSON-over-TCP on HOST:PORT instead of stdin/stdout "
+        "(port 0 picks an ephemeral port, announced on stderr)",
+    )
+    serve_p.add_argument(
+        "--bundle",
+        action="store_true",
+        help="the registry/model holds multi-column bundles "
+        "(record-level apply; golden-record lookups)",
+    )
+    serve_p.add_argument(
+        "--follow",
+        action="store_true",
+        help="poll the registry and hot-swap newly published versions "
+        "without dropping in-flight requests (needs --registry --name)",
+    )
+    serve_p.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.25,
+        help="--follow poll cadence in seconds",
+    )
+    serve_p.add_argument(
+        "--ttl",
+        type=float,
+        default=5.0,
+        help="compiled-model cache TTL: max staleness before the "
+        "registry is re-consulted on the request path",
+    )
+    serve_p.add_argument(
+        "--golden-log",
+        help="golden delta log to tail for lookup/subscribe ops "
+        "(default with --bundle --registry: the stream's "
+        "golden-deltas.jsonl next to the bundle)",
+    )
+    serve_p.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=300.0,
+        help="close connections idle longer than this many seconds "
+        "(0 disables)",
+    )
+    serve_p.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=1 << 20,
+        help="reject request lines larger than this",
+    )
+    serve_p.add_argument(
+        "--metrics",
+        help="record serve.* metrics/spans to this JSON-lines file",
+    )
+    serve_p.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=None,
+        help="with --metrics: append a metrics snapshot row every "
+        "this many seconds (default: only on shutdown)",
+    )
 
     stream_p = sub.add_parser(
         "stream",
@@ -732,7 +794,122 @@ def cmd_apply(args) -> int:
     return 0
 
 
+def _cmd_serve_network(args) -> int:
+    """``repro serve --listen``: the concurrent asyncio TCP service."""
+    from .obs import NULL_OBS, JsonlSink, Obs
+    from .serve.bundle import BundleRegistry, ModelBundle
+    from .serve.registry import slugify
+    from .serve.server import (
+        GoldenTable,
+        ModelSource,
+        ServeServer,
+        parse_listen,
+        run_server,
+    )
+
+    try:
+        host, port = parse_listen(args.listen)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.follow and not (args.registry and args.name):
+        raise SystemExit(
+            "error: --follow needs --registry DIR and --name NAME"
+        )
+
+    obs = None
+    if args.metrics:
+        obs = Obs(sink=JsonlSink(args.metrics))
+        obs.emit(
+            {
+                "type": "meta",
+                "command": "serve",
+                "listen": args.listen,
+                "bundle": bool(args.bundle),
+                "follow": bool(args.follow),
+            }
+        )
+
+    golden_path = args.golden_log
+    try:
+        if args.registry and args.name:
+            registry = (
+                BundleRegistry(args.registry)
+                if args.bundle
+                else ModelRegistry(args.registry)
+            )
+            if golden_path is None and args.bundle:
+                golden_path = (
+                    registry.root / slugify(args.name) / "golden-deltas.jsonl"
+                )
+            if args.model_version is not None:
+                # A pinned version is served statically, never swapped.
+                source = ModelSource(
+                    model=registry.load(args.name, args.model_version),
+                    use_programs=not args.no_programs,
+                    cache_size=args.cache_size,
+                    obs=obs or NULL_OBS,
+                    model_version=args.model_version,
+                )
+            else:
+                source = ModelSource(
+                    registry=registry,
+                    name=args.name,
+                    use_programs=not args.no_programs,
+                    cache_size=args.cache_size,
+                    ttl=args.ttl,
+                    obs=obs or NULL_OBS,
+                )
+        elif args.model:
+            artifact = (
+                ModelBundle.load(args.model)
+                if args.bundle
+                else TransformationModel.load(args.model)
+            )
+            source = ModelSource(
+                model=artifact,
+                use_programs=not args.no_programs,
+                cache_size=args.cache_size,
+                obs=obs or NULL_OBS,
+            )
+        else:
+            raise SystemExit(
+                "error: pass --model FILE, or --registry DIR with --name NAME"
+            )
+    except FileNotFoundError as exc:
+        raise SystemExit(f"error: {exc}")
+    except (ValueError, KeyError, re.error) as exc:
+        raise SystemExit(f"error: cannot load model: {exc}")
+
+    server = ServeServer(
+        source,
+        golden=GoldenTable(golden_path) if golden_path else None,
+        obs=obs,
+        follow=args.follow,
+        poll_interval=args.poll_interval,
+        idle_timeout=args.idle_timeout or None,
+        max_request_bytes=args.max_request_bytes,
+        snapshot_interval=args.snapshot_interval,
+    )
+
+    def banner(bound_host: str, bound_port: int) -> None:
+        # Parseable by supervisors/tests launching with port 0; stderr
+        # so stdout stays free (the protocol lives on the socket).
+        print(f"listening on {bound_host}:{bound_port}", file=sys.stderr)
+        sys.stderr.flush()
+
+    try:
+        code = run_server(server, host, port, banner=banner)
+    except FileNotFoundError as exc:
+        raise SystemExit(f"error: {exc}")
+    finally:
+        if obs is not None:
+            obs.close()
+    return code
+
+
 def cmd_serve(args) -> int:
+    if args.listen:
+        return _cmd_serve_network(args)
     model = _load_model(args)
     engine = ApplyEngine(
         model,

@@ -18,7 +18,12 @@ reusable asset:
   atomic multi-column artifact, with a record-level apply engine whose
   single ``reload`` flips every column together;
 * :mod:`repro.serve.service` — a long-running JSON-lines worker
-  answering transform requests over stdin/stdout.
+  answering transform requests over stdin/stdout, plus the TTL'd
+  compiled-engine cache the network tier reads through;
+* :mod:`repro.serve.server` — the concurrent asyncio JSON-over-TCP
+  network service: hot-reloading model source, golden-record lookups
+  tailed from the stream's delta log, and fault-tolerant connection
+  handling (``repro serve --listen``).
 """
 
 from .bundle import (
@@ -31,19 +36,25 @@ from .engine import ApplyEngine, ApplyStats
 from .model import TransformationModel, build_model
 from .registry import ModelRegistry
 from .replay import ModelReplayer, ReplayReport
-from .service import serve_forever
+from .server import GoldenTable, ModelSource, ServeServer, parse_listen
+from .service import TTLEngineCache, serve_forever
 
 __all__ = [
     "ApplyEngine",
     "ApplyStats",
     "BundleApplyEngine",
     "BundleRegistry",
+    "GoldenTable",
     "ModelBundle",
     "ModelRegistry",
     "ModelReplayer",
+    "ModelSource",
     "ReplayReport",
+    "ServeServer",
+    "TTLEngineCache",
     "TransformationModel",
     "build_bundle",
     "build_model",
+    "parse_listen",
     "serve_forever",
 ]

@@ -1,9 +1,11 @@
-"""A long-running JSON-lines transform worker (the ``serve`` command).
+"""Transport-agnostic serve plumbing: the stdin worker and the TTL'd
+compiled-model cache the network tier (:mod:`repro.serve.server`) is
+built on.
 
-The worker reads one JSON request per line on stdin and writes one JSON
-response per line on stdout — the lowest-common-denominator protocol
-every language and shell can speak, trivially supervised behind a
-socket server or a container.  Requests:
+The original worker reads one JSON request per line on stdin and
+writes one JSON response per line on stdout — the lowest-common-
+denominator protocol every language and shell can speak, trivially
+supervised behind a socket server or a container.  Requests:
 
 ``{"op": "apply", "value": "9th St"}``
     Standardize one value; responds ``{"ok": true, "value": ...}``.
@@ -30,7 +32,8 @@ from __future__ import annotations
 
 import json
 import sys
-from typing import IO, Dict, Optional
+import time
+from typing import Callable, Dict, IO, Optional, Tuple
 
 from .engine import ApplyEngine
 
@@ -67,6 +70,155 @@ def handle_request(engine: ApplyEngine, request: Dict) -> Dict:
             return {"ok": True, "value": engine.transform(value)}
         return {"ok": False, "error": "apply needs 'value' or 'values'"}
     return {"ok": False, "error": f"unknown op: {op!r}"}
+
+
+#: Loads the freshest servable artifact of one name.  Receives the
+#: cached ``(version, engine)`` (or ``(None, None)``) so an unchanged
+#: registry can hand the compiled engine straight back instead of
+#: recompiling; returns the new ``(version, engine)``.
+EngineLoader = Callable[
+    [str, Optional[int], Optional[object]], Tuple[int, object]
+]
+
+
+class _CacheEntry:
+    __slots__ = ("version", "engine", "loaded_at")
+
+    def __init__(self, version: int, engine: object, loaded_at: float):
+        self.version = version
+        self.engine = engine
+        self.loaded_at = loaded_at
+
+
+class TTLEngineCache:
+    """A TTL'd cache of compiled engines fronting a model registry.
+
+    The serving tier answers every request through this cache, which
+    gives it two freshness guarantees with one mechanism:
+
+    * **bounded staleness** — an entry older than ``ttl`` seconds is
+      never served without re-consulting the loader first, so even a
+      server nobody notifies converges on a new publish within one TTL;
+    * **publish consistency** — after :meth:`notify_publish` (or
+      :meth:`store`) records that version ``v`` completed, ``get``
+      never again returns anything older than ``v``: a known publish
+      forces a refresh regardless of remaining TTL.  Returned versions
+      are monotone per name — the cache never travels backwards even
+      if the loader momentarily does.
+
+    The clock is injectable (``clock=time.monotonic`` by default) so
+    property tests can drive arbitrary get/publish/expire interleavings
+    deterministically.  The cache itself is synchronous and unlocked:
+    the asyncio server calls it from one event loop, and its follow
+    poller injects fresh engines via :meth:`store` (a single attribute
+    rebind, safe under the GIL).
+    """
+
+    def __init__(
+        self,
+        loader: EngineLoader,
+        ttl: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        self.loader = loader
+        self.ttl = ttl
+        self.clock = clock
+        self._entries: Dict[str, _CacheEntry] = {}
+        #: name -> newest version known to have *completed* publishing
+        self._published: Dict[str, int] = {}
+
+    # -- publish notifications ---------------------------------------------
+
+    def notify_publish(self, name: str, version: int) -> None:
+        """Record that ``version`` of ``name`` finished publishing.
+
+        Only call this for *completed* (atomically renamed, loadable)
+        artifacts — the floor it raises is a promise ``get`` keeps.
+        """
+        if version > self._published.get(name, 0):
+            self._published[name] = version
+
+    def store(self, name: str, version: int, engine: object) -> bool:
+        """Install an already-loaded engine (the follow poller's path).
+
+        Returns True when it became the served entry; a version at or
+        below the cached one only refreshes the entry's TTL.  Either
+        way the publish floor rises to ``version``.
+        """
+        now = self.clock()
+        entry = self._entries.get(name)
+        self.notify_publish(name, version)
+        if entry is not None and entry.version >= version:
+            entry.loaded_at = now
+            return False
+        self._entries[name] = _CacheEntry(version, engine, now)
+        return True
+
+    # -- reads -------------------------------------------------------------
+
+    def peek(self, name: str) -> Optional[Tuple[int, object]]:
+        """The cached ``(version, engine)`` with no freshness checks,
+        no loader call, and no TTL refresh; ``None`` when absent."""
+        entry = self._entries.get(name)
+        if entry is None:
+            return None
+        return entry.version, entry.engine
+
+    def get(self, name: str) -> Tuple[int, object]:
+        """The freshest ``(version, engine)`` of ``name``.
+
+        Serves the cached entry only while it is younger than the TTL
+        *and* not older than the newest known completed publish;
+        otherwise refreshes through the loader.  A loader that reports
+        an older version than the cache already served is ignored
+        (monotone reads); one that cannot yet see a notified publish is
+        served best-effort but left expired, so the very next ``get``
+        retries instead of trusting it for a full TTL.
+        """
+        now = self.clock()
+        entry = self._entries.get(name)
+        floor = self._published.get(name, 0)
+        if (
+            entry is not None
+            and now - entry.loaded_at <= self.ttl
+            and entry.version >= floor
+        ):
+            return entry.version, entry.engine
+        cached_version = entry.version if entry is not None else None
+        cached_engine = entry.engine if entry is not None else None
+        version, engine = self.loader(name, cached_version, cached_engine)
+        if cached_version is not None and version < cached_version:
+            version, engine = cached_version, cached_engine
+        loaded_at = now
+        if version < floor:
+            # The loader lags a completed publish (should be impossible
+            # with atomic publishes); serve its best but stay expired.
+            loaded_at = now - self.ttl - 1.0
+        else:
+            self._published[name] = max(floor, version)
+        self._entries[name] = _CacheEntry(version, engine, loaded_at)
+        return version, engine
+
+    # -- eviction ----------------------------------------------------------
+
+    def evict_expired(self) -> int:
+        """Drop entries whose TTL has fully elapsed (memory bound for
+        many-model servers); fresh entries are never evicted.  Returns
+        the number removed."""
+        now = self.clock()
+        stale = [
+            name
+            for name, entry in self._entries.items()
+            if now - entry.loaded_at > self.ttl
+        ]
+        for name in stale:
+            del self._entries[name]
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 def serve_forever(

@@ -50,6 +50,7 @@ from .consolidator import (
     ground_truth_oracle_factory,
 )
 from .decisions import DecisionCache
+from .deltas import GoldenDeltaLog, GoldenDeltaReader
 from .golden import (
     GoldenBatchReport,
     GoldenStreamConsolidator,
@@ -69,6 +70,8 @@ __all__ = [
     "DriftMonitor",
     "DriftReport",
     "GoldenBatchReport",
+    "GoldenDeltaLog",
+    "GoldenDeltaReader",
     "GoldenStreamConsolidator",
     "IncrementalResolver",
     "IncrementalStandardizer",

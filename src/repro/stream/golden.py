@@ -87,6 +87,7 @@ from .consolidator import (
     _TimedOracle,
 )
 from .decisions import DecisionCache, archive_log
+from .deltas import GoldenDeltaLog
 from .publisher import BundlePublisher
 from .resolver import IncrementalResolver
 from .shards import ShardPool
@@ -169,6 +170,15 @@ class GoldenBatchReport:
     clusters_live: int = 0
     #: wall-clock spent inside the fusion refresh
     fusion_seconds: float = 0.0
+    #: cluster key -> column -> golden value, for exactly the clusters
+    #: whose golden record this batch actually changed — the payload of
+    #: the golden delta log the serve tier tails (consumers apply
+    #: ``golden_removed`` first, then these)
+    golden_changed: Dict[str, Dict[str, Optional[str]]] = field(
+        default_factory=dict
+    )
+    #: cluster keys whose golden record died (merge-emptied slots)
+    golden_removed: List[str] = field(default_factory=list)
     bundle_version: Optional[int] = None
     seconds: float = 0.0
     #: wall-clock per lifecycle stage (engine, resolve, derive, replay,
@@ -216,6 +226,8 @@ class GoldenBatchReport:
             "cells_changed": self.cells_changed,
             "clusters_refused": self.clusters_refused,
             "clusters_live": self.clusters_live,
+            "golden_changed": len(self.golden_changed),
+            "golden_removed": len(self.golden_removed),
             "fusion_seconds": round(self.fusion_seconds, 6),
             "bundle_version": self.bundle_version,
             "seconds": round(self.seconds, 6),
@@ -305,6 +317,7 @@ class GoldenStreamConsolidator:
         persist_decisions: bool = True,
         block_retention: Optional[int] = None,
         resume: bool = True,
+        golden_log: Optional[PathLike] = None,
         obs=None,
     ) -> None:
         self.obs = obs if obs is not None else NULL_OBS
@@ -349,6 +362,19 @@ class GoldenStreamConsolidator:
             if (persist_decisions and decision_log_dir is not None)
             else None
         )
+        # The golden delta log rides next to the published bundle by
+        # default: `repro serve --follow` tails it for lookups and
+        # changed-clusters-only pushes (see repro.stream.deltas).
+        if golden_log is None and registry is not None:
+            golden_log = (
+                registry.root
+                / slugify(self.bundle_name)
+                / "golden-deltas.jsonl"
+            )
+        self.golden_log_path = (
+            Path(golden_log) if golden_log is not None else None
+        )
+        self._delta_log: Optional[GoldenDeltaLog] = None
 
         self.publisher = BundlePublisher(registry, self.bundle_name)
         self.engine: Optional[BundleApplyEngine] = None
@@ -487,8 +513,17 @@ class GoldenStreamConsolidator:
         """
         start = time.perf_counter()
         table = self.resolver.table
+        changed = report.golden_changed
+        removed = report.golden_removed
         if self.cluster_fusion is None:
+            previous = self._golden
             refreshed = self.full_refusion()
+            for ci, values in refreshed.items():
+                if previous.get(ci) != values:
+                    changed[table.clusters[ci].key] = dict(values)
+            for ci in previous:
+                if ci not in refreshed:
+                    removed.append(table.clusters[ci].key)
             self._golden = refreshed
             report.clusters_refused = len(refreshed)
         else:
@@ -499,12 +534,16 @@ class GoldenStreamConsolidator:
                 if not cluster.records:
                     # A merge emptied the slot; its golden record dies
                     # (no fusion work, so it does not count as re-fused).
-                    self._golden.pop(ci, None)
+                    if self._golden.pop(ci, None) is not None:
+                        removed.append(cluster.key)
                     continue
-                self._golden[ci] = {
+                values = {
                     column: kernel(table.cluster_values(ci, column))
                     for column in self.columns
                 }
+                if self._golden.get(ci) != values:
+                    changed[cluster.key] = dict(values)
+                self._golden[ci] = values
                 refused += 1
             report.clusters_refused = refused
         report.clusters_live = sum(
@@ -539,6 +578,9 @@ class GoldenStreamConsolidator:
         if not self.resume:
             for column in self.columns:
                 archive_log(self.decision_log_path(column))
+            archive_log(self.golden_log_path)
+        if self.golden_log_path is not None:
+            self._delta_log = GoldenDeltaLog(self.golden_log_path)
         for column in self.columns:
             self.standardizers[column] = IncrementalStandardizer(
                 self.resolver.table,
@@ -752,6 +794,16 @@ class GoldenStreamConsolidator:
                     )
                     self.publisher.subscribe(self.engine)
 
+        # 8. append the batch's golden delta (changed clusters only) to
+        # the durable log the serving tier tails.
+        if self._delta_log is not None:
+            self._delta_log.append(
+                report.golden_changed,
+                report.golden_removed,
+                batch=report.index,
+                bundle_version=report.bundle_version,
+            )
+
         if self.pool is not None:
             report.bytes_shipped = (
                 self.pool.shipped_bytes - pool_bytes_before
@@ -796,6 +848,12 @@ class GoldenStreamConsolidator:
         metrics.counter("stream.clusters_refused").inc(
             report.clusters_refused
         )
+        metrics.counter("stream.golden_changed").inc(
+            len(report.golden_changed)
+        )
+        metrics.counter("stream.golden_removed").inc(
+            len(report.golden_removed)
+        )
         metrics.gauge("stream.clusters_live").set(report.clusters_live)
         if report.bundle_version is not None:
             metrics.counter("stream.publishes").inc()
@@ -825,10 +883,14 @@ class GoldenStreamConsolidator:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Release the shard pool's worker processes (idempotent)."""
+        """Release the shard pool's worker processes and flush the
+        golden delta log (idempotent)."""
         if self.pool is not None:
             self.pool.close()
             self.pool = None
+        if self._delta_log is not None:
+            self._delta_log.close()
+            self._delta_log = None
 
     def __enter__(self) -> "GoldenStreamConsolidator":
         return self

@@ -40,3 +40,35 @@ def learned(address_dataset):
 @pytest.fixture(scope="session")
 def learned_model(learned):
     return learned[2]
+
+
+@pytest.fixture(scope="session")
+def identity_model(learned_model):
+    """The learned model with every group stripped: same identity,
+    different (no-op) behaviour — a v2 whose outputs visibly diverge
+    from v1 wherever v1 standardizes, which is what the hot-swap
+    equivalence tests need."""
+    from repro.serve import TransformationModel
+
+    payload = learned_model.to_dict()
+    payload["groups"] = []
+    return TransformationModel.from_dict(payload)
+
+
+@pytest.fixture(scope="session")
+def changing_values(learned_model):
+    """Values the learned model actually rewrites (so a v1-vs-v2
+    output difference is observable)."""
+    from repro.serve import ApplyEngine
+
+    engine = ApplyEngine(learned_model)
+    values = sorted(
+        {
+            member.lhs
+            for group in learned_model.groups
+            for member in group.members
+        }
+    )
+    changing = [v for v in values if engine.transform(v) != v]
+    assert changing, "learned model rewrites nothing; fixtures too small"
+    return changing

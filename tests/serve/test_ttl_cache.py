@@ -1,0 +1,220 @@
+"""Property tests for the TTL'd compiled-model cache.
+
+The cache's promises (``repro.serve.service.TTLEngineCache``), checked
+under hypothesis-generated interleavings of gets, publishes, silent
+publishes, follow-poller stores, clock advances, and evictions:
+
+* **publish consistency** — after a completed publish is notified,
+  ``get`` never again serves anything older;
+* **monotone reads** — served versions never go backwards, even when
+  the loader momentarily does;
+* **bounded staleness** — a version completed more than one TTL ago is
+  always visible, notified or not;
+* **TTL-bounded eviction** — ``evict_expired`` removes exactly the
+  entries whose TTL fully elapsed.
+
+The clock is injected, so every interleaving is deterministic.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import TTLEngineCache
+
+TTL = 10.0
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("advance"),
+            st.floats(0.0, TTL * 1.5, allow_nan=False, allow_infinity=False),
+        ),
+        st.tuples(st.just("publish")),
+        st.tuples(st.just("silent_publish")),
+        st.tuples(st.just("store")),
+        st.tuples(st.just("get")),
+        st.tuples(st.just("evict")),
+    ),
+    max_size=60,
+)
+
+
+class RegistryWorld:
+    """A model of an atomically-published registry: the loader always
+    sees every *completed* version (what ``os.replace`` guarantees)."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.completed = 1
+        self.history = [(0.0, 1)]  # (time, version) of each publish
+        self.loader_calls = 0
+
+    def clock(self):
+        return self.now
+
+    def loader(self, name, cached_version, cached_engine):
+        self.loader_calls += 1
+        if cached_version == self.completed:
+            return cached_version, cached_engine
+        return self.completed, f"engine-v{self.completed}"
+
+    def publish(self):
+        self.completed += 1
+        self.history.append((self.now, self.completed))
+
+    def completed_at(self, t):
+        """The newest version whose publish finished by time ``t``."""
+        return max((v for ts, v in self.history if ts <= t), default=0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(OPS)
+def test_cache_interleavings_never_serve_stale_or_backwards(ops):
+    world = RegistryWorld()
+    cache = TTLEngineCache(world.loader, ttl=TTL, clock=world.clock)
+    last_notified = 0
+    last_served = 0
+    for op in ops:
+        kind = op[0]
+        if kind == "advance":
+            world.now += op[1]
+        elif kind == "publish":
+            world.publish()
+            cache.notify_publish("m", world.completed)
+            last_notified = world.completed
+        elif kind == "silent_publish":
+            world.publish()
+        elif kind == "store":
+            cache.store("m", world.completed, f"engine-v{world.completed}")
+            last_notified = max(last_notified, world.completed)
+        elif kind == "evict":
+            cache.evict_expired()
+        elif kind == "get":
+            version, engine = cache.get("m")
+            # Publish consistency: never older than the last completed
+            # publish the cache was told about.
+            assert version >= last_notified
+            # Monotone reads.
+            assert version >= last_served
+            # Bounded staleness: a version completed more than one TTL
+            # ago is visible even if nobody notified the cache.
+            assert version >= world.completed_at(world.now - TTL)
+            # Never from the future, and the engine matches its version.
+            assert version <= world.completed
+            assert engine == f"engine-v{version}"
+            last_served = version
+
+
+@settings(max_examples=200, deadline=None)
+@given(OPS, st.data())
+def test_reads_stay_monotone_under_a_backwards_loader(ops, data):
+    """Even a loader that travels backwards (listing glitches, slow
+    NFS) never makes served versions regress."""
+    world = RegistryWorld()
+
+    def glitchy_loader(name, cached_version, cached_engine):
+        version = data.draw(
+            st.integers(1, world.completed), label="loader_version"
+        )
+        return version, f"engine-v{version}"
+
+    cache = TTLEngineCache(glitchy_loader, ttl=TTL, clock=world.clock)
+    last_served = 0
+    for op in ops:
+        kind = op[0]
+        if kind == "advance":
+            world.now += op[1]
+        elif kind in ("publish", "silent_publish"):
+            world.publish()
+        elif kind == "store":
+            cache.store("m", world.completed, f"engine-v{world.completed}")
+        elif kind == "evict":
+            cache.evict_expired()
+        elif kind == "get":
+            version, _engine = cache.get("m")
+            assert version >= last_served
+            last_served = version
+
+
+def test_fresh_hits_skip_the_loader():
+    world = RegistryWorld()
+    cache = TTLEngineCache(world.loader, ttl=TTL, clock=world.clock)
+    v1, e1 = cache.get("m")
+    calls = world.loader_calls
+    world.now += TTL  # exactly at the boundary: still fresh
+    v2, e2 = cache.get("m")
+    assert (v2, e2) == (v1, e1)
+    assert e2 is e1
+    assert world.loader_calls == calls
+    world.now += 0.001  # past the TTL: must re-consult
+    cache.get("m")
+    assert world.loader_calls == calls + 1
+
+
+def test_notified_publish_forces_refresh_before_ttl():
+    world = RegistryWorld()
+    cache = TTLEngineCache(world.loader, ttl=TTL, clock=world.clock)
+    assert cache.get("m")[0] == 1
+    world.publish()
+    cache.notify_publish("m", world.completed)
+    # No clock advance at all — the floor alone forces the reload.
+    assert cache.get("m")[0] == 2
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.floats(0.0, TTL, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=8,
+    ),
+    st.floats(0.0, 3 * TTL, allow_nan=False, allow_infinity=False),
+)
+def test_eviction_respects_the_ttl_bound(load_gaps, final_gap):
+    """After any load schedule, eviction drops exactly the entries
+    older than the TTL and keeps every fresh one."""
+    world = RegistryWorld()
+    cache = TTLEngineCache(world.loader, ttl=TTL, clock=world.clock)
+    loaded_at = {}
+    for i, gap in enumerate(load_gaps):
+        world.now += gap
+        name = f"model-{i}"
+        cache.get(name)
+        loaded_at[name] = world.now
+    world.now += final_gap
+    cache.evict_expired()
+    expected_alive = {
+        name
+        for name, t in loaded_at.items()
+        if world.now - t <= TTL
+    }
+    assert len(cache) == len(expected_alive)
+    for name in expected_alive:
+        assert cache.peek(name) is not None
+
+
+def test_store_same_or_older_version_only_refreshes_ttl():
+    world = RegistryWorld()
+    cache = TTLEngineCache(world.loader, ttl=TTL, clock=world.clock)
+    v1, e1 = cache.get("m")
+    world.now += TTL - 1.0
+    # Re-storing the same version keeps the engine but renews the TTL.
+    assert not cache.store("m", v1, object())
+    assert cache.peek("m") == (v1, e1)
+    world.now += 2.0  # would have expired without the refresh
+    calls = world.loader_calls
+    assert cache.get("m") == (v1, e1)
+    assert world.loader_calls == calls
+    # An older store never replaces a newer served version.
+    world.publish()
+    cache.store("m", world.completed, "engine-new")
+    assert not cache.store("m", v1, "engine-old")
+    assert cache.peek("m")[1] == "engine-new"
+
+
+def test_nonpositive_ttl_is_rejected():
+    with pytest.raises(ValueError):
+        TTLEngineCache(lambda *a: (1, object()), ttl=0.0)
+    with pytest.raises(ValueError):
+        TTLEngineCache(lambda *a: (1, object()), ttl=-1.0)

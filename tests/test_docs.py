@@ -228,6 +228,58 @@ def test_docs_cover_the_multi_column_golden_stream():
     assert "--columns" in readme and "--golden-out" in readme
 
 
+def test_docs_cover_the_network_serving_tier():
+    """The serving release is taught where users will look, and the
+    documented flags are real `repro serve` flags."""
+    serving = REPO / "docs" / "serving.md"
+    assert serving.is_file()
+    text = serving.read_text(encoding="utf-8")
+    for needle in (
+        "--listen",
+        "--follow",
+        "--ttl",
+        "--golden-log",
+        '"op": "subscribe"',
+        '"push": "golden"',
+        "exactly one reply",
+        "serve.reload_errors",
+        "FaultInjector",
+    ):
+        assert needle in text, f"{needle} undocumented in serving.md"
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "--help"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+        timeout=60,
+    )
+    assert proc.returncode == 0, proc.stderr
+    for flag in (
+        "--listen",
+        "--follow",
+        "--bundle",
+        "--ttl",
+        "--poll-interval",
+        "--golden-log",
+        "--idle-timeout",
+        "--max-request-bytes",
+        "--metrics",
+    ):
+        assert flag in proc.stdout, (
+            f"documented flag {flag} missing from `repro serve --help`"
+        )
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    assert "docs/serving.md" in readme and "--listen" in readme
+    arch = (REPO / "docs" / "architecture.md").read_text(encoding="utf-8")
+    assert "serving.md" in arch and "TTLEngineCache" in arch
+
+
 def test_docs_cover_the_tracing_release():
     """Trace propagation, profiler, top, and bench gates are taught."""
     obs_text = (REPO / "docs" / "observability.md").read_text(
