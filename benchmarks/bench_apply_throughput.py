@@ -19,6 +19,8 @@ The headline claim — the compiled engine is at least **10x** faster
 than re-learning on the same input — is asserted, not just printed.
 """
 
+import os
+import random
 import time
 
 import pytest
@@ -26,15 +28,48 @@ import pytest
 from repro.datagen import address_dataset
 from repro.pipeline.oracle import GroundTruthOracle
 from repro.pipeline.standardize import Standardizer
-from repro.serve import ApplyEngine, ModelReplayer, build_model
+from repro.serve import (
+    ApplyEngine,
+    ModelReplayer,
+    ModelRegistry,
+    build_model,
+    try_load_index,
+)
 
-from conftest import BASE_SCALES, BUDGETS, SCALE, print_banner, record_result, report
+from conftest import (
+    BASE_SCALES,
+    BUDGETS,
+    SCALE,
+    print_banner,
+    record_result,
+    report,
+    synthetic_exact_model,
+)
+
+ASSERT_SPEEDUP = os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP", "1") != "0"
 
 #: Reduced slice (like Figure 9): learning is the slow side here.
 APPLY_FACTOR = 0.5
 #: Large-batch replication factor for the steady-state rows/sec figure.
 REPLICAS = 40
 SEED = 13
+
+#: The skewed production-shaped workload: ~1M rows over at most 5k
+#: distinct values (Zipf-weighted), the regime the columnar apply path
+#: is built for.
+SKEWED_ROWS = int(1_000_000 * SCALE)
+SKEWED_DISTINCT = 5000
+
+#: Rows the unmemoized per-row arm actually executes; its per-row cost
+#: is flat (no memo, so row N costs the same as row 1), so the
+#: full-column time extrapolates linearly and the bench stays minutes-
+#: free.  Byte-identity is still asserted on this slice, and on the
+#: whole column against the LRU path.
+PER_ROW_SAMPLE = 200_000
+
+#: Exact-rule count for the sidecar reload bench — big enough that the
+#: O(E**2) chain-compose visibly dominates a JSON parse.
+SIDECAR_RULES = int(3000 * max(0.25, min(1.0, SCALE)))
 
 
 @pytest.fixture(scope="module")
@@ -133,3 +168,202 @@ def test_apply_throughput(benchmark, apply_dataset):
         f"compiled engine must be >= 10x faster than re-learning "
         f"(got {engine_speedup:.1f}x)"
     )
+
+
+@pytest.fixture(scope="module")
+def skewed_workload(apply_dataset):
+    """A learned Address model plus a production-shaped skewed column:
+    ``SKEWED_ROWS`` rows drawn Zipf-weighted from a pool of at most
+    ``SKEWED_DISTINCT`` distinct values (real dirty values padded with
+    suffix variants so exact, program, token, and passthrough paths all
+    see traffic)."""
+    dataset = apply_dataset
+    table = dataset.fresh_table()
+    standardizer = Standardizer(table, dataset.column)
+    oracle = GroundTruthOracle(
+        dataset.canonical, standardizer.store, seed=SEED
+    )
+    log = standardizer.run(oracle, BUDGETS["Address"])
+    model = build_model(
+        log,
+        dataset.column,
+        name="address-skew-bench",
+        provenance={"dataset": dataset.name, "seed": SEED},
+    )
+    base = list(dict.fromkeys(dataset.fresh_table().column_values(
+        dataset.column
+    )))
+    pool = list(base)
+    suffix = 0
+    while len(pool) < SKEWED_DISTINCT:
+        pool.append(f"{base[suffix % len(base)]} Unit {suffix}")
+        suffix += 1
+    pool = pool[:SKEWED_DISTINCT]
+    rng = random.Random(SEED)
+    weights = [1.0 / (i + 1) for i in range(len(pool))]
+    values = rng.choices(pool, weights=weights, k=SKEWED_ROWS)
+    return model, values
+
+
+def test_skewed_columnar_apply(benchmark, skewed_workload):
+    """The tentpole claim: on a skewed column the dictionary-encoded
+    columnar path beats per-row rule application by >= 10x at
+    byte-identical output (each distinct value is resolved once and
+    broadcast through the code vector)."""
+    model, values = skewed_workload
+    distinct = len(dict.fromkeys(values))
+
+    # -- per-row rule application (no memoization at all) ----------------
+    sample_n = min(len(values), PER_ROW_SAMPLE)
+    per_row_engine = ApplyEngine(model, cache_size=0)
+    transform = per_row_engine.transform
+    start = time.perf_counter()
+    per_row_out = [transform(v) for v in values[:sample_n]]
+    t_sample = time.perf_counter() - start
+    t_per_row = t_sample * (len(values) / sample_n)
+
+    # -- per-row through the LRU memo (the previous fast path) -----------
+    memo_engine = ApplyEngine(model)
+    transform = memo_engine.transform
+    start = time.perf_counter()
+    memo_out = [transform(v) for v in values]
+    t_memo = time.perf_counter() - start
+
+    # -- columnar: intern, resolve once per distinct, broadcast ----------
+    columnar_engine = ApplyEngine(model)
+    columnar_out = benchmark.pedantic(
+        lambda: columnar_engine.apply_values(values), rounds=3, iterations=1
+    )
+    t_columnar = benchmark.stats.stats.mean
+
+    assert columnar_out[:sample_n] == per_row_out, (
+        "columnar apply must be byte-identical to the per-row path"
+    )
+    assert columnar_out == memo_out
+
+    stats = columnar_engine.stats()
+    assert stats.distinct_values <= SKEWED_DISTINCT
+    assert stats.broadcast_rows > 0
+
+    skewed_speedup = t_per_row / t_columnar if t_columnar > 0 else float("inf")
+    memo_speedup = t_memo / t_columnar if t_columnar > 0 else float("inf")
+    rows_per_sec = len(values) / t_columnar if t_columnar > 0 else float("inf")
+
+    print_banner(
+        "Skewed columnar apply: dictionary encoding vs per-row (Address)"
+    )
+    report(
+        f"rows={len(values)}  distinct={distinct}  "
+        f"broadcast_rows={stats.broadcast_rows}"
+    )
+    report(
+        f"per-row (cold) : {t_per_row:8.3f}s"
+        + (
+            f"   (extrapolated from {sample_n} rows)"
+            if sample_n < len(values)
+            else ""
+        )
+    )
+    report(f"per-row (LRU)  : {t_memo:8.3f}s   ({memo_speedup:5.1f}x vs columnar)")
+    report(
+        f"columnar       : {t_columnar:8.3f}s   ({skewed_speedup:5.1f}x, "
+        f"{rows_per_sec:,.0f} rows/s)"
+    )
+
+    # No ``test=`` field: these are headline rows, and the baseline
+    # gate only builds series from rows without one.
+    record_result(
+        "apply_skewed",
+        rows=len(values),
+        distinct=distinct,
+        per_row_seconds=round(t_per_row, 4),
+        memoized_seconds=round(t_memo, 4),
+        columnar_seconds=round(t_columnar, 4),
+        skewed_speedup=round(skewed_speedup, 2),
+        memoized_speedup=round(memo_speedup, 2),
+        columnar_rows_per_second=round(rows_per_sec, 1),
+    )
+
+    if ASSERT_SPEEDUP:
+        assert skewed_speedup >= 10.0, (
+            f"columnar apply must be >= 10x faster than per-row on the "
+            f"skewed workload (got {skewed_speedup:.1f}x)"
+        )
+    else:
+        report(
+            "(REPRO_BENCH_ASSERT_SPEEDUP=0: speedup reported, not "
+            "asserted)"
+        )
+
+
+def test_sidecar_reload(tmp_path):
+    """Hot swap via the precompiled sidecar must beat recompiling the
+    model — the cost the ``--follow`` poller used to pay per publish.
+
+    Timed by hand (best of 3) rather than through the ``benchmark``
+    fixture: each round needs a fresh pre-swap engine, whose own
+    construction must stay out of the measured window.
+    """
+    model_a = synthetic_exact_model(SIDECAR_RULES, name="sidecar-a")
+    # A disjoint rule set, so every A -> B reload is a full swap (never
+    # the incremental append-only path).
+    model_b = synthetic_exact_model(
+        SIDECAR_RULES, name="sidecar-b", salt="B"
+    )
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.save(model_a, "sidecar-bench")
+    path_b = registry.save(model_b, "sidecar-bench")
+    index_b = try_load_index(path_b, model_b)
+    assert index_b is not None, "publish must have written a sidecar"
+
+    sample = [g.members[0].lhs for g in model_b.groups[:64]]
+
+    # -- recompile arm (no sidecar offered) ------------------------------
+    t_recompile = float("inf")
+    for _ in range(3):
+        engine = ApplyEngine(model_a)
+        start = time.perf_counter()
+        engine.reload(model_b)
+        t_recompile = min(t_recompile, time.perf_counter() - start)
+    expected = engine.apply_values(sample)
+
+    # -- precompiled arm -------------------------------------------------
+    t_sidecar = float("inf")
+    for _ in range(3):
+        sidecar_engine = ApplyEngine(model_a)
+        start = time.perf_counter()
+        sidecar_engine.reload(model_b, precompiled=index_b)
+        t_sidecar = min(t_sidecar, time.perf_counter() - start)
+    assert sidecar_engine.apply_values(sample) == expected, (
+        "sidecar-installed engine must match the recompiled one"
+    )
+    assert sidecar_engine.stats().sidecar_loads == 1
+
+    reload_speedup = t_recompile / t_sidecar if t_sidecar > 0 else float("inf")
+
+    print_banner("Hot reload: precompiled sidecar vs recompilation")
+    report(f"exact rules       : {SIDECAR_RULES}")
+    report(f"recompile reload  : {t_recompile:8.4f}s")
+    report(
+        f"sidecar reload    : {t_sidecar:8.4f}s   "
+        f"({reload_speedup:5.1f}x)"
+    )
+
+    record_result(
+        "apply_sidecar_reload",
+        rules=SIDECAR_RULES,
+        recompile_seconds=round(t_recompile, 4),
+        sidecar_seconds=round(t_sidecar, 4),
+        reload_speedup=round(reload_speedup, 2),
+    )
+
+    if ASSERT_SPEEDUP:
+        assert reload_speedup >= 2.0, (
+            f"sidecar reload must beat recompilation (got "
+            f"{reload_speedup:.1f}x)"
+        )
+    else:
+        report(
+            "(REPRO_BENCH_ASSERT_SPEEDUP=0: speedup reported, not "
+            "asserted)"
+        )

@@ -38,7 +38,15 @@ from repro.serve import (
     build_model,
 )
 
-from conftest import BASE_SCALES, BUDGETS, SCALE, print_banner, record_result, report
+from conftest import (
+    BASE_SCALES,
+    BUDGETS,
+    SCALE,
+    print_banner,
+    record_result,
+    report,
+    synthetic_exact_model,
+)
 
 ASSERT_SPEEDUP = os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP", "1") != "0"
 
@@ -103,11 +111,16 @@ def test_serve_throughput_under_hot_reload(
         published = asyncio.Event()
 
         async def publisher():
-            # Let roughly half the load land on v1 first.
+            # Let half the load land on v1 first, then publish and wait
+            # for the follow poller's swap to actually install before
+            # releasing the second half — so traffic against both
+            # versions is guaranteed even on a single slow core.
             await asyncio.sleep(0.0)
             while server._m_requests.value < total // 2:
                 await asyncio.sleep(0.005)
             registry.save(identity, "addr")
+            while server.source.current()[0] < 2:
+                await asyncio.sleep(0.005)
             published.set()
 
         async def client_session():
@@ -117,7 +130,9 @@ def test_serve_throughput_under_hot_reload(
             ).encode()
             versions = set()
             try:
-                for _ in range(REQUESTS_PER_CLIENT):
+                for i in range(REQUESTS_PER_CLIENT):
+                    if i == REQUESTS_PER_CLIENT // 2:
+                        await published.wait()
                     writer.write(line)
                     await writer.drain()
                     reply = json.loads(await reader.readline())
@@ -193,4 +208,80 @@ def test_serve_throughput_under_hot_reload(
         assert requests_per_second >= MIN_REQUESTS_PER_SECOND, (
             f"serving tier sustained only {requests_per_second:.0f} "
             f"req/s (floor {MIN_REQUESTS_PER_SECOND})"
+        )
+
+
+#: Exact-rule count for the swap-latency bench — large enough that the
+#: O(E**2) compile visibly dominates one registry poll.
+SWAP_RULES = int(6000 * max(0.25, min(1.0, SCALE)))
+SWAP_ROUNDS = 3
+
+
+def test_hot_swap_latency_with_sidecar(tmp_path):
+    """The ``--follow`` fix under test: a publish consumed through its
+    precompiled sidecar must swap in measurably faster than one that
+    forces the poller to recompile the model."""
+    versions = [
+        synthetic_exact_model(SWAP_RULES, name=f"swap-v{i}", salt=str(i))
+        for i in range(SWAP_ROUNDS + 1)
+    ]
+
+    def measure(sidecar: bool):
+        registry = ModelRegistry(
+            tmp_path / ("with-sidecar" if sidecar else "without-sidecar")
+        )
+        registry.save(versions[0], "swap", sidecar=sidecar)
+        source = ModelSource(registry=registry, name="swap", ttl=60.0)
+        source.current()  # initial load, outside the measured window
+        best = float("inf")
+        for i, model in enumerate(versions[1:], start=1):
+            registry.save(model, "swap", sidecar=sidecar)
+            start = time.perf_counter()
+            swapped = source.refresh()
+            best = min(best, time.perf_counter() - start)
+            assert swapped == i + 1, "publish must have swapped"
+        if sidecar:
+            # + 1: the initial load also came through its sidecar.
+            assert source.sidecar_loads == SWAP_ROUNDS + 1
+            assert source.sidecar_misses == 0
+        else:
+            assert source.sidecar_loads == 0
+        # Both arms serve identical outputs for the final version.
+        sample = [g.members[0].lhs for g in versions[-1].groups[:32]]
+        _, engine = source.current()
+        return best, engine.apply_values(sample)
+
+    t_recompile, out_recompile = measure(sidecar=False)
+    t_sidecar, out_sidecar = measure(sidecar=True)
+    assert out_sidecar == out_recompile, (
+        "sidecar-backed swap must serve byte-identical outputs"
+    )
+
+    swap_speedup = t_recompile / t_sidecar if t_sidecar > 0 else float("inf")
+
+    print_banner("Hot-swap latency: sidecar-backed vs recompiling poll")
+    report(f"exact rules        : {SWAP_RULES}")
+    report(f"recompiling swap   : {t_recompile * 1000:8.1f}ms")
+    report(
+        f"sidecar swap       : {t_sidecar * 1000:8.1f}ms   "
+        f"({swap_speedup:5.1f}x)"
+    )
+
+    record_result(
+        "serve_hot_swap",
+        rules=SWAP_RULES,
+        recompile_swap_seconds=round(t_recompile, 4),
+        sidecar_swap_seconds=round(t_sidecar, 4),
+        swap_speedup=round(swap_speedup, 2),
+    )
+
+    if ASSERT_SPEEDUP:
+        assert swap_speedup >= 2.0, (
+            f"sidecar swap must beat the recompiling poll (got "
+            f"{swap_speedup:.1f}x)"
+        )
+    else:
+        report(
+            "(REPRO_BENCH_ASSERT_SPEEDUP=0: speedup reported, not "
+            "asserted)"
         )

@@ -134,6 +134,43 @@ def pytest_runtest_logreport(report):
         outcome=report.outcome,
     )
 
+def synthetic_exact_model(
+    num_rules: int, name: str = "synthetic-exact", salt: str = ""
+):
+    """A model of ``num_rules`` whole-value exact rules, for benchmarks
+    that need compile cost proportional to rule count (chain-composing
+    E exact rules is O(E**2)) without paying a full learning run.
+
+    Programs are constants, so the engine's program index stays empty
+    and the compiled artifact is exactly the exact-table shape the
+    sidecar benches care about.
+    """
+    from repro.core.functions import ConstantStr
+    from repro.core.program import Program
+    from repro.pipeline.oracle import FORWARD
+    from repro.serve.model import (
+        ConfirmedGroup,
+        ConfirmedMember,
+        TransformationModel,
+    )
+
+    groups = []
+    for i in range(num_rules):
+        rhs = f"Clean{salt} Value {i:05d}"
+        groups.append(
+            ConfirmedGroup(
+                program=Program((ConstantStr(rhs),)),
+                direction=FORWARD,
+                members=(
+                    ConfirmedMember(
+                        lhs=f"dirty{salt} value {i:05d}", rhs=rhs
+                    ),
+                ),
+            )
+        )
+    return TransformationModel(name=name, column="value", groups=groups)
+
+
 #: Per-dataset generator scale at SCALE=1.0 (chosen so the full bench
 #: suite completes in minutes on a laptop while preserving the paper's
 #: relative shapes).

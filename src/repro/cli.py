@@ -40,10 +40,14 @@ import random
 import re
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .config import Config
-from .resolution.blocking import BLOCKING_MODES, make_block_keys
+from .resolution.blocking import (
+    BLOCKING_MODES,
+    derive_lsh_params,
+    make_block_keys,
+)
 from .data.io import (
     read_csv_clusters,
     read_csv_records,
@@ -339,15 +343,17 @@ def build_parser() -> argparse.ArgumentParser:
     stream_p.add_argument(
         "--lsh-bands",
         type=int,
-        default=16,
-        help="LSH band count (more bands = higher recall, more keys)",
+        default=None,
+        help="LSH band count (more bands = higher recall, more keys); "
+        "default: derived from --similarity-threshold via the S-curve",
     )
     stream_p.add_argument(
         "--lsh-rows",
         type=int,
-        default=3,
+        default=None,
         help="signature rows per LSH band (more rows = stricter "
-        "collisions)",
+        "collisions); default: derived from --similarity-threshold "
+        "via the S-curve",
     )
     stream_p.add_argument(
         "--lsh-shingle",
@@ -653,12 +659,25 @@ def cmd_consolidate(args) -> int:
     return 0
 
 
-def _load_model(args) -> TransformationModel:
+def _load_model_with_index(args):
+    """``(model, precompiled index or None)`` from the CLI's model
+    flags.
+
+    Registry loads come through
+    :meth:`~repro.serve.registry.ModelRegistry.load_with_index`, so a
+    sidecar written at publish time spares the consumer the model
+    recompilation; ``--model FILE`` loads look for the sidecar next to
+    the file.  A missing/stale index is simply ``None`` — engines then
+    compile from the model exactly as before.
+    """
+    from .serve import try_load_index
+
     try:
         if args.model:
-            return TransformationModel.load(args.model)
+            model = TransformationModel.load(args.model)
+            return model, try_load_index(args.model, model)
         if args.registry and args.name:
-            return ModelRegistry(args.registry).load(
+            return ModelRegistry(args.registry).load_with_index(
                 args.name, args.model_version
             )
     except FileNotFoundError as exc:
@@ -712,13 +731,17 @@ def cmd_learn(args) -> int:
 
 
 def cmd_apply(args) -> int:
-    model = _load_model(args)
+    model, index = _load_model_with_index(args)
     column = args.column or model.column
     start = time.perf_counter()
     if args.input and not args.key:
         # Flat CSV: the compiled O(N) value engine.
         records = read_csv_records(args.input)
-        engine = ApplyEngine(model, use_programs=not args.no_programs)
+        engine = ApplyEngine(
+            model,
+            use_programs=not args.no_programs,
+            precompiled=index,
+        )
         values = [r.values.get(column, "") for r in records]
         outputs = engine.apply_values(values, workers=args.workers)
         changed = 0
@@ -910,11 +933,12 @@ def _cmd_serve_network(args) -> int:
 def cmd_serve(args) -> int:
     if args.listen:
         return _cmd_serve_network(args)
-    model = _load_model(args)
+    model, index = _load_model_with_index(args)
     engine = ApplyEngine(
         model,
         use_programs=not args.no_programs,
         cache_size=args.cache_size,
+        precompiled=index,
     )
     # The banner goes to stderr: stdout carries only protocol lines.
     print(
@@ -972,6 +996,39 @@ def _finish_profiler(profiler, args) -> None:
     )
 
 
+def _resolve_lsh_params(args) -> Tuple[int, int]:
+    """The effective LSH ``(bands, rows)`` for a similarity-mode run.
+
+    Explicit ``--lsh-bands`` / ``--lsh-rows`` win; any flag left unset
+    is derived from ``--similarity-threshold`` via the S-curve
+    (:func:`~repro.resolution.blocking.derive_lsh_params`), so the
+    collision cliff lands at the match threshold instead of wherever
+    a fixed default happens to put it.  Prints the derived shape (to
+    stderr) when LSH blocking is actually in play, so runs are
+    reproducible from their logs.
+    """
+    bands, rows = args.lsh_bands, args.lsh_rows
+    if bands is None or rows is None:
+        try:
+            derived_bands, derived_rows = derive_lsh_params(
+                args.similarity_threshold
+            )
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        if bands is None:
+            bands = derived_bands
+        if rows is None:
+            rows = derived_rows
+        if "lsh" in args.blocking:
+            print(
+                f"lsh: bands={bands} rows={rows} (derived from "
+                f"--similarity-threshold {args.similarity_threshold}; "
+                "pass --lsh-bands/--lsh-rows to override)",
+                file=sys.stderr,
+            )
+    return bands, rows
+
+
 def cmd_stream(args) -> int:
     from .datagen.stream import dataset_stream
     from .stream import (
@@ -1027,10 +1084,11 @@ def cmd_stream(args) -> int:
         resolution_kwargs["similarity_threshold"] = (
             args.similarity_threshold
         )
+        bands, rows = _resolve_lsh_params(args)
         resolution_kwargs["block_keys"] = make_block_keys(
             args.blocking,
-            bands=args.lsh_bands,
-            rows=args.lsh_rows,
+            bands=bands,
+            rows=rows,
             shingle=args.lsh_shingle,
         )
     consolidator = StreamConsolidator(
@@ -1170,10 +1228,11 @@ def _cmd_stream_golden(args) -> int:
         resolution_kwargs["similarity_threshold"] = (
             args.similarity_threshold
         )
+        bands, rows = _resolve_lsh_params(args)
         resolution_kwargs["block_keys"] = make_block_keys(
             args.blocking,
-            bands=args.lsh_bands,
-            rows=args.lsh_rows,
+            bands=bands,
+            rows=rows,
             shingle=args.lsh_shingle,
         )
     consolidator = GoldenStreamConsolidator(

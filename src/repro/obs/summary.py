@@ -507,6 +507,22 @@ def format_summary(summary: Dict[str, object]) -> str:
         cache_hits = apply_summary.get("cache_hits")
         if cache_hits:
             lines.append(f"  lru cache_hits: {cache_hits}")
+        distinct = apply_summary.get("distinct_values")
+        if distinct:
+            rows = apply_summary.get("rows", 0) or 1
+            broadcast = apply_summary.get("broadcast_rows", 0)
+            lines.append(
+                f"  columnar: {distinct} distinct values interned, "
+                f"{broadcast} rows broadcast "
+                f"({100.0 * broadcast / rows:.1f}%)"
+            )
+        sidecar_loads = apply_summary.get("sidecar_loads", 0)
+        sidecar_misses = apply_summary.get("sidecar_misses", 0)
+        if sidecar_loads or sidecar_misses:
+            lines.append(
+                f"  sidecar: {sidecar_loads} precompiled loads, "
+                f"{sidecar_misses} fallback recompiles"
+            )
 
     drift_events = summary.get("drift_events") or []
     if drift_events:

@@ -364,6 +364,57 @@ def lsh_keys(
     return fn
 
 
+#: Signature budget :func:`derive_lsh_params` fits ``bands * rows``
+#: into — 48 components keeps per-value hashing cheap while leaving
+#: room for every useful (bands, rows) shape between thresholds 0.5
+#: and 0.9.
+DEFAULT_LSH_HASHES = 48
+
+
+def _collision_probability(s: float, bands: int, rows: int) -> float:
+    """The S-curve: P(two values with shingle-Jaccard ``s`` share at
+    least one band) under ``bands`` bands of ``rows`` rows."""
+    return 1.0 - (1.0 - s**rows) ** bands
+
+
+@lru_cache(maxsize=256)
+def derive_lsh_params(
+    threshold: float, num_hashes: int = DEFAULT_LSH_HASHES
+) -> Tuple[int, int]:
+    """The ``(bands, rows)`` pair tuned for a similarity threshold.
+
+    Sweeps every banding of at most ``num_hashes`` signature components
+    and picks the one minimizing the integrated S-curve error: the area
+    under the collision curve below ``threshold`` (false positives —
+    dissimilar pairs that still collide) plus the area above the curve
+    beyond it (false negatives — similar pairs that never do).  The
+    winner's S-curve crosses ≈0.5 collision probability near
+    ``threshold``, which is exactly the "steep cliff at the threshold"
+    the banded-MinHash construction is chosen for; explicit
+    ``--lsh-bands`` / ``--lsh-rows`` flags bypass this entirely.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(
+            f"threshold must be in (0, 1), got {threshold}"
+        )
+    if num_hashes < 1:
+        raise ValueError("num_hashes must be >= 1")
+    steps = 256
+    dx = 1.0 / steps
+    best: Optional[Tuple[float, int, int]] = None
+    for rows in range(1, num_hashes + 1):
+        for bands in range(1, num_hashes // rows + 1):
+            error = 0.0
+            for i in range(steps):
+                s = (i + 0.5) * dx
+                p = _collision_probability(s, bands, rows)
+                error += (p if s < threshold else 1.0 - p) * dx
+            if best is None or error < best[0]:
+                best = (error, bands, rows)
+    assert best is not None
+    return best[1], best[2]
+
+
 def combine_keys(*key_fns: BlockKeyFn) -> BlockKeyFn:
     """One :data:`BlockKeyFn` yielding every function's keys, deduped,
     in function-then-emission order — e.g. token blocks for recall on

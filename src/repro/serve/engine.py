@@ -22,9 +22,21 @@ the occasional program evaluation:
    (Appendix A provenance), applied once each, in confirmation order,
    token-boundary aware (``"St"`` never fires inside ``"Stone"``).
 
-Results are memoized in an LRU cell cache (dirty columns repeat values
-heavily), application is batched column-at-a-time with de-duplication,
-and large batches can shard across worker processes.
+Application is **columnar**: a batch is dictionary-encoded through a
+shared :class:`~repro.serve.intern.InternTable` (unique values +
+row -> slot codes), the lookup tiers above run once per *distinct*
+value, outputs land in a slot-aligned memo that persists across
+batches, and results broadcast back through the code vector as two
+C-level ``map`` passes — per-row cost on skewed production traffic is
+two hash probes, not a transformation.  The single-value path keeps an
+LRU cell cache; large batches can shard uncomputed distinct values
+across worker processes.
+
+Engines can also skip compilation entirely: construct (or
+:meth:`ApplyEngine.reload`) with a ``precompiled``
+:class:`~repro.serve.sidecar.CompiledIndex` and the lookup structures
+install in O(index size) — fingerprint-checked against the model, with
+silent fallback to a normal compile on any mismatch.
 
 Exactness note: value-level application generalizes beyond the cluster
 provenance the learner respected — by design.  When bit-exact
@@ -47,10 +59,15 @@ from ..core.structure import Signature, structure_signature
 from ..data.table import CellRef, ClusterTable
 from ..obs import NULL_OBS
 from ..pipeline.oracle import FORWARD
+from .intern import InternTable
 from .model import TransformationModel
 
 #: Unique-value count below which sharding never pays for itself.
 MIN_SHARD_VALUES = 4096
+
+#: Default intern-table capacity (distinct values memoized across
+#: batches); 4x the LRU default — slots are two pointers each.
+DEFAULT_INTERN_SIZE = 262144
 
 
 class LRUCache:
@@ -92,6 +109,16 @@ class ApplyStats:
     misses: int = 0
     cache_hits: int = 0
     sharded_values: int = 0
+    #: distinct values ever interned (monotone even across truncation)
+    distinct_values: int = 0
+    #: rows settled by broadcasting a distinct value's output
+    broadcast_rows: int = 0
+    #: rows whose value was already in the intern table on arrival
+    intern_hits: int = 0
+    #: compilations skipped via a matching precompiled sidecar index
+    sidecar_loads: int = 0
+    #: sidecars offered but rejected (fingerprint/column mismatch)
+    sidecar_misses: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a JSON-safe dict (``repro apply --stats``)."""
@@ -104,6 +131,11 @@ class ApplyStats:
             "misses": self.misses,
             "cache_hits": self.cache_hits,
             "sharded_values": self.sharded_values,
+            "distinct_values": self.distinct_values,
+            "broadcast_rows": self.broadcast_rows,
+            "intern_hits": self.intern_hits,
+            "sidecar_loads": self.sidecar_loads,
+            "sidecar_misses": self.sidecar_misses,
         }
 
 
@@ -123,6 +155,8 @@ class ApplyEngine:
         cache_size: int = 65536,
         obs=NULL_OBS,
         obs_labels: Optional[Dict[str, str]] = None,
+        intern_size: int = DEFAULT_INTERN_SIZE,
+        precompiled=None,
     ) -> None:
         self.model = model
         self.use_programs = use_programs
@@ -130,6 +164,12 @@ class ApplyEngine:
         self._stats = ApplyStats()
         self._cache = LRUCache(cache_size)
         self._max_program_len = model.config.max_string_length
+        # Columnar state: the intern table maps distinct strings to
+        # dense slot codes; _slot_outputs is the slot-aligned output
+        # memo (None = not yet computed under the current model).
+        self.intern_size = max(0, int(intern_size))
+        self._intern = InternTable()
+        self._slot_outputs: List[Optional[str]] = []
         # Observability rides on the plain-int ApplyStats: the per-value
         # hot path never touches a registry instrument; sync_obs mirrors
         # the accumulated deltas at batch boundaries only.
@@ -142,7 +182,13 @@ class ApplyEngine:
         self.programs: Dict[Signature, List[Program]] = {}
         self._seen_token: set = set()
         self._seen_programs: Dict[Signature, set] = {}
-        self._compile_groups(model.groups)
+        if precompiled is not None and precompiled.matches(model):
+            self._install_precompiled(precompiled)
+            self._stats.sidecar_loads += 1
+        else:
+            if precompiled is not None:
+                self._stats.sidecar_misses += 1
+            self._compile_groups(model.groups)
 
     # -- observability -----------------------------------------------------
 
@@ -227,9 +273,28 @@ class ApplyEngine:
                 self.exact[key] = rhs
         self.exact.setdefault(lhs, rhs)
 
+    def _install_precompiled(self, index) -> None:
+        """Install a fingerprint-matched sidecar index in O(its size).
+
+        Also reconstructs the compile-time dedup state, so a later
+        *incremental* :meth:`reload` continues from a sidecar-installed
+        engine exactly as it would from a cold-compiled one.
+        """
+        self.exact.update(index.exact)
+        self.token_rules.extend(index.token_rules)
+        self._seen_token.update(index.token_rules)
+        for signature, programs in index.programs:
+            bucket = self.programs.setdefault(signature, [])
+            keys = self._seen_programs.setdefault(signature, set())
+            for program in programs:
+                key = program.canonical()
+                if key not in keys:
+                    keys.add(key)
+                    bucket.append(program)
+
     # -- hot reload --------------------------------------------------------
 
-    def reload(self, model: TransformationModel) -> bool:
+    def reload(self, model: TransformationModel, precompiled=None) -> bool:
         """Swap in a newly published model without rebuilding the engine.
 
         Published models are append-only (a new version extends the
@@ -241,8 +306,13 @@ class ApplyEngine:
         no process restart and no recompilation of unrelated state.
 
         A model that does not extend the current one triggers a full
-        recompile (still in place).  The memoization cache is cleared
-        either way: cached outputs may be stale under the new rules.
+        recompile (still in place) — unless ``precompiled`` carries a
+        fingerprint-matching :class:`~repro.serve.sidecar.CompiledIndex`,
+        in which case the lookup structures install in O(index size)
+        with no recompilation at all (the ``--follow`` hot-swap path).
+        The memoization state is reset either way: cached outputs may
+        be stale under the new rules (interned values keep their slots;
+        only the slot-aligned outputs are dropped).
         Returns True when the fast incremental path was taken.
         """
         n = len(self.model.groups)
@@ -259,12 +329,20 @@ class ApplyEngine:
             self.programs.clear()
             self._seen_token.clear()
             self._seen_programs.clear()
-        new_groups = model.groups[n:] if incremental else model.groups
         self.model = model
         self.vocabulary = model.vocabulary
         self._max_program_len = model.config.max_string_length
-        self._compile_groups(new_groups)
+        if incremental:
+            self._compile_groups(model.groups[n:])
+        elif precompiled is not None and precompiled.matches(model):
+            self._install_precompiled(precompiled)
+            self._stats.sidecar_loads += 1
+        else:
+            if precompiled is not None:
+                self._stats.sidecar_misses += 1
+            self._compile_groups(model.groups)
         self._cache = LRUCache(self._cache.capacity)
+        self._slot_outputs = [None] * len(self._intern)
         return incremental
 
     # -- single-value path -------------------------------------------------
@@ -309,26 +387,66 @@ class ApplyEngine:
         workers: Optional[int] = None,
         min_shard: int = MIN_SHARD_VALUES,
     ) -> List[str]:
-        """Standardize a column of values.
+        """Standardize a column of values (the columnar hot path).
 
-        Values are de-duplicated before computation (dirty columns are
-        repetitive), then the mapping is broadcast back in order.  With
-        ``workers > 1`` and enough distinct values, unique values are
-        sharded across a process pool; per-rule hit counters are then
-        tracked inside the workers and not merged back.
+        The column is dictionary-encoded: distinct values are interned
+        to dense slot codes, transformation runs once per *uncomputed*
+        distinct value into a slot-aligned memo that persists across
+        batches, and the result broadcasts back through the code vector
+        as two C-level ``map`` passes.  With ``workers > 1`` and enough
+        uncomputed distinct values, computation shards across a process
+        pool; per-rule hit counters are then tracked inside the workers
+        and not merged back.
         """
         started = time.perf_counter() if self.obs.enabled else 0.0
-        unique = list(dict.fromkeys(values))
-        self._stats.rows += len(values)
-        self._stats.unique_values += len(unique)
-        if workers and workers > 1 and len(unique) >= max(min_shard, 2):
-            mapping = self._apply_sharded(unique, workers)
-            self._stats.sharded_values += len(unique)
+        stats = self._stats
+        intern = self._intern
+        code_of = intern.code_of
+        outputs = self._slot_outputs
+        n_rows = len(values)
+        # Distinct detection is one C-level pass, first-occurrence
+        # ordered so slot assignment and shard chunking stay
+        # deterministic for a given batch sequence.
+        distinct = dict.fromkeys(values)
+        stats.rows += n_rows
+        stats.unique_values += len(distinct)
+        stats.broadcast_rows += n_rows - len(distinct)
+        add = intern.add
+        append_slot = outputs.append
+        pending: List[str] = []
+        new_slots = 0
+        for value in distinct:
+            code = code_of.get(value)
+            if code is None:
+                add(value)
+                append_slot(None)
+                new_slots += 1
+                pending.append(value)
+            elif outputs[code] is None:
+                pending.append(value)
+        stats.distinct_values += new_slots
+        stats.intern_hits += n_rows - new_slots
+        stats.cache_hits += len(distinct) - len(pending)
+        if workers and workers > 1 and len(pending) >= max(min_shard, 2):
+            for value, out in self._apply_sharded(pending, workers).items():
+                outputs[code_of[value]] = out
+            stats.sharded_values += len(pending)
         else:
-            mapping = {value: self.transform(value) for value in unique}
+            compute = self._compute
+            for value in pending:
+                outputs[code_of[value]] = compute(value)
+        # Broadcast: rows -> codes -> outputs, both loops in C.
+        result = list(
+            map(outputs.__getitem__, map(code_of.__getitem__, values))
+        )
+        if len(intern) > self.intern_size:
+            # Bound memory: this batch's codes are already consumed, so
+            # dropping the newest slots only costs future recomputation.
+            del outputs[self.intern_size:]
+            intern.truncate(self.intern_size)
         if self.obs.enabled:
             self.sync_obs(time.perf_counter() - started)
-        return [mapping[value] for value in values]
+        return result
 
     def _apply_sharded(
         self, unique: List[str], workers: int
@@ -346,8 +464,6 @@ class ApplyEngine:
         mapping: Dict[str, str] = {}
         for chunk, outs in zip(chunks, results):
             mapping.update(zip(chunk, outs))
-        for value, out in mapping.items():
-            self._cache.put(value, out)
         return mapping
 
     def apply_table(

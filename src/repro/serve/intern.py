@@ -1,0 +1,79 @@
+"""Value interning: dictionary encoding for the columnar apply path.
+
+Production traffic is heavily skewed — a column of millions of rows
+usually carries only a few thousand distinct dirty values (the same
+observation that drives the paper's one-decision-settles-many-rows
+economics).  An :class:`InternTable` dedupes such a column into its
+dictionary form: a list of unique ``values`` plus a ``code_of`` map
+assigning each distinct string a small integer *slot code*.  Everything
+expensive (exact-table probes, program evaluation, token rewriting)
+then runs **once per distinct value**, and per-row work collapses to
+two C-level ``map`` passes — encode rows to codes, gather outputs back
+through the codes.
+
+The table is deliberately minimal and engine-owned: the
+:class:`~repro.serve.engine.ApplyEngine` keeps a parallel
+``slot -> output`` memo aligned with the slot codes, and bounds memory
+by truncating both from the same high-water mark
+(:meth:`InternTable.truncate`), so codes below the cap stay stable
+across batches (a repeated value keeps its slot, and its memoized
+output, for the lifetime of the engine).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["InternTable"]
+
+
+class InternTable:
+    """An append-only (until truncated) string -> slot-code dictionary.
+
+    Slot codes are dense: ``code_of[values[i]] == i`` for every live
+    slot.  ``add`` is idempotent; ``encode`` is a single C-level map
+    over an entire column (every value must already be interned).
+    """
+
+    __slots__ = ("values", "code_of")
+
+    def __init__(self, values: Iterable[str] = ()) -> None:
+        self.values: List[str] = []
+        self.code_of: Dict[str, int] = {}
+        for value in values:
+            self.add(value)
+
+    def add(self, value: str) -> int:
+        """Intern ``value``; returns its (new or existing) slot code."""
+        code = self.code_of.get(value)
+        if code is None:
+            code = len(self.values)
+            self.code_of[value] = code
+            self.values.append(value)
+        return code
+
+    def encode(self, values: Sequence[str]) -> List[int]:
+        """The column as slot codes (all values must be interned)."""
+        return list(map(self.code_of.__getitem__, values))
+
+    def truncate(self, size: int) -> int:
+        """Drop every slot at or above ``size`` (newest-interned go
+        first — older slots are the ones whole batches keep hitting).
+        Returns the number of slots removed."""
+        size = max(0, int(size))
+        removed = len(self.values) - size
+        if removed <= 0:
+            return 0
+        for value in self.values[size:]:
+            del self.code_of[value]
+        del self.values[size:]
+        return removed
+
+    def __contains__(self, value: str) -> bool:
+        return value in self.code_of
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"InternTable({len(self.values)} values)"

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from .model import TransformationModel
+from .sidecar import try_load_index, write_sidecar
 
 PathLike = Union[str, Path]
 
@@ -50,18 +51,31 @@ class ModelRegistry:
     # -- writing -----------------------------------------------------------
 
     def save(
-        self, model: TransformationModel, name: Optional[str] = None
+        self,
+        model: TransformationModel,
+        name: Optional[str] = None,
+        sidecar: bool = True,
     ) -> Path:
         """Persist ``model`` as the next version of ``name``.
 
         ``name`` defaults to the model's own name; returns the path of
-        the written version file.
+        the written version file.  Unless ``sidecar=False``, the
+        compiled apply index is published alongside (``vN.index.json``)
+        so consumers reload without recompiling; the model file itself
+        is always sufficient — a failed sidecar write never fails the
+        publish.
         """
         slug = slugify(name or model.name)
         directory = self.root / slug
         directory.mkdir(parents=True, exist_ok=True)
         version = (self.versions(slug) or [0])[-1] + 1
-        return model.save(directory / f"v{version}.json")
+        path = model.save(directory / f"v{version}.json")
+        if sidecar:
+            try:
+                write_sidecar(model, path)
+            except OSError:
+                pass  # the model published fine; consumers recompile
+        return path
 
     # -- reading -----------------------------------------------------------
 
@@ -104,11 +118,29 @@ class ModelRegistry:
             )
         return self.root / slug / f"v{version}.json"
 
+    def _load_artifact(self, path: Path):
+        """Parse one artifact file (subclasses load other kinds)."""
+        return TransformationModel.load(path)
+
     def load(
         self, name: str, version: Optional[int] = None
     ) -> TransformationModel:
         """Load one version of ``name`` (default: latest)."""
-        return TransformationModel.load(self.path(name, version))
+        return self._load_artifact(self.path(name, version))
+
+    def load_with_index(
+        self, name: str, version: Optional[int] = None
+    ) -> Tuple[TransformationModel, Optional[object]]:
+        """Load one version plus its precompiled sidecar index.
+
+        The index is ``None`` whenever it is missing, torn, or does not
+        fingerprint against the loaded artifact — callers compile from
+        the artifact in that case, so a sidecar can degrade reload
+        latency but never correctness or availability.
+        """
+        path = self.path(name, version)
+        artifact = self._load_artifact(path)
+        return artifact, try_load_index(path, artifact)
 
     def catalog(self) -> Dict[str, List[int]]:
         """``{name: [versions...]}`` for everything in the registry."""

@@ -104,7 +104,10 @@ class TTLEngineCache:
       never again returns anything older than ``v``: a known publish
       forces a refresh regardless of remaining TTL.  Returned versions
       are monotone per name — the cache never travels backwards even
-      if the loader momentarily does.
+      if the loader momentarily does.  The cached entry is what anchors
+      that clamp, so :meth:`evict_expired` (which nothing in the
+      serving tier calls) trades the monotone baseline of the names it
+      drops for memory.
 
     The clock is injectable (``clock=time.monotonic`` by default) so
     property tests can drive arbitrary get/publish/expire interleavings
@@ -206,7 +209,15 @@ class TTLEngineCache:
     def evict_expired(self) -> int:
         """Drop entries whose TTL has fully elapsed (memory bound for
         many-model servers); fresh entries are never evicted.  Returns
-        the number removed."""
+        the number removed.
+
+        The cached entry doubles as the monotone-reads clamp, so an
+        evicted name's next ``get`` trusts the loader outright — a
+        loader that travels backwards (listing glitch, slow NFS) can
+        then serve an older version than before the eviction.  Callers
+        who need strict monotonicity across a name's lifetime should
+        simply not evict it; the publish floor (which survives
+        eviction) still guards notified publishes either way."""
         now = self.clock()
         stale = [
             name

@@ -1,0 +1,320 @@
+"""Precompiled apply-index sidecars: hot reload in O(artifact size).
+
+Compiling a :class:`~repro.serve.model.TransformationModel` into an
+:class:`~repro.serve.engine.ApplyEngine` is the expensive half of a hot
+swap — chain-composing E exact rules is O(E**2), and every consumer of
+a publish used to pay it again (the ``--follow`` poller recompiled the
+full engine on every publish).  A sidecar moves that cost to publish
+time: the registry writes the *compiled* lookup structures (exact
+table, signature -> program index, token rules) as a second JSON
+artifact next to each version file::
+
+    <root>/<slug>/v3.json          # the model (unchanged format)
+    <root>/<slug>/v3.index.json    # its precompiled index
+
+so reload/hot-swap costs one JSON parse instead of a recompilation.
+
+Compatibility rules (the sidecar is an **accelerator, never a
+correctness dependency**):
+
+* the sidecar embeds a ``fingerprint`` — sha256 over the model's
+  canonical payload (column, config, vocabulary, groups).  A consumer
+  installs the index only when the fingerprint matches the model it
+  actually loaded; any mismatch (hand-edited model, foreign sidecar,
+  version skew) silently falls back to recompiling from the model;
+* ``kind`` / ``schema_version`` gate the format exactly like model
+  files: foreign kinds and newer schemas are rejected by the reader;
+* a **missing or torn** sidecar is never an error — publishes stay
+  atomic per file, the model file alone remains fully sufficient, and
+  :func:`try_load_index` maps every failure mode to ``None``
+  (= recompile).  Deleting every ``*.index.json`` is always safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.program import Program
+from ..core.structure import Signature
+
+PathLike = Union[str, Path]
+
+#: Bump when the JSON layout changes incompatibly.
+INDEX_SCHEMA_VERSION = 1
+
+#: Sanity markers so arbitrary JSON files are rejected early.
+INDEX_KIND = "repro.compiled_index"
+BUNDLE_INDEX_KIND = "repro.compiled_bundle_index"
+
+#: Failure modes :func:`try_load_index` maps to "no sidecar": torn
+#: JSON, foreign kinds, missing files, malformed programs.
+_SIDECAR_ERRORS = (OSError, ValueError, KeyError, TypeError)
+
+
+def model_fingerprint(model) -> str:
+    """sha256 over the model's canonical payload.
+
+    Covers exactly the fields compilation depends on — column, config,
+    vocabulary, and the confirmed groups — and none of the mutable
+    metadata (name, provenance, timestamps), so re-publishing identical
+    rules under a new name still matches.
+    """
+    payload = {
+        "column": model.column,
+        "config": model.config.to_dict(),
+        "vocabulary": model.vocabulary.to_dict(),
+        "groups": [group.to_dict() for group in model.groups],
+    }
+    blob = json.dumps(
+        payload, sort_keys=True, ensure_ascii=False, separators=(",", ":")
+    )
+    return "sha256:" + hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def sidecar_path(model_path: PathLike) -> Path:
+    """``v3.json -> v3.index.json`` (never matches the registry's
+    version-file pattern, so sidecars are invisible to ``versions``)."""
+    path = Path(model_path)
+    stem = path.name[: -len(".json")] if path.name.endswith(".json") else path.name
+    return path.with_name(f"{stem}.index.json")
+
+
+def _atomic_write(path: Path, payload: Dict) -> Path:
+    """The same write-temp + fsync + rename discipline as model saves."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, ensure_ascii=False)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+@dataclass
+class CompiledIndex:
+    """One model's compiled lookup structures, ready to install.
+
+    ``programs`` preserves both bucket order (first confirmed program
+    wins) and signature insertion order, so an engine installed from a
+    sidecar is structurally identical to one compiled from the model.
+    """
+
+    fingerprint: str
+    column: str
+    exact: Dict[str, str] = field(default_factory=dict)
+    token_rules: List[Tuple[str, str]] = field(default_factory=list)
+    programs: List[Tuple[Signature, List[Program]]] = field(
+        default_factory=list
+    )
+    groups_compiled: int = 0
+    schema_version: int = INDEX_SCHEMA_VERSION
+
+    def matches(self, model) -> bool:
+        """True iff this index was compiled from exactly ``model``."""
+        return (
+            self.column == getattr(model, "column", None)
+            and self.fingerprint == model_fingerprint(model)
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-safe form (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": INDEX_KIND,
+            "schema_version": self.schema_version,
+            "fingerprint": self.fingerprint,
+            "column": self.column,
+            "groups_compiled": self.groups_compiled,
+            "exact": self.exact,
+            "token_rules": [list(rule) for rule in self.token_rules],
+            "programs": [
+                {
+                    "signature": list(signature),
+                    "programs": [p.to_dict() for p in programs],
+                }
+                for signature, programs in self.programs
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "CompiledIndex":
+        """Rebuild an index, rejecting foreign kinds and newer schemas."""
+        kind = payload.get("kind")
+        if kind != INDEX_KIND:
+            raise ValueError(
+                f"not a compiled index (kind={kind!r}, "
+                f"expected {INDEX_KIND!r})"
+            )
+        version = int(payload.get("schema_version", 0))
+        if version < 1 or version > INDEX_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported index schema version {version} "
+                f"(this build reads <= {INDEX_SCHEMA_VERSION})"
+            )
+        exact = payload.get("exact", {})
+        if not isinstance(exact, dict):
+            raise ValueError("index 'exact' must be an object")
+        return cls(
+            fingerprint=str(payload.get("fingerprint", "")),
+            column=str(payload.get("column", "")),
+            exact={str(k): str(v) for k, v in exact.items()},
+            token_rules=[
+                (str(lhs), str(rhs))
+                for lhs, rhs in payload.get("token_rules", ())
+            ],
+            programs=[
+                (
+                    tuple(str(tag) for tag in entry["signature"]),
+                    [Program.from_dict(p) for p in entry["programs"]],
+                )
+                for entry in payload.get("programs", ())
+            ],
+            groups_compiled=int(payload.get("groups_compiled", 0)),
+            schema_version=version,
+        )
+
+    def save(self, path: PathLike) -> Path:
+        """Write the index as JSON, atomically."""
+        return _atomic_write(Path(path), self.to_dict())
+
+    @classmethod
+    def load(cls, path: PathLike) -> "CompiledIndex":
+        """Read an index saved by :meth:`save` (schema-checked)."""
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+@dataclass
+class BundleIndex:
+    """Per-column :class:`CompiledIndex`\\ es for a model bundle."""
+
+    columns: Dict[str, CompiledIndex] = field(default_factory=dict)
+    schema_version: int = INDEX_SCHEMA_VERSION
+
+    def matches(self, bundle) -> bool:
+        """True iff every bundled column has a matching index."""
+        models = getattr(bundle, "models", None)
+        if not isinstance(models, dict):
+            return False
+        if set(models) != set(self.columns):
+            return False
+        return all(
+            self.columns[column].matches(model)
+            for column, model in models.items()
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-safe form (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": BUNDLE_INDEX_KIND,
+            "schema_version": self.schema_version,
+            "columns": {
+                column: index.to_dict()
+                for column, index in self.columns.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "BundleIndex":
+        """Rebuild a bundle index (kind- and schema-checked)."""
+        kind = payload.get("kind")
+        if kind != BUNDLE_INDEX_KIND:
+            raise ValueError(
+                f"not a compiled bundle index (kind={kind!r}, "
+                f"expected {BUNDLE_INDEX_KIND!r})"
+            )
+        version = int(payload.get("schema_version", 0))
+        if version < 1 or version > INDEX_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported index schema version {version} "
+                f"(this build reads <= {INDEX_SCHEMA_VERSION})"
+            )
+        return cls(
+            columns={
+                str(column): CompiledIndex.from_dict(entry)
+                for column, entry in payload.get("columns", {}).items()
+            },
+            schema_version=version,
+        )
+
+    def save(self, path: PathLike) -> Path:
+        """Write the bundle index as JSON, atomically."""
+        return _atomic_write(Path(path), self.to_dict())
+
+    @classmethod
+    def load(cls, path: PathLike) -> "BundleIndex":
+        """Read a bundle index saved by :meth:`save`."""
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+# -- building ---------------------------------------------------------------
+
+
+def build_index(model) -> CompiledIndex:
+    """Compile ``model`` once and capture the lookup structures.
+
+    Uses the real :class:`~repro.serve.engine.ApplyEngine` compiler, so
+    a sidecar can never drift from what a cold compile would build.
+    """
+    from .engine import ApplyEngine  # deferred: engine imports nothing here
+
+    engine = ApplyEngine(model)
+    return CompiledIndex(
+        fingerprint=model_fingerprint(model),
+        column=model.column,
+        exact=dict(engine.exact),
+        token_rules=list(engine.token_rules),
+        programs=[
+            (signature, list(programs))
+            for signature, programs in engine.programs.items()
+        ],
+        groups_compiled=len(model.groups),
+    )
+
+
+def build_bundle_index(bundle) -> BundleIndex:
+    """Per-column compiled indexes for a bundle artifact."""
+    return BundleIndex(
+        columns={
+            column: build_index(model)
+            for column, model in bundle.models.items()
+        }
+    )
+
+
+def write_sidecar(artifact, model_path: PathLike) -> Path:
+    """Compile ``artifact`` (model or bundle, duck-typed) and persist
+    its index next to ``model_path``; returns the sidecar path."""
+    if isinstance(getattr(artifact, "models", None), dict):
+        index = build_bundle_index(artifact)
+    else:
+        index = build_index(artifact)
+    return index.save(sidecar_path(model_path))
+
+
+def try_load_index(
+    model_path: PathLike, artifact
+) -> Optional[Union[CompiledIndex, BundleIndex]]:
+    """The sidecar for ``model_path`` iff it exists, parses, and
+    fingerprints against ``artifact``; every failure mode is ``None``
+    (= the caller recompiles — the sidecar is only an accelerator)."""
+    path = sidecar_path(model_path)
+    bundle = isinstance(getattr(artifact, "models", None), dict)
+    try:
+        index = BundleIndex.load(path) if bundle else CompiledIndex.load(path)
+    except _SIDECAR_ERRORS:
+        return None
+    if not index.matches(artifact):
+        return None
+    return index

@@ -4,8 +4,10 @@ import pytest
 
 from repro.resolution.blocking import (
     BLOCKING_MODES,
+    DEFAULT_LSH_HASHES,
     BlockIndex,
     MinHasher,
+    derive_lsh_params,
     build_blocks,
     candidate_pairs,
     char_shingles,
@@ -169,3 +171,48 @@ class TestKeyComposition:
         with pytest.raises(ValueError):
             make_block_keys("sorted-neighborhood")
         assert "lsh" in BLOCKING_MODES
+
+
+class TestDeriveLshParams:
+    """The S-curve-fitted defaults behind ``--similarity-threshold``."""
+
+    def test_respects_the_signature_budget(self):
+        for threshold in (0.3, 0.5, 0.7, 0.8, 0.9):
+            bands, rows = derive_lsh_params(threshold)
+            assert bands >= 1 and rows >= 1
+            assert bands * rows <= DEFAULT_LSH_HASHES
+
+    def test_collision_cliff_lands_at_the_threshold(self):
+        """The derived banding puts the steep part of the S-curve at
+        the threshold: collision probability is moderate there, near
+        one well above it, and near zero well below it."""
+        for threshold in (0.5, 0.6, 0.7, 0.8, 0.9):
+            bands, rows = derive_lsh_params(threshold)
+
+            def p(s):
+                return 1.0 - (1.0 - s**rows) ** bands
+
+            assert 0.2 <= p(threshold) <= 0.8
+            assert p(min(0.99, threshold + 0.15)) > p(threshold)
+            assert p(max(0.01, threshold - 0.25)) < 0.15
+            assert p(min(0.999, threshold + 0.09999)) > 0.45
+
+    def test_stricter_thresholds_mean_more_rows(self):
+        rows_by_threshold = [
+            derive_lsh_params(t)[1] for t in (0.5, 0.7, 0.9)
+        ]
+        assert rows_by_threshold == sorted(rows_by_threshold)
+
+    def test_deterministic(self):
+        assert derive_lsh_params(0.8) == derive_lsh_params(0.8)
+
+    def test_smaller_budgets_are_honoured(self):
+        bands, rows = derive_lsh_params(0.8, num_hashes=12)
+        assert bands * rows <= 12
+
+    def test_rejects_degenerate_thresholds(self):
+        for bad in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                derive_lsh_params(bad)
+        with pytest.raises(ValueError):
+            derive_lsh_params(0.8, num_hashes=0)

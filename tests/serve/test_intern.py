@@ -1,0 +1,91 @@
+"""InternTable unit and property tests: dense slot codes, idempotent
+interning, C-level encode, and high-water-mark truncation — the
+dictionary-encoding substrate of the columnar apply path."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serve import InternTable
+
+SMALL = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestBasics:
+    def test_add_assigns_dense_codes_in_first_seen_order(self):
+        table = InternTable()
+        assert table.add("a") == 0
+        assert table.add("b") == 1
+        assert table.add("a") == 0  # idempotent
+        assert table.values == ["a", "b"]
+        assert len(table) == 2
+
+    def test_init_from_iterable(self):
+        table = InternTable(["x", "y", "x"])
+        assert table.values == ["x", "y"]
+        assert table.code_of == {"x": 0, "y": 1}
+
+    def test_encode_maps_a_whole_column(self):
+        table = InternTable(["a", "b"])
+        assert table.encode(["b", "a", "a", "b"]) == [1, 0, 0, 1]
+
+    def test_encode_requires_interned_values(self):
+        with pytest.raises(KeyError):
+            InternTable(["a"]).encode(["a", "missing"])
+
+    def test_contains(self):
+        table = InternTable(["a"])
+        assert "a" in table
+        assert "b" not in table
+
+
+class TestTruncate:
+    def test_drops_newest_slots_first(self):
+        table = InternTable(["a", "b", "c", "d"])
+        assert table.truncate(2) == 2
+        assert table.values == ["a", "b"]
+        assert table.code_of == {"a": 0, "b": 1}
+        assert "c" not in table
+
+    def test_surviving_codes_are_stable(self):
+        table = InternTable(["a", "b", "c"])
+        table.truncate(2)
+        assert table.add("a") == 0  # old slot survives
+        assert table.add("c") == 2  # re-interned at the next slot
+
+    def test_noop_when_under_the_cap(self):
+        table = InternTable(["a", "b"])
+        assert table.truncate(5) == 0
+        assert table.values == ["a", "b"]
+
+    def test_truncate_to_zero_empties(self):
+        table = InternTable(["a", "b"])
+        assert table.truncate(0) == 2
+        assert len(table) == 0
+        assert table.add("b") == 0
+
+    def test_negative_size_clamps_to_zero(self):
+        table = InternTable(["a"])
+        assert table.truncate(-3) == 1
+        assert len(table) == 0
+
+
+@SMALL
+@given(st.lists(st.text(max_size=6)), st.integers(0, 8))
+def test_codes_stay_dense_under_adds_and_truncation(values, cap):
+    """The core invariant: ``code_of[values[i]] == i`` for every live
+    slot, no matter the add/truncate interleaving."""
+    table = InternTable()
+    for value in values:
+        table.add(value)
+    table.truncate(cap)
+    for value in values:
+        table.add(value)
+    assert len(table.values) == len(table.code_of)
+    for i, value in enumerate(table.values):
+        assert table.code_of[value] == i
+    assert table.encode(values) == [table.code_of[v] for v in values]

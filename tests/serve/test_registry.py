@@ -110,7 +110,8 @@ class TestAtomicPublish:
         loaded = registry.load("address")
         assert loaded.to_dict() == learned_model.to_dict()
         assert sorted(p.name for p in (tmp_path / "address").glob("*")) == [
-            "v1.json"
+            "v1.index.json",
+            "v1.json",
         ]
 
     def test_retry_after_interruption_succeeds(

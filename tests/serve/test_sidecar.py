@@ -1,0 +1,239 @@
+"""Precompiled apply-index sidecars: roundtrip fidelity, fingerprint
+gating, failure-mode fallbacks, and registry integration.
+
+The contract under test: a sidecar is an *accelerator, never a
+correctness dependency* — an engine installed from one is structurally
+identical to a cold compile, and every way a sidecar can be wrong
+(missing, torn, foreign, stale, hand-edited) degrades to ``None`` so
+the caller recompiles from the model file."""
+
+import json
+
+from repro.core.functions import ConstantStr
+from repro.core.program import Program
+from repro.pipeline.oracle import FORWARD
+from repro.serve import (
+    ApplyEngine,
+    BundleIndex,
+    CompiledIndex,
+    ModelRegistry,
+    TransformationModel,
+    build_bundle,
+    build_index,
+    sidecar_path,
+    try_load_index,
+    write_sidecar,
+)
+from repro.serve.bundle import BundleRegistry
+from repro.serve.model import ConfirmedGroup, ConfirmedMember
+from repro.serve.sidecar import (
+    INDEX_SCHEMA_VERSION,
+    build_bundle_index,
+    model_fingerprint,
+)
+
+
+def make_model(rules, name="m", column="addr"):
+    groups = [
+        ConfirmedGroup(
+            Program((ConstantStr(rhs),)),
+            FORWARD,
+            (ConfirmedMember(lhs, rhs, whole=True),),
+        )
+        for lhs, rhs in rules
+    ]
+    return TransformationModel(name=name, column=column, groups=groups)
+
+
+RULES = [("st", "street"), ("rd", "road"), ("ave", "avenue")]
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_compiled_structures(self, tmp_path):
+        model = make_model(RULES)
+        index = build_index(model)
+        path = index.save(tmp_path / "v1.index.json")
+        loaded = CompiledIndex.load(path)
+        assert loaded.fingerprint == index.fingerprint
+        assert loaded.column == index.column
+        assert loaded.exact == index.exact
+        assert loaded.token_rules == index.token_rules
+        assert loaded.programs == index.programs
+        assert loaded.groups_compiled == len(model.groups)
+        assert loaded.matches(model)
+
+    def test_engine_from_sidecar_equals_cold_compile(self, tmp_path):
+        model = make_model(RULES)
+        index = build_index(model)
+        cold = ApplyEngine(model)
+        warm = ApplyEngine(model, precompiled=index)
+        assert warm.exact == cold.exact
+        assert warm.token_rules == cold.token_rules
+        assert dict(warm.programs) == dict(cold.programs)
+        sample = [lhs for lhs, _ in RULES] + ["unseen value"]
+        assert warm.apply_values(sample) == cold.apply_values(sample)
+        assert warm.stats().sidecar_loads == 1
+        assert warm.stats().sidecar_misses == 0
+        assert cold.stats().sidecar_loads == 0
+
+    def test_mismatched_index_counts_a_miss_and_recompiles(self):
+        model = make_model(RULES)
+        other = build_index(make_model([("blvd", "boulevard")]))
+        engine = ApplyEngine(model, precompiled=other)
+        assert engine.stats().sidecar_loads == 0
+        assert engine.stats().sidecar_misses == 1
+        # ... but compiled correctly from the model anyway.
+        assert engine.apply_values(["st"]) == ["street"]
+
+
+class TestFingerprint:
+    def test_ignores_mutable_metadata(self):
+        a = make_model(RULES, name="first")
+        b = make_model(RULES, name="second")
+        assert model_fingerprint(a) == model_fingerprint(b)
+        assert build_index(a).matches(b)
+
+    def test_covers_the_rules(self):
+        a = make_model(RULES)
+        b = make_model(RULES + [("blvd", "boulevard")])
+        assert model_fingerprint(a) != model_fingerprint(b)
+        assert not build_index(a).matches(b)
+
+    def test_covers_the_column(self):
+        index = build_index(make_model(RULES, column="addr"))
+        assert not index.matches(make_model(RULES, column="title"))
+
+
+class TestTryLoadIndex:
+    def test_missing_sidecar_is_none(self, tmp_path):
+        model = make_model(RULES)
+        path = model.save(tmp_path / "v1.json")
+        assert try_load_index(path, model) is None
+
+    def test_happy_path(self, tmp_path):
+        model = make_model(RULES)
+        path = model.save(tmp_path / "v1.json")
+        write_sidecar(model, path)
+        index = try_load_index(path, model)
+        assert isinstance(index, CompiledIndex)
+        assert index.matches(model)
+
+    def test_torn_sidecar_is_none(self, tmp_path):
+        model = make_model(RULES)
+        path = model.save(tmp_path / "v1.json")
+        blob = write_sidecar(model, path).read_text(encoding="utf-8")
+        sidecar_path(path).write_text(
+            blob[: len(blob) // 2], encoding="utf-8"
+        )
+        assert try_load_index(path, model) is None
+
+    def test_foreign_kind_is_none(self, tmp_path):
+        model = make_model(RULES)
+        path = model.save(tmp_path / "v1.json")
+        payload = build_index(model).to_dict()
+        payload["kind"] = "somebody.elses.index"
+        sidecar_path(path).write_text(
+            json.dumps(payload), encoding="utf-8"
+        )
+        assert try_load_index(path, model) is None
+
+    def test_newer_schema_is_none(self, tmp_path):
+        model = make_model(RULES)
+        path = model.save(tmp_path / "v1.json")
+        payload = build_index(model).to_dict()
+        payload["schema_version"] = INDEX_SCHEMA_VERSION + 1
+        sidecar_path(path).write_text(
+            json.dumps(payload), encoding="utf-8"
+        )
+        assert try_load_index(path, model) is None
+
+    def test_stale_fingerprint_is_none(self, tmp_path):
+        # The model file was edited after publish: the sidecar no
+        # longer describes it and must be ignored.
+        model = make_model(RULES)
+        path = model.save(tmp_path / "v1.json")
+        write_sidecar(model, path)
+        edited = make_model(RULES + [("blvd", "boulevard")])
+        assert try_load_index(path, edited) is None
+
+
+class TestAtomicWrite:
+    def test_no_temp_files_survive(self, tmp_path):
+        index = build_index(make_model(RULES))
+        index.save(tmp_path / "v1.index.json")
+        leftovers = [p.name for p in tmp_path.iterdir()]
+        assert leftovers == ["v1.index.json"]
+
+    def test_sidecar_path_shape(self):
+        assert sidecar_path("models/addr/v3.json").name == "v3.index.json"
+
+
+class TestRegistryIntegration:
+    def test_save_publishes_a_sidecar_by_default(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        path = registry.save(make_model(RULES), "addr")
+        assert sidecar_path(path).exists()
+
+    def test_save_sidecar_false_skips_it(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        path = registry.save(make_model(RULES), "addr", sidecar=False)
+        assert not sidecar_path(path).exists()
+
+    def test_sidecars_are_invisible_to_versions(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.save(make_model(RULES), "addr")
+        registry.save(make_model(RULES), "addr")
+        assert registry.versions("addr") == [1, 2]
+
+    def test_load_with_index_returns_the_pair(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        model = make_model(RULES)
+        registry.save(model, "addr")
+        loaded, index = registry.load_with_index("addr")
+        assert isinstance(index, CompiledIndex)
+        assert index.matches(loaded)
+
+    def test_load_with_index_without_sidecar_is_none(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.save(make_model(RULES), "addr", sidecar=False)
+        loaded, index = registry.load_with_index("addr")
+        assert index is None
+        assert loaded.column == "addr"
+
+
+class TestBundleIndex:
+    def make_bundle(self):
+        return build_bundle(
+            {
+                "addr": make_model(RULES, column="addr"),
+                "title": make_model(
+                    [("intl", "international")], column="title"
+                ),
+            },
+            "golden",
+        )
+
+    def test_roundtrip(self, tmp_path):
+        bundle = self.make_bundle()
+        index = build_bundle_index(bundle)
+        path = index.save(tmp_path / "v1.index.json")
+        loaded = BundleIndex.load(path)
+        assert set(loaded.columns) == {"addr", "title"}
+        assert loaded.matches(bundle)
+
+    def test_matches_requires_the_same_column_set(self, tmp_path):
+        bundle = self.make_bundle()
+        index = build_bundle_index(bundle)
+        partial = build_bundle(
+            {"addr": make_model(RULES, column="addr")}, "golden"
+        )
+        assert not index.matches(partial)
+
+    def test_try_load_index_dispatches_on_artifact_shape(self, tmp_path):
+        bundle = self.make_bundle()
+        registry = BundleRegistry(tmp_path)
+        path = registry.save(bundle, "golden")
+        loaded = registry.load("golden")
+        index = try_load_index(path, loaded)
+        assert isinstance(index, BundleIndex)
+        assert index.matches(loaded)
