@@ -297,6 +297,27 @@ class ReplacementStore:
             if updated is not None and updated != value:
                 self.table.set_value(cell, updated)
                 changed.append(cell)
+        # Orientation symmetry, defense in depth: generation always
+        # creates both orientations together, but provenance that only
+        # survives under the mirrored key (its *second* cells hold
+        # ``r.lhs``) supports the same rewrite.  On a symmetric store
+        # every mirror cell was already handled above (the value check
+        # skips it), so this pass changes nothing there.
+        mirror = r.reversed()
+        for cell in sorted(
+            {pair[1] for pair in self.pair_entries.get(mirror, ())}
+        ):
+            if self.table.value(cell) == r.lhs:
+                self.table.set_value(cell, r.rhs)
+                changed.append(cell)
+        for cell in sorted(
+            {pair[1] for pair in self.token_entries.get(mirror, ())}
+        ):
+            value = self.table.value(cell)
+            updated = _replace_token_segment(value, r.lhs, r.rhs)
+            if updated is not None and updated != value:
+                self.table.set_value(cell, updated)
+                changed.append(cell)
         for cell in dict.fromkeys(changed):
             self.refresh_cell(cell)
         return changed

@@ -23,7 +23,13 @@ Commands:
   resolver, one incremental standardizer per column, golden records
   fused per batch (``--fusion``), one atomic model bundle published
   per confirming batch, and ``--golden-out`` dumping the final golden
-  records as JSON lines.
+  records as JSON lines.  ``--question-order yield`` spends the oracle
+  budget by expected cells-fixed-per-question instead of discovery
+  order (see docs/oracle-scheduling.md);
+* ``decisions`` — offline maintenance of the durable verdict logs:
+  ``compact`` drops lines replay ignores, ``diff`` compares two logs
+  by effective verdicts, ``audit`` reports health (duplicates,
+  conflicts, asked vs inferred, tail damage).
 
 Synthetic-data commands operate on the built-in datasets (``--dataset``
 one of ``Address``, ``AuthorList``, ``JournalTitle``); ``--scale``
@@ -40,6 +46,7 @@ import random
 import re
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional, Tuple
 
 from .config import Config
@@ -309,6 +316,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=50,
         help="oracle questions allowed per batch (novel groups only)",
     )
+    stream_p.add_argument(
+        "--question-order",
+        choices=("discovery", "yield"),
+        default="discovery",
+        help="how the oracle budget is spent: 'discovery' (default) "
+        "asks in feed order; 'yield' ranks questions by expected "
+        "cells-fixed-per-question, pools one budget across --columns "
+        "by marginal yield, and settles transitively-proven verdicts "
+        "without asking (logged with source 'inferred'); both orders "
+        "are byte-identical at any --shards value",
+    )
     stream_p.add_argument("--error-rate", type=float, default=0.0)
     stream_p.add_argument(
         "--registry",
@@ -436,6 +454,49 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=5,
         help="batches in the drift monitor's sliding window",
+    )
+
+    decisions_p = sub.add_parser(
+        "decisions",
+        help="inspect and maintain durable oracle-verdict logs "
+        "(decisions.jsonl): compact duplicates, diff two logs, audit "
+        "health",
+    )
+    decisions_sub = decisions_p.add_subparsers(
+        dest="decisions_command", required=True
+    )
+    dec_compact = decisions_sub.add_parser(
+        "compact",
+        help="drop lines replay ignores (orientation duplicates and "
+        "exact repeats; first verdict per pair wins) — replaying the "
+        "compacted log is byte-for-byte equivalent",
+    )
+    dec_compact.add_argument("log", help="the decisions.jsonl file")
+    dec_compact.add_argument(
+        "--write",
+        action="store_true",
+        help="rewrite the log in place (the original is kept as "
+        "<log>.pre-compact); default is a dry run printing what would "
+        "be dropped",
+    )
+    dec_diff = decisions_sub.add_parser(
+        "diff",
+        help="compare two logs by their effective verdicts (first per "
+        "pair, either orientation); exits 1 when they differ",
+    )
+    dec_diff.add_argument("log_a", help="first decisions.jsonl")
+    dec_diff.add_argument("log_b", help="second decisions.jsonl")
+    dec_audit = decisions_sub.add_parser(
+        "audit",
+        help="health report: effective verdicts, duplicate and "
+        "conflicting lines, asked vs inferred split, tail damage; "
+        "exits 1 on conflicts or damage",
+    )
+    dec_audit.add_argument("log", help="the decisions.jsonl file")
+    dec_audit.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as one JSON object instead of text",
     )
 
     top_p = sub.add_parser(
@@ -1065,6 +1126,7 @@ def cmd_stream(args) -> int:
             "batches": args.batches,
             "shards": args.shards,
             "budget": args.budget,
+            "question_order": args.question_order,
             "blocking": args.blocking,
         }
     )
@@ -1109,6 +1171,7 @@ def cmd_stream(args) -> int:
         persist_decisions=not args.no_decision_log,
         resume=not args.fresh,
         obs=obs,
+        question_order=args.question_order,
         **resolution_kwargs,
     )
     print(
@@ -1209,6 +1272,7 @@ def _cmd_stream_golden(args) -> int:
             "batches": args.batches,
             "shards": args.shards,
             "budget": args.budget,
+            "question_order": args.question_order,
             "blocking": args.blocking,
             "fusion": args.fusion or "majority",
         }
@@ -1253,6 +1317,7 @@ def _cmd_stream_golden(args) -> int:
         persist_decisions=not args.no_decision_log,
         resume=not args.fresh,
         obs=obs,
+        question_order=args.question_order,
         **resolution_kwargs,
     )
     print(
@@ -1396,6 +1461,104 @@ def cmd_bench(args) -> int:
     return 1 if regressions else 0
 
 
+def cmd_decisions(args) -> int:
+    """``repro decisions compact|diff|audit``: offline maintenance of
+    durable verdict logs (see docs/oracle-scheduling.md)."""
+    from .stream.decision_tools import (
+        audit_log,
+        compact_log,
+        diff_logs,
+        read_log,
+    )
+
+    def load(path):
+        try:
+            return read_log(path)
+        except FileNotFoundError:
+            raise SystemExit(f"error: no such log: {path}")
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+
+    if args.decisions_command == "compact":
+        entries, damage = load(args.log)
+        kept, dropped = compact_log(entries)
+        for entry in dropped:
+            print(f"drop line {entry.line}: {entry.to_json()}")
+        print(
+            f"{args.log}: {len(entries)} lines, {len(kept)} effective, "
+            f"{len(dropped)} droppable"
+            + (f" ({damage})" if damage else "")
+        )
+        if args.write and (dropped or damage):
+            path = Path(args.log)
+            backup = path.with_name(path.name + ".pre-compact")
+            path.replace(backup)
+            with open(path, "w", encoding="utf-8") as handle:
+                for entry in kept:
+                    handle.write(entry.to_json() + "\n")
+            print(f"rewrote {path} (original kept as {backup})")
+        elif args.write:
+            print("nothing to drop; log left untouched")
+        return 0
+
+    if args.decisions_command == "diff":
+        a_entries, _ = load(args.log_a)
+        b_entries, _ = load(args.log_b)
+        diff = diff_logs(a_entries, b_entries)
+        for entry in diff["only_a"]:
+            print(f"only {args.log_a}: {entry.to_json()}")
+        for entry in diff["only_b"]:
+            print(f"only {args.log_b}: {entry.to_json()}")
+        for a_entry, b_entry in diff["conflicts"]:
+            print(
+                f"conflict on {a_entry.pair}: "
+                f"a={a_entry.to_json()} b={b_entry.to_json()}"
+            )
+        differs = any(diff.values())
+        print(
+            f"{len(diff['only_a'])} only in a, "
+            f"{len(diff['only_b'])} only in b, "
+            f"{len(diff['conflicts'])} conflicting"
+        )
+        return 1 if differs else 0
+
+    # audit
+    entries, damage = load(args.log)
+    report = audit_log(entries, damage)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    **report,
+                    "duplicates": len(report["duplicates"]),
+                    "conflicts": len(report["conflicts"]),
+                },
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"{args.log}:")
+        print(f"  lines:     {report['entries']}")
+        print(f"  effective: {report['effective']}")
+        print(
+            f"  verdicts:  {report['approved']} approved, "
+            f"{report['rejected']} rejected"
+        )
+        for source, count in report["by_source"].items():
+            print(f"  source:    {source} x{count}")
+        for entry in report["duplicates"]:
+            print(f"  duplicate line {entry.line}: {entry.to_json()}")
+        for first, later in report["conflicts"]:
+            print(
+                f"  conflict: line {later.line} {later.to_json()} "
+                f"vs line {first.line} {first.to_json()} (first wins)"
+            )
+        if report["damage"]:
+            print(f"  damage:    {report['damage']}")
+    unhealthy = bool(report["conflicts"]) or report["damage"] is not None
+    return 1 if unhealthy else 0
+
+
 COMMANDS = {
     "stats": cmd_stats,
     "groups": cmd_groups,
@@ -1405,6 +1568,7 @@ COMMANDS = {
     "apply": cmd_apply,
     "serve": cmd_serve,
     "stream": cmd_stream,
+    "decisions": cmd_decisions,
     "top": cmd_top,
     "bench": cmd_bench,
 }

@@ -58,6 +58,13 @@ class ConsoleOracle:
     Answers: ``y`` approve forward, ``r`` approve reversed, anything
     else rejects.  ``prompt_fn``/``print_fn`` are injectable for
     testing and for embedding in other UIs.
+
+    A closed stdin (``EOFError`` from a piped run that ran out of
+    input) or a ``KeyboardInterrupt`` at the prompt does not crash the
+    batch: the oracle warns once, then rejects that group and every
+    later one, letting the run finish with the verdicts it has.
+    Rejections are never cached as approvals, so re-running
+    interactively re-asks exactly the unanswered questions.
     """
 
     def __init__(
@@ -71,11 +78,15 @@ class ConsoleOracle:
         self._print = print_fn
         self.reviewed = 0
         self.approved = 0
+        #: input is gone (EOF/interrupt); reject without prompting
+        self.closed = False
 
     def review(self, group: Group) -> Decision:
         from ..core.explain import explain_program
 
         self.reviewed += 1
+        if self.closed:
+            return Decision(False, FORWARD)
         self._print(f"\nGroup of {group.size} replacements")
         self._print(f"  transformation: {explain_program(group.program)}")
         self._print(f"  program: {group.program.describe()}")
@@ -83,9 +94,17 @@ class ConsoleOracle:
             self._print(f"    {member}")
         if group.size > self.members_shown:
             self._print(f"    ... and {group.size - self.members_shown} more")
-        answer = self._prompt(
-            "apply? [y = lhs->rhs / r = rhs->lhs / n = reject] "
-        ).strip().lower()
+        try:
+            answer = self._prompt(
+                "apply? [y = lhs->rhs / r = rhs->lhs / n = reject] "
+            ).strip().lower()
+        except (EOFError, KeyboardInterrupt):
+            self.closed = True
+            self._print(
+                "\nwarning: console input closed; rejecting this and "
+                "all remaining groups"
+            )
+            return Decision(False, FORWARD)
         if answer == "y":
             self.approved += 1
             return Decision(True, FORWARD)

@@ -32,6 +32,13 @@ re-learn:
 * :mod:`repro.stream.decisions` — the durable JSON-lines decision
   cache: a restarted stream keeps the zero-question guarantee for
   already-judged variation;
+* :mod:`repro.stream.scheduler` — yield-ranked oracle scheduling
+  (``--question-order yield``): questions ranked by expected
+  cells-fixed-per-question, one global budget split across columns by
+  marginal yield, and transitively-proven verdicts settled without a
+  question;
+* :mod:`repro.stream.decision_tools` — ``repro decisions``: compact,
+  diff, and audit verdict logs offline;
 * :mod:`repro.stream.golden` — multi-column streaming golden records:
   per-column standardizers over the one shared resolver, incremental
   (touched-clusters-only) truth discovery, and atomic per-column model
@@ -49,6 +56,13 @@ from .consolidator import (
     StreamConsolidator,
     ground_truth_oracle_factory,
 )
+from .decision_tools import (
+    LogEntry,
+    audit_log,
+    compact_log,
+    diff_logs,
+    read_log,
+)
 from .decisions import DecisionCache
 from .deltas import GoldenDeltaLog, GoldenDeltaReader
 from .golden import (
@@ -59,6 +73,14 @@ from .golden import (
 from .monitor import DriftMonitor, DriftReport
 from .publisher import BundlePublisher, ModelPublisher
 from .resolver import BatchResolution, IncrementalResolver
+from .scheduler import (
+    QUESTION_ORDERS,
+    YieldRankedFeed,
+    allocate_budget,
+    group_yield,
+    member_yield,
+    transitive_direction,
+)
 from .shards import ShardPool, ShardedGroupFeed, ShardStandardizer
 from .standardizer import IncrementalStandardizer
 
@@ -75,15 +97,25 @@ __all__ = [
     "GoldenStreamConsolidator",
     "IncrementalResolver",
     "IncrementalStandardizer",
+    "LogEntry",
     "ModelPublisher",
+    "QUESTION_ORDERS",
     "ShardPool",
     "ShardStandardizer",
     "ShardedGroupFeed",
     "StreamConsolidator",
+    "YieldRankedFeed",
+    "allocate_budget",
+    "audit_log",
     "batches_from_records",
+    "compact_log",
+    "diff_logs",
     "golden_ground_truth_oracle_factory",
     "ground_truth_oracle_factory",
+    "group_yield",
     "iter_jsonl_batches",
-    "read_jsonl_records",
+    "member_yield",
+    "read_log",
+    "transitive_direction",
     "write_jsonl_records",
 ]

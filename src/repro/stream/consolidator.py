@@ -78,6 +78,7 @@ from .decisions import DecisionCache, archive_log
 from .monitor import DriftMonitor
 from .publisher import ModelPublisher
 from .resolver import IncrementalResolver
+from .scheduler import QUESTION_ORDERS
 from .shards import ShardPool
 from .standardizer import IncrementalStandardizer
 
@@ -111,6 +112,9 @@ class BatchReport:
     reused_cells: int = 0
     #: live candidates silenced by a cached rejection
     rejected_skips: int = 0
+    #: verdicts settled transitively from approved rewrites (yield
+    #: scheduling only), recorded in the log with source "inferred"
+    inferred_verdicts: int = 0
     questions_asked: int = 0
     groups_approved: int = 0
     cells_changed: int = 0
@@ -152,6 +156,7 @@ class BatchReport:
             "merges": self.merges,
             "questions_asked": self.questions_asked,
             "reused_replacements": self.reused_replacements,
+            "inferred_verdicts": self.inferred_verdicts,
             "cells_changed": self.cells_changed,
             "model_version": self.model_version,
             "seconds": round(self.seconds, 6),
@@ -369,6 +374,13 @@ class StreamConsolidator:
         When the registry already holds ``model_name``, warm-start
         from its latest version (engine + cumulative log + publisher
         version) instead of starting over.
+    question_order:
+        ``"discovery"`` (default) spends the budget in feed order;
+        ``"yield"`` ranks pending groups by expected
+        cells-fixed-per-question and infers transitively-proven
+        verdicts without a question (see
+        :mod:`repro.stream.scheduler`).  Both orders are byte-identical
+        across ``--shards`` values.
     """
 
     def __init__(
@@ -398,9 +410,14 @@ class StreamConsolidator:
         block_retention: Optional[int] = None,
         resume: bool = True,
         obs=None,
+        question_order: str = "discovery",
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if question_order not in QUESTION_ORDERS:
+            raise ValueError(
+                f"question_order must be one of {QUESTION_ORDERS}"
+            )
         #: observability context (metrics registry + tracer + sink);
         #: defaults to the no-op NULL_OBS, under which the stage spans
         #: still time (stage_seconds stays populated) but nothing is
@@ -424,6 +441,11 @@ class StreamConsolidator:
         self.shard_processes = shard_processes
         self.block_retention = block_retention
         self.resume = resume
+        #: "discovery" preserves the historical feed order; "yield"
+        #: ranks questions by expected cells fixed and settles
+        #: transitively-proven candidates without asking (see
+        #: :mod:`repro.stream.scheduler`).
+        self.question_order = question_order
         self._columns = tuple(columns) if columns is not None else None
         self._key_attribute = key_attribute
         self._attribute = attribute
@@ -683,16 +705,29 @@ class StreamConsolidator:
                 # the novel set (otherwise the step-4 partition is
                 # still valid).
                 undecided = self.standardizer.undecided()
+            inferred_cells = 0
+            if self.question_order == "yield":
+                # Transitive inference: candidates the approved chain
+                # already proves are settled (and applied) for free,
+                # before any budget is spent.
+                inferred, inferred_cells = (
+                    self.standardizer.infer_transitive(undecided)
+                )
+                report.inferred_verdicts = inferred
+                if inferred:
+                    undecided = self.standardizer.undecided()
 
         # 5. budgeted learning over the novel remainder.  The oracle is
         # wrapped so its review wall-clock is separable from learning.
         oracle = _TimedOracle(self.oracle)
+        yield_ranked = self.question_order == "yield"
         with _timed_stage(self.obs, stage, "learn"):
             steps = self.standardizer.learn(
                 oracle,
                 self.budget_per_batch,
                 novel=undecided,
                 pool=self.pool,
+                yield_ranked=yield_ranked,
             )
 
         # 6. drift check: relearn deeper when the stream stops being
@@ -708,7 +743,10 @@ class StreamConsolidator:
                 if drift.drifted:
                     report.drift_triggered = True
                     steps = steps + self.standardizer.learn(
-                        oracle, self.relearn_budget, pool=self.pool
+                        oracle,
+                        self.relearn_budget,
+                        pool=self.pool,
+                        yield_ranked=yield_ranked,
                     )
                     self.monitor.reset()
         stage["oracle"] = oracle.seconds
@@ -717,7 +755,7 @@ class StreamConsolidator:
         report.groups_approved = sum(
             1 for s in steps if s.decision.approved
         )
-        report.cells_changed = reused_cells + sum(
+        report.cells_changed = reused_cells + inferred_cells + sum(
             s.cells_changed for s in steps
         )
 
@@ -773,6 +811,14 @@ class StreamConsolidator:
         metrics.counter("stream.rejected_skips").inc(
             report.rejected_skips
         )
+        metrics.counter("oracle.inferred_verdicts").inc(
+            report.inferred_verdicts
+        )
+        metrics.counter("oracle.questions_saved").inc(
+            report.reused_replacements
+            + report.rejected_skips
+            + report.inferred_verdicts
+        )
         metrics.counter("stream.questions", column=self.column).inc(
             report.questions_asked
         )
@@ -827,7 +873,14 @@ class StreamConsolidator:
     @property
     def questions_saved(self) -> int:
         """Oracle work the incremental state avoided: cached-approved
-        replacements re-applied plus cached rejections silenced."""
+        replacements re-applied, cached rejections silenced, and
+        verdicts settled by transitive inference."""
         return sum(
-            r.reused_replacements + r.rejected_skips for r in self.reports
+            r.reused_replacements + r.rejected_skips + r.inferred_verdicts
+            for r in self.reports
         )
+
+    @property
+    def inferred_verdicts(self) -> int:
+        """Verdicts settled transitively, never asked (yield mode)."""
+        return sum(r.inferred_verdicts for r in self.reports)

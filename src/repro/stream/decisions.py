@@ -147,13 +147,23 @@ class DecisionCache:
 
     # -- recording ---------------------------------------------------------
 
-    def record(self, replacement: Replacement, decision: Decision) -> bool:
+    def record(
+        self,
+        replacement: Replacement,
+        decision: Decision,
+        source: Optional[str] = None,
+    ) -> bool:
         """Cache ``decision`` for ``replacement`` (first verdict wins).
 
         Returns True when the verdict was new; new verdicts are
         immediately appended (and flushed) to the backing file, so a
         crash directly after the oracle answered still keeps the
-        answer.
+        answer.  ``source`` tags machine-settled verdicts in the log
+        (e.g. ``"inferred"`` for transitively-proven rewrites from
+        :mod:`repro.stream.scheduler`); verdicts without it were asked
+        of a human.  Replay ignores the tag — an inferred verdict binds
+        exactly like an asked one — but ``repro decisions audit``
+        reports the split.
         """
         if (
             replacement in self._decisions
@@ -162,20 +172,17 @@ class DecisionCache:
             return False  # first verdict wins, in either orientation
         self._decisions[replacement] = decision
         if self.path is not None:
+            row = {
+                "lhs": replacement.lhs,
+                "rhs": replacement.rhs,
+                "approved": decision.approved,
+                "direction": decision.direction,
+            }
+            if source is not None:
+                row["source"] = source
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(
-                    json.dumps(
-                        {
-                            "lhs": replacement.lhs,
-                            "rhs": replacement.rhs,
-                            "approved": decision.approved,
-                            "direction": decision.direction,
-                        },
-                        ensure_ascii=False,
-                    )
-                    + "\n"
-                )
+                handle.write(json.dumps(row, ensure_ascii=False) + "\n")
                 handle.flush()
                 os.fsync(handle.fileno())
         return True

@@ -90,6 +90,7 @@ from .decisions import DecisionCache, archive_log
 from .deltas import GoldenDeltaLog
 from .publisher import BundlePublisher
 from .resolver import IncrementalResolver
+from .scheduler import QUESTION_ORDERS, allocate_budget, member_yield
 from .shards import ShardPool
 from .standardizer import IncrementalStandardizer
 
@@ -161,6 +162,9 @@ class GoldenBatchReport:
     groups_approved: int = 0
     reused_replacements: int = 0
     rejected_skips: int = 0
+    #: verdicts settled transitively (yield scheduling only), across
+    #: every column, recorded in the logs with source "inferred"
+    inferred_verdicts: int = 0
     cells_changed: int = 0
     #: clusters whose golden record was recomputed this batch (the
     #: incremental-fusion delta; equals the live cluster count when the
@@ -223,6 +227,7 @@ class GoldenBatchReport:
             "questions_asked": self.questions_asked,
             "questions_by_column": dict(self.questions_by_column),
             "reused_replacements": self.reused_replacements,
+            "inferred_verdicts": self.inferred_verdicts,
             "cells_changed": self.cells_changed,
             "clusters_refused": self.clusters_refused,
             "clusters_live": self.clusters_live,
@@ -290,6 +295,17 @@ class GoldenStreamConsolidator:
         When the registry already holds ``bundle_name``, warm-start
         every column from its latest bundle (engine + cumulative logs
         + publisher version) instead of starting over.
+    question_order:
+        ``"discovery"`` (default) gives every column the same
+        ``budget_per_batch`` and spends it in feed order.  ``"yield"``
+        pools one global budget of ``budget_per_batch x columns`` per
+        batch and splits it across columns by marginal yield
+        (:func:`~repro.stream.scheduler.allocate_budget`), ranks each
+        column's questions by expected cells fixed, rolls an
+        early-exhausted column's leftover into the next most promising
+        one, and infers transitively-proven verdicts without a
+        question.  Both orders are byte-identical across ``--shards``
+        values.
     """
 
     def __init__(
@@ -319,6 +335,7 @@ class GoldenStreamConsolidator:
         resume: bool = True,
         golden_log: Optional[PathLike] = None,
         obs=None,
+        question_order: str = "discovery",
     ) -> None:
         self.obs = obs if obs is not None else NULL_OBS
         if not columns:
@@ -327,6 +344,10 @@ class GoldenStreamConsolidator:
             raise ValueError(f"duplicate columns: {list(columns)}")
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if question_order not in QUESTION_ORDERS:
+            raise ValueError(
+                f"question_order must be one of {QUESTION_ORDERS}"
+            )
         self.columns = tuple(columns)
         self.oracle_factory = oracle_factory
         self.budget_per_batch = budget_per_batch
@@ -345,6 +366,7 @@ class GoldenStreamConsolidator:
         self.shard_processes = shard_processes
         self.block_retention = block_retention
         self.resume = resume
+        self.question_order = question_order
         self._key_attribute = key_attribute
         self._attribute = attribute
         self._similarity_threshold = similarity_threshold
@@ -723,6 +745,9 @@ class GoldenStreamConsolidator:
                 first_old.setdefault(rid, (oc, orow))
         changed_cells: List[CellRef] = []
         oracle_seconds = 0.0
+        yield_mode = self.question_order == "yield"
+        #: yield mode: column -> novel remainder, learned in pass 2
+        pending: Dict[str, List] = {}
         for column in self.columns:
             standardizer = self.standardizers[column]
             with _timed_stage(self.obs, stage, "derive", column=column):
@@ -756,6 +781,24 @@ class GoldenStreamConsolidator:
                 report.cells_changed += reused_cells
                 if reused_cells:
                     undecided = standardizer.undecided()
+                if yield_mode:
+                    inferred, inferred_cells = (
+                        standardizer.infer_transitive(
+                            undecided, changed_into=changed_cells
+                        )
+                    )
+                    report.inferred_verdicts += inferred
+                    report.cells_changed += inferred_cells
+                    if inferred:
+                        undecided = standardizer.undecided()
+
+            if yield_mode:
+                # Columns are learner-independent (per-column stores and
+                # caches over the shared resolver), so the novel
+                # remainder stays valid while other columns replay; the
+                # pooled budget is split once all yields are known.
+                pending[column] = undecided
+                continue
 
             oracle = _TimedOracle(self.oracles[column])
             with _timed_stage(self.obs, stage, "learn", column=column):
@@ -772,6 +815,50 @@ class GoldenStreamConsolidator:
                 1 for s in steps if s.decision.approved
             )
             report.cells_changed += sum(s.cells_changed for s in steps)
+
+        if yield_mode:
+            # One pooled budget, split by marginal yield (largest-
+            # remainder apportionment over each column's total pending
+            # yield), spent in descending-yield order so an early-
+            # exhausted column's leftover rolls into the next most
+            # promising one.
+            yields = {
+                column: sum(
+                    member_yield(
+                        self.standardizers[column].store,
+                        self.resolver.table,
+                        member,
+                    )
+                    for member in pending[column]
+                )
+                for column in self.columns
+            }
+            total_budget = self.budget_per_batch * len(self.columns)
+            carry = 0
+            for column, share in allocate_budget(
+                yields, total_budget, self.columns
+            ):
+                standardizer = self.standardizers[column]
+                budget = share + carry
+                oracle = _TimedOracle(self.oracles[column])
+                with _timed_stage(self.obs, stage, "learn", column=column):
+                    steps = standardizer.learn(
+                        oracle,
+                        budget,
+                        novel=pending[column],
+                        pool=self.pool,
+                        changed_into=changed_cells,
+                        yield_ranked=True,
+                    )
+                oracle_seconds += oracle.seconds
+                carry = budget - len(steps)
+                report.questions_by_column[column] = len(steps)
+                report.groups_approved += sum(
+                    1 for s in steps if s.decision.approved
+                )
+                report.cells_changed += sum(
+                    s.cells_changed for s in steps
+                )
         stage["oracle"] = oracle_seconds
 
         touched.update(cell.cluster for cell in changed_cells)
@@ -838,6 +925,14 @@ class GoldenStreamConsolidator:
         )
         metrics.counter("stream.rejected_skips").inc(
             report.rejected_skips
+        )
+        metrics.counter("oracle.inferred_verdicts").inc(
+            report.inferred_verdicts
+        )
+        metrics.counter("oracle.questions_saved").inc(
+            report.reused_replacements
+            + report.rejected_skips
+            + report.inferred_verdicts
         )
         for column, asked in report.questions_by_column.items():
             metrics.counter("stream.questions", column=column).inc(asked)
@@ -908,10 +1003,17 @@ class GoldenStreamConsolidator:
     @property
     def questions_saved(self) -> int:
         """Oracle work the incremental state avoided (cached approvals
-        re-applied plus cached rejections silenced, all columns)."""
+        re-applied, cached rejections silenced, transitively inferred
+        verdicts — all columns)."""
         return sum(
-            r.reused_replacements + r.rejected_skips for r in self.reports
+            r.reused_replacements + r.rejected_skips + r.inferred_verdicts
+            for r in self.reports
         )
+
+    @property
+    def inferred_verdicts(self) -> int:
+        """Verdicts settled transitively, never asked (yield mode)."""
+        return sum(r.inferred_verdicts for r in self.reports)
 
     @property
     def clusters_refused(self) -> int:

@@ -1,0 +1,304 @@
+"""Yield-ranked oracle scheduling (optimal spending of human budget).
+
+The oracle is the system's scarcest resource, yet the default learner
+spends it in pure *discovery order*: the grouping feed emits the next
+largest group and the next question goes to whatever that happens to
+be.  Following "Optimizing Human Involvement for Entity Matching and
+Consolidation" (arXiv:1906.06574), this module ranks pending questions
+by their **expected yield** — how many table cells one verdict is
+expected to fix — and settles questions *without* asking whenever the
+already-approved rewrites prove the answer transitively.
+
+Three pieces, all parent-side pure functions of the candidate store and
+the cluster table, which is what keeps ``--shards N`` byte-identical:
+
+* :func:`group_yield` / :func:`member_yield` — the ranking score.  A
+  member replacement's yield is its support (the number of provenance
+  pairs it would rewrite, Section 5's "profit") weighted by the fanout
+  of each supporting cluster (how many records a fixed cell serves).
+  A group's yield is the sum over its members — expected
+  cells-fixed-per-question, as an exact integer;
+* :class:`YieldRankedFeed` — a :class:`~repro.pipeline.standardize.GroupFeed`
+  wrapper holding a small look-ahead window of groups from the
+  underlying deterministic feed (the single-process
+  :class:`~repro.core.incremental.IncrementalGrouper` or the merged
+  :class:`~repro.stream.shards.ShardedGroupFeed` — both emit the same
+  stream) and presenting the highest-yield buffered group first.
+  Scores are recomputed against the live store at every pop, ties break
+  toward the underlying feed order, and §7.1 invalidation filters dead
+  members out of the buffered groups — every step is deterministic, so
+  a sharded learner under the scheduler asks exactly the questions an
+  unsharded one asks;
+* :func:`allocate_budget` — marginal-yield budget allocation across
+  columns: instead of giving every column the same per-batch budget
+  (round-robin), the golden consolidator pools one global budget and
+  splits it proportionally to each column's total pending yield
+  (largest-remainder apportionment, integer arithmetic only), visiting
+  columns in descending-yield order so an early-exhausted column's
+  leftover rolls into the next most promising one.
+
+Transitive inference lives with the state it needs:
+:meth:`~repro.stream.standardizer.IncrementalStandardizer.infer_transitive`
+walks the chain of approved rewrites (:func:`transitive_direction`
+here) and records the settled verdicts in the decision log with
+``"source": "inferred"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..candidates.store import ReplacementStore
+from ..core.grouping import Group
+from ..core.replacement import Replacement
+from ..data.table import ClusterTable
+from ..pipeline.oracle import FORWARD, REVERSE
+
+#: How many groups the yield ranker buffers from the underlying feed.
+#: The window trades ranking quality against wasted feed work when the
+#: budget runs out mid-window; 8 covers a typical per-batch budget's
+#: near-term choices without popping the whole feed up front.
+DEFAULT_LOOKAHEAD = 8
+
+QUESTION_ORDERS = ("discovery", "yield")
+
+
+def member_yield(
+    store: ReplacementStore, table: ClusterTable, member: Replacement
+) -> int:
+    """Expected cells fixed by approving one member replacement.
+
+    Each supporting provenance pair contributes the *fanout* of the
+    cluster whose cell it would rewrite: fixing a cell in a cluster of
+    ``n`` records serves all ``n`` records that consolidate into it
+    (the golden record, every lookup, every future arrival matching
+    against it).  Exact integer arithmetic over live store state — the
+    same number on every shard topology.
+    """
+    clusters = table.clusters
+    score = 0
+    for lhs_cell, _rhs_cell in store.cell_pairs(member):
+        score += len(clusters[lhs_cell.cluster].records)
+    for lhs_cell, _rhs_cell in store.token_pairs(member):
+        score += len(clusters[lhs_cell.cluster].records)
+    return score
+
+
+def group_yield(
+    store: ReplacementStore, table: ClusterTable, group: Group
+) -> int:
+    """Expected cells fixed by approving a whole group: one question
+    settles every member, so yields add."""
+    return sum(
+        member_yield(store, table, member)
+        for member in group.replacements
+    )
+
+
+class YieldRankedFeed:
+    """Reorders any deterministic group feed by expected yield.
+
+    Implements the :class:`~repro.pipeline.standardize.GroupFeed`
+    protocol.  A window of up to ``lookahead`` groups is buffered from
+    the underlying feed in its native (largest-first, deterministic)
+    order; :meth:`next_group` returns the buffered group with the
+    highest :func:`group_yield` against the *current* store and table,
+    breaking ties toward the earlier underlying position.  Group size
+    and yield usually agree, but they diverge exactly when scheduling
+    matters: a small group whose members sit in huge clusters out-fixes
+    a large group of one-off values.
+
+    Section 7.1 invalidation (:meth:`remove_replacements`) filters dead
+    members out of the buffered groups too — a buffered group was
+    already popped from the underlying feed, so nobody else will prune
+    it — dropping groups that empty entirely.
+
+    Determinism: the underlying feeds
+    (:class:`~repro.core.incremental.IncrementalGrouper` and
+    :class:`~repro.stream.shards.ShardedGroupFeed`) emit identical
+    group streams at any shard count, the scores are pure integer
+    functions of parent-side state, and ties resolve by buffer
+    position — so the reordered stream is also identical at any shard
+    count.
+    """
+
+    def __init__(
+        self,
+        inner,
+        store: ReplacementStore,
+        table: ClusterTable,
+        lookahead: int = DEFAULT_LOOKAHEAD,
+    ) -> None:
+        self.inner = inner
+        self.store = store
+        self.table = table
+        self.lookahead = max(1, lookahead)
+        self._buffer: List[Group] = []
+        self._drained = False
+
+    def _fill(self) -> None:
+        while not self._drained and len(self._buffer) < self.lookahead:
+            group = self.inner.next_group()
+            if group is None:
+                self._drained = True
+                return
+            self._buffer.append(group)
+
+    def _best_index(self) -> Optional[int]:
+        self._fill()
+        if not self._buffer:
+            return None
+        return max(
+            range(len(self._buffer)),
+            key=lambda i: (
+                group_yield(self.store, self.table, self._buffer[i]),
+                -i,
+            ),
+        )
+
+    def peek(self) -> Optional[Tuple[int, Group]]:
+        """The highest-yield buffered group and its score, unemitted
+        (the golden allocator's probe)."""
+        best = self._best_index()
+        if best is None:
+            return None
+        group = self._buffer[best]
+        return group_yield(self.store, self.table, group), group
+
+    def next_group(self) -> Optional[Group]:
+        best = self._best_index()
+        if best is None:
+            return None
+        return self._buffer.pop(best)
+
+    def remove_replacements(self, dead) -> None:
+        dead_set = set(dead)
+        if not dead_set:
+            return
+        kept: List[Group] = []
+        for group in self._buffer:
+            survivors = tuple(
+                member
+                for member in group.replacements
+                if member not in dead_set
+            )
+            if not survivors:
+                continue
+            if len(survivors) == len(group.replacements):
+                kept.append(group)
+            else:
+                kept.append(
+                    Group(group.program, survivors, group.structure)
+                )
+        self._buffer = kept
+        self.inner.remove_replacements(dead_set)
+
+
+# -- transitive inference ---------------------------------------------------
+
+
+def approved_rewrites(decisions) -> Dict[str, str]:
+    """The chain of approved rewrites, in confirmation order.
+
+    Resolves every approved verdict to its applied direction and keeps
+    the *first* rewrite recorded per source value — the same
+    first-wins, confirmation-order discipline the replay walk follows,
+    so the chain describes rewrites exactly as they were (and will be)
+    applied.
+    """
+    forward: Dict[str, str] = {}
+    for replacement, decision in decisions.items():
+        if not decision.approved:
+            continue
+        resolved = (
+            replacement.reversed()
+            if decision.direction == REVERSE
+            else replacement
+        )
+        forward.setdefault(resolved.lhs, resolved.rhs)
+    return forward
+
+
+def _reaches(forward: Dict[str, str], source: str, target: str) -> bool:
+    """Whether the rewrite chain carries ``source`` to ``target``.
+
+    Bounded by the chain length: a consistent verdict history is
+    acyclic, and a pathological one (hand-edited log) must degrade to
+    a bounded walk, never an infinite loop.
+    """
+    current = source
+    for _ in range(len(forward) + 1):
+        current = forward.get(current)  # type: ignore[assignment]
+        if current is None:
+            return False
+        if current == target:
+            return True
+    return False
+
+
+def transitive_direction(
+    forward: Dict[str, str], candidate: Replacement
+) -> Optional[str]:
+    """The direction the approved rewrites prove for ``candidate``.
+
+    If approved rewrites carry ``lhs`` to ``rhs`` (e.g. A→B and B→C
+    both approved, candidate A→C), the candidate is settled FORWARD
+    without a question; if they carry ``rhs`` to ``lhs``, REVERSE.
+    ``None`` when the chain proves nothing — the candidate stays a
+    real question.
+    """
+    if _reaches(forward, candidate.lhs, candidate.rhs):
+        return FORWARD
+    if _reaches(forward, candidate.rhs, candidate.lhs):
+        return REVERSE
+    return None
+
+
+# -- cross-column budget allocation ----------------------------------------
+
+
+def allocate_budget(
+    yields: Dict[str, int],
+    total: int,
+    columns: Sequence[str],
+) -> List[Tuple[str, int]]:
+    """Split one global budget across columns by marginal yield.
+
+    Returns ``(column, share)`` pairs in **processing order**: columns
+    descending by total pending yield (ties: original column order), so
+    the caller can roll an early-exhausted column's unused share into
+    the next most promising column.  Shares follow largest-remainder
+    apportionment on the yields — integer arithmetic only, fully
+    deterministic — with an even split when nothing is pending anywhere
+    (every column then gets its chance at groups the cheap yield probe
+    undervalued).
+    """
+    cols = list(columns)
+    if not cols:
+        return []
+    if total <= 0:
+        return [(column, 0) for column in cols]
+    weights = [max(0, int(yields.get(column, 0))) for column in cols]
+    order = sorted(
+        range(len(cols)), key=lambda i: (-weights[i], i)
+    )
+    total_weight = sum(weights)
+    if total_weight == 0:
+        base, extra = divmod(total, len(cols))
+        return [
+            (cols[i], base + (1 if rank < extra else 0))
+            for rank, i in enumerate(order)
+        ]
+    shares = {}
+    remainders = []
+    allocated = 0
+    for rank, i in enumerate(order):
+        quota = total * weights[i]
+        share = quota // total_weight
+        shares[i] = share
+        allocated += share
+        remainders.append((-(quota % total_weight), rank, i))
+    remainders.sort()
+    for _neg_rem, _rank, i in remainders[: total - allocated]:
+        shares[i] += 1
+    return [(cols[i], shares[i]) for i in order]

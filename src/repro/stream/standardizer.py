@@ -51,6 +51,12 @@ from ..pipeline.standardize import (
     apply_group_recorded,
 )
 from .decisions import DecisionCache, PathLike
+from .scheduler import (
+    DEFAULT_LOOKAHEAD,
+    YieldRankedFeed,
+    approved_rewrites,
+    transitive_direction,
+)
 
 
 class IncrementalStandardizer:
@@ -93,6 +99,9 @@ class IncrementalStandardizer:
             self.decisions = DecisionCache(decisions)
         self.log = StandardizationLog()
         self.questions_asked = 0
+        #: verdicts settled transitively from approved rewrites, never
+        #: presented to the oracle (see :meth:`infer_transitive`)
+        self.inferred_verdicts = 0
 
     # -- ingestion ---------------------------------------------------------
 
@@ -215,7 +224,16 @@ class IncrementalStandardizer:
         for _round in range(max_rounds):
             progress = False
             for replacement, decision in approved_verdicts:
-                if replacement not in self.store:
+                # Liveness must be orientation-aware, like the cache
+                # lookup that found the verdict: a pair re-derived in
+                # the opposite orientation after a restart is the same
+                # judged variation, and skipping it here would leave it
+                # approved-but-never-reapplied (and, being decided, it
+                # can never reach the question feed to recover).
+                if (
+                    replacement not in self.store
+                    and replacement.reversed() not in self.store
+                ):
                     continue  # no live provenance to rewrite
                 resolved = (
                     replacement.reversed()
@@ -234,15 +252,95 @@ class IncrementalStandardizer:
                 break
         return reused, changed
 
+    # -- transitive inference ----------------------------------------------
+
+    def infer_transitive(
+        self,
+        undecided: Optional[List[Replacement]] = None,
+        changed_into: Optional[List[CellRef]] = None,
+    ) -> Tuple[int, int]:
+        """Settle undecided candidates the approved rewrites already
+        prove, without spending a question.
+
+        When approved verdicts rewrite A→B and B→C, a derived A→C
+        candidate asks nothing the oracle has not answered: the chain
+        proves the equivalence and fixes the direction
+        (:func:`~repro.stream.scheduler.transitive_direction`).  Each
+        proven candidate is applied immediately and recorded in the
+        decision log with ``"source": "inferred"``, so restarts replay
+        it like any paid verdict and audits can tell machine-settled
+        lines from human ones.  Returns ``(verdicts inferred, cells
+        changed)``; ``undecided`` seeds the scan when the caller
+        already partitioned the live set.
+        """
+        if undecided is None:
+            undecided = self.undecided()
+        if not undecided:
+            return 0, 0
+        forward = approved_rewrites(self.decisions)
+        if not forward:
+            return 0, 0
+        inferred = 0
+        changed = 0
+        for candidate in undecided:
+            if candidate in self.decisions:
+                continue  # settled earlier in this very pass
+            if (
+                candidate not in self.store
+                and candidate.reversed() not in self.store
+            ):
+                continue  # invalidated by an earlier application
+            direction = transitive_direction(forward, candidate)
+            if direction is None:
+                continue
+            decision = Decision(True, direction)
+            resolved = (
+                candidate.reversed()
+                if direction == REVERSE
+                else candidate
+            )
+            cells = self.store.apply_replacement(resolved)
+            self.store.drain_dead()
+            self.decisions.record(candidate, decision, source="inferred")
+            # Extend the chain: a freshly settled rewrite can prove the
+            # next candidate in the same scan (A→B asked, B→C inferred,
+            # then A→C needs both).
+            forward.setdefault(resolved.lhs, resolved.rhs)
+            inferred += 1
+            self.inferred_verdicts += 1
+            if cells:
+                changed += len(cells)
+                if changed_into is not None:
+                    changed_into.extend(cells)
+        return inferred, changed
+
     # -- learning ----------------------------------------------------------
 
-    def undecided(self) -> List[Replacement]:
-        """Live candidates the oracle has never been asked about."""
-        return self.partition_live()[2]
+    def undecided(
+        self,
+        partition: Optional[
+            Tuple[List[Replacement], int, List[Replacement]]
+        ] = None,
+    ) -> List[Replacement]:
+        """Live candidates the oracle has never been asked about.
+        Pass an existing :meth:`partition_live` result to avoid
+        re-scanning the live set."""
+        if partition is None:
+            partition = self.partition_live()
+        return partition[2]
 
-    def skipped_rejected(self) -> int:
-        """Live candidates silenced by a cached rejection (saved work)."""
-        return self.partition_live()[1]
+    def skipped_rejected(
+        self,
+        partition: Optional[
+            Tuple[List[Replacement], int, List[Replacement]]
+        ] = None,
+    ) -> int:
+        """Live candidates silenced by a cached rejection (saved work).
+        Pass an existing :meth:`partition_live` result to avoid
+        re-scanning the live set."""
+        if partition is None:
+            partition = self.partition_live()
+        return partition[1]
 
     def learn(
         self,
@@ -251,6 +349,8 @@ class IncrementalStandardizer:
         novel: Optional[List[Replacement]] = None,
         pool=None,
         changed_into: Optional[List[CellRef]] = None,
+        yield_ranked: bool = False,
+        lookahead: int = DEFAULT_LOOKAHEAD,
     ) -> List[StepRecord]:
         """Present up to ``budget`` groups of *novel* candidates.
 
@@ -270,6 +370,13 @@ class IncrementalStandardizer:
         log are identical; only the graph building and pivot searching
         happen in parallel.  The oracle itself is never sharded: this
         method is the only place questions are spent either way.
+
+        ``yield_ranked`` wraps whichever feed in a
+        :class:`~repro.stream.scheduler.YieldRankedFeed`, spending the
+        budget on the highest expected cells-fixed-per-question first
+        instead of discovery order.  The wrapper is parent-side and
+        pure, so sharded question streams stay byte-identical to
+        unsharded ones under it.
         """
         if novel is None:
             novel = self.undecided()
@@ -283,6 +390,10 @@ class IncrementalStandardizer:
         else:
             feed = IncrementalGrouper(
                 novel, self.vocabulary, self.config, counts
+            )
+        if yield_ranked:
+            feed = YieldRankedFeed(
+                feed, self.store, self.table, lookahead=lookahead
             )
         steps: List[StepRecord] = []
         for _ in range(budget):

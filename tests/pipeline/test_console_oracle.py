@@ -62,3 +62,54 @@ class TestConsoleOracle:
         oracle.review(singleton_group(Replacement("a", "b")))
         oracle.review(singleton_group(Replacement("c", "d")))
         assert oracle.reviewed == 2 and oracle.approved == 2
+
+
+class TestClosedInput:
+    """A closed stdin must not crash the batch mid-review: the oracle
+    rejects the group at hand and every later one, warning exactly
+    once, so the run finishes with the verdicts it already has."""
+
+    @pytest.mark.parametrize("exc", [EOFError, KeyboardInterrupt])
+    def test_prompt_failure_rejects_instead_of_crashing(self, exc):
+        def raise_it(prompt):
+            raise exc()
+
+        printed = []
+        oracle = ConsoleOracle(prompt_fn=raise_it, print_fn=printed.append)
+        decision = oracle.review(singleton_group(Replacement("a", "b")))
+        assert not decision.approved
+        assert decision.direction == FORWARD
+        assert oracle.closed
+
+    def test_warns_once_then_rejects_silently(self):
+        def raise_eof(prompt):
+            raise EOFError()
+
+        printed = []
+        oracle = ConsoleOracle(prompt_fn=raise_eof, print_fn=printed.append)
+        oracle.review(singleton_group(Replacement("a", "b")))
+        after_first = len(printed)
+        warnings = [line for line in printed if "warning" in line]
+        assert len(warnings) == 1
+        assert "console input closed" in warnings[0]
+        # Later reviews reject without prompting *or* printing: no
+        # group display, no second warning.
+        oracle.review(singleton_group(Replacement("c", "d")))
+        oracle.review(singleton_group(Replacement("e", "f")))
+        assert len(printed) == after_first
+        assert oracle.reviewed == 3 and oracle.approved == 0
+
+    def test_answers_before_eof_are_kept(self):
+        answers = iter(["y"])
+
+        def prompt(prompt_text):
+            try:
+                return next(answers)
+            except StopIteration:
+                raise EOFError()
+
+        oracle = ConsoleOracle(prompt_fn=prompt, print_fn=lambda _: None)
+        first = oracle.review(singleton_group(Replacement("a", "b")))
+        second = oracle.review(singleton_group(Replacement("c", "d")))
+        assert first.approved and not second.approved
+        assert oracle.approved == 1

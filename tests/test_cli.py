@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -172,6 +174,18 @@ class TestStreamParser:
         )
         assert args.metrics == "m.jsonl"
         assert args.check
+
+    def test_question_order_flag(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.question_order == "discovery"
+        args = build_parser().parse_args(
+            ["stream", "--question-order", "yield"]
+        )
+        assert args.question_order == "yield"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["stream", "--question-order", "random"]
+            )
 
 
 class TestStreamCommand:
@@ -599,3 +613,118 @@ class TestObservabilityCommands:
         assert main(["bench", "baseline", "--results-dir",
                      str(empty)]) == 1
         assert "no usable series" in capsys.readouterr().out
+
+
+class TestDecisionsCommand:
+    """``repro decisions``: offline verdict-log maintenance."""
+
+    @staticmethod
+    def write_log(path, rows):
+        with open(path, "w", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row) + "\n")
+        return path
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["decisions"])
+
+    def test_missing_log_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such log"):
+            main(["decisions", "audit", str(tmp_path / "nope.jsonl")])
+
+    def test_audit_healthy_log(self, capsys, tmp_path):
+        log = self.write_log(
+            tmp_path / "decisions.jsonl",
+            [
+                {"lhs": "a", "rhs": "b", "approved": True},
+                {
+                    "lhs": "a",
+                    "rhs": "c",
+                    "approved": True,
+                    "source": "inferred",
+                },
+                {"lhs": "x", "rhs": "y", "approved": False},
+            ],
+        )
+        assert main(["decisions", "audit", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "effective: 3" in out
+        assert "2 approved" in out and "1 rejected" in out
+        assert "inferred x1" in out
+
+    def test_audit_json_and_conflict_exit_code(self, capsys, tmp_path):
+        log = self.write_log(
+            tmp_path / "decisions.jsonl",
+            [
+                {"lhs": "a", "rhs": "b", "approved": True},
+                {"lhs": "a", "rhs": "b", "approved": False},
+            ],
+        )
+        assert main(["decisions", "audit", "--json", str(log)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["conflicts"] == 1
+        assert report["effective"] == 1
+
+    def test_compact_dry_run_leaves_log_alone(self, capsys, tmp_path):
+        log = self.write_log(
+            tmp_path / "decisions.jsonl",
+            [
+                {"lhs": "a", "rhs": "b", "approved": True},
+                {"lhs": "b", "rhs": "a", "approved": True},
+            ],
+        )
+        before = log.read_text()
+        assert main(["decisions", "compact", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "1 droppable" in out
+        assert log.read_text() == before
+
+    def test_compact_write_rewrites_with_backup(self, capsys, tmp_path):
+        log = self.write_log(
+            tmp_path / "decisions.jsonl",
+            [
+                {"lhs": "a", "rhs": "b", "approved": True},
+                {"lhs": "b", "rhs": "a", "approved": True},
+                {"lhs": "x", "rhs": "y", "approved": False},
+            ],
+        )
+        assert main(["decisions", "compact", "--write", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "rewrote" in out
+        backup = tmp_path / "decisions.jsonl.pre-compact"
+        assert backup.exists()
+        assert len(backup.read_text().splitlines()) == 3
+        kept = [json.loads(line) for line in log.read_text().splitlines()]
+        assert len(kept) == 2
+        # The compacted log is itself a healthy decision log.
+        capsys.readouterr()
+        assert main(["decisions", "audit", str(log)]) == 0
+
+    def test_diff_exit_codes(self, capsys, tmp_path):
+        rows = [{"lhs": "a", "rhs": "b", "approved": True}]
+        log_a = self.write_log(tmp_path / "a.jsonl", rows)
+        log_b = self.write_log(tmp_path / "b.jsonl", rows)
+        assert main(["decisions", "diff", str(log_a), str(log_b)]) == 0
+        capsys.readouterr()
+        self.write_log(
+            tmp_path / "b.jsonl",
+            rows + [{"lhs": "x", "rhs": "y", "approved": False}],
+        )
+        assert main(["decisions", "diff", str(log_a), str(log_b)]) == 1
+        out = capsys.readouterr().out
+        assert "1 only in b" in out
+
+    def test_diff_flags_conflicting_verdicts(self, capsys, tmp_path):
+        log_a = self.write_log(
+            tmp_path / "a.jsonl",
+            [{"lhs": "a", "rhs": "b", "approved": True}],
+        )
+        # Same pair judged in the mirrored orientation with the
+        # opposite verdict: a conflict, not two separate entries.
+        log_b = self.write_log(
+            tmp_path / "b.jsonl",
+            [{"lhs": "b", "rhs": "a", "approved": False}],
+        )
+        assert main(["decisions", "diff", str(log_a), str(log_b)]) == 1
+        assert "1 conflicting" in capsys.readouterr().out

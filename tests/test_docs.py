@@ -145,6 +145,7 @@ STREAM_FLAGS = (
     "--metrics",
     "--trace",
     "--profile",
+    "--question-order",
 )
 
 
@@ -278,6 +279,43 @@ def test_docs_cover_the_network_serving_tier():
     assert "docs/serving.md" in readme and "--listen" in readme
     arch = (REPO / "docs" / "architecture.md").read_text(encoding="utf-8")
     assert "serving.md" in arch and "TTLEngineCache" in arch
+
+
+def test_docs_cover_the_oracle_scheduling_release():
+    """Yield-ranked scheduling and the decisions tooling are taught
+    where users will look, and the taught invocations are real."""
+    sched = REPO / "docs" / "oracle-scheduling.md"
+    assert sched.is_file()
+    text = sched.read_text(encoding="utf-8")
+    for needle in (
+        "--question-order yield",
+        "member_yield",
+        '"source": "inferred"',
+        "repro decisions audit",
+        "repro decisions compact",
+        "repro decisions diff",
+        "oracle.questions_saved",
+        "oracle.inferred_verdicts",
+        "byte-identical",
+    ):
+        assert needle in text, f"{needle} undocumented in oracle-scheduling.md"
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    assert "docs/oracle-scheduling.md" in readme
+    assert "--question-order" in readme
+    arch = (REPO / "docs" / "architecture.md").read_text(encoding="utf-8")
+    assert "--question-order yield" in arch
+    assert "oracle-scheduling.md" in arch
+    # The taught `repro decisions` subcommands parse.
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for sub in ("compact", "diff", "audit"):
+        args_by_sub = {
+            "compact": ["decisions", "compact", "log.jsonl"],
+            "diff": ["decisions", "diff", "a.jsonl", "b.jsonl"],
+            "audit": ["decisions", "audit", "--json", "log.jsonl"],
+        }
+        assert parser.parse_args(args_by_sub[sub]).decisions_command == sub
 
 
 def test_docs_cover_the_tracing_release():
